@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one paper table or figure through the
+corresponding :mod:`repro.experiments` module, times it with
+pytest-benchmark (single round — these are experiments, not microbenches)
+and writes the rendered table next to the timing data under
+``benchmarks/results/`` so the numbers that back EXPERIMENTS.md are
+inspectable after every run.
+
+The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` / ``default`` / ``full``); the committed EXPERIMENTS.md values
+come from ``default``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Scale preset for the benchmark run."""
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def run_and_record(benchmark, name: str, run_fn, render_fn):
+    """Time one experiment run and persist its rendered output."""
+    result = benchmark.pedantic(run_fn, rounds=1, iterations=1)
+    text = render_fn(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return result

@@ -1,0 +1,71 @@
+"""Ablation: the noisy-chunk detection margin, under both damage geometries.
+
+The margin is the knob this reproduction found to be load-bearing (see
+DESIGN.md, "Findings"): at zero margin the detector fires on healthy
+chunks and substitution churn erodes the model; too high and real damage
+goes unrepaired.  The sweet spot also depends on the damage geometry —
+clustered damage produces deficits far above any reasonable margin,
+uniform damage mostly sits below it.  This ablation sweeps the margin
+against a clustered attack (where recovery has real work to do) and
+reports the recovered loss.
+"""
+
+from _common import RESULTS_DIR, bench_scale
+
+from repro.analysis.quality import percent
+from repro.analysis.tables import render_table
+from repro.core.pipeline import RecoveryExperiment
+from repro.core.recovery import RecoveryConfig
+from repro.datasets import load
+from repro.experiments.config import get_scale
+
+MARGINS = (0.0, 0.01, 0.03, 0.08, 0.2)
+ERROR_RATE = 0.02  # clustered budget; ~10-13% raw loss at default scale
+
+
+def _run():
+    cfg = get_scale(bench_scale())
+    data = load("ucihar", max_train=cfg.max_train, max_test=cfg.max_test)
+    experiment = RecoveryExperiment(
+        data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=0
+    )
+    without = experiment.attack_only(
+        ERROR_RATE, mode="clustered", seed=1, cluster_bits=512
+    )
+    rows = []
+    for margin in MARGINS:
+        config = RecoveryConfig(detection_margin=margin)
+        outcome = experiment.attack_and_recover(
+            ERROR_RATE, config, passes=cfg.recovery_passes,
+            mode="clustered", seed=1, cluster_bits=512,
+        )
+        rows.append(
+            (margin, outcome.loss_with_recovery,
+             outcome.stats.chunks_repaired)
+        )
+    return without, rows
+
+
+def test_ablation_margin(benchmark):
+    without, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_table(
+        ["detection margin", "recovered loss", "chunk repairs"],
+        [[f"{m:g}", percent(loss), reps] for m, loss, reps in rows],
+        title=(
+            f"Ablation — detection margin under clustered damage "
+            f"(loss without recovery {percent(without)})"
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_margin.txt").write_text(text + "\n")
+    print()
+    print(text)
+    losses = {m: loss for m, loss, _ in rows}
+    # A moderate margin never hurts, and beats the huge-margin extreme.
+    assert losses[0.03] <= without + 0.005
+    assert losses[0.03] <= losses[0.2] + 0.005
+    if bench_scale() != "smoke":
+        # At full dimensionality the moderate margin recovers most of the
+        # clustered loss (tiny smoke models leave the confidence gate
+        # closed, so the strong claim only holds at default/full scale).
+        assert losses[0.03] < without

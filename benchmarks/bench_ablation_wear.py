@@ -1,0 +1,67 @@
+"""Ablation: wear-leveling on/off for PIM lifetime.
+
+Section 5.2 of the paper names wear-leveling as standard endurance
+machinery.  This ablation shows what it buys on the DPIM platform: with
+wear-leveling the kernel's write traffic spreads over the rotation span;
+without it the writes concentrate on the kernel's own footprint and the
+hottest region dies early.
+"""
+
+from _common import RESULTS_DIR
+
+from repro.analysis.tables import render_table
+from repro.pim.dpim import DPIM
+from repro.pim.endurance import SECONDS_PER_YEAR, LifetimeProjector, WearTracker
+from repro.pim.nvm import WearModel
+
+INFERENCE_RATE = 100.0
+SPAN = 32  # wear-leveling rotation span (x kernel footprint)
+
+
+def _run():
+    dpim = DPIM()
+    kernel = dpim.hdc_inference(561, 10_000, 12)
+    footprint_cells = (561 + 12) * 10_000 * 8
+    rows = []
+    for wear_leveling in (True, False):
+        tracker = WearTracker(
+            num_cells=footprint_cells * SPAN,
+            num_regions=SPAN,
+            wear_leveling=wear_leveling,
+        )
+        # One second of traffic: all of it lands on region 0 when the
+        # remapper is off (dense mapping), spread when it is on.
+        tracker.add_writes(kernel.writes * INFERENCE_RATE, region=0)
+        rate = tracker.max_writes_per_cell()  # per second
+        projector = LifetimeProjector(
+            rate, lambda ber: 1.0 if ber > 0.03 else 0.0,
+            device=dpim.config.device,
+        )
+        lifetime = projector.lifetime_s(0.5) / SECONDS_PER_YEAR
+        rows.append((wear_leveling, rate, lifetime))
+    return rows
+
+
+def test_ablation_wear(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_table(
+        ["wear-leveling", "max writes/cell/s", "lifetime (years)"],
+        [[wl, f"{r:.3f}", f"{y:.2f}"] for wl, r, y in rows],
+        title="Ablation — wear-leveling impact on PIM lifetime (HDC kernel)",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_wear.txt").write_text(text + "\n")
+    print()
+    print(text)
+    with_wl, without_wl = rows[0][2], rows[1][2]
+    assert with_wl > without_wl
+
+
+def test_wear_model_failure_fraction(benchmark):
+    """Microbench: vectorised failure-fraction evaluation."""
+    import numpy as np
+
+    wear = WearModel()
+    writes = np.linspace(0, 2e9, 100_000)
+    result = benchmark(lambda: wear.failure_fraction(writes))
+    assert result.shape == writes.shape

@@ -1,0 +1,103 @@
+"""Microbenchmarks of the core HDC operations.
+
+Unlike the table/figure benches (one-shot experiments), these are true
+repeated-round microbenchmarks of the operations every experiment leans
+on: encoding, similarity search, recovery steps and attack sampling.
+They guard against performance regressions in the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.hypervector import bundle, hamming_distance, random_hypervectors
+from repro.core.model import HDCClassifier, HDCModel
+from repro.core.recovery import RecoveryConfig, recover_step
+from repro.faults.bitflip import attack_hdc_model
+
+DIM = 10_000
+NUM_FEATURES = 561
+NUM_CLASSES = 12
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return Encoder(num_features=NUM_FEATURES, dim=DIM, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(encoder):
+    rng = np.random.default_rng(0)
+    features = rng.random((200, NUM_FEATURES))
+    labels = rng.integers(0, NUM_CLASSES, 200)
+    clf = HDCClassifier(encoder, num_classes=NUM_CLASSES, epochs=0).fit(
+        features, labels
+    )
+    return clf.model
+
+
+def test_encode_batch(benchmark, encoder):
+    rng = np.random.default_rng(1)
+    batch = rng.random((32, NUM_FEATURES))
+    out = benchmark(encoder.encode_batch, batch)
+    assert out.shape == (32, DIM)
+
+
+def test_similarity_search(benchmark, model):
+    rng = np.random.default_rng(2)
+    queries = rng.integers(0, 2, (64, DIM), dtype=np.uint8)
+    sims = benchmark(model.similarities, queries)
+    assert sims.shape == (64, NUM_CLASSES)
+
+
+def test_bundle(benchmark):
+    rng = np.random.default_rng(3)
+    hvs = random_hypervectors(500, DIM, rng)
+    out = benchmark(bundle, hvs)
+    assert out.shape == (DIM,)
+
+
+def test_hamming_distance_batch(benchmark):
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, 2, DIM, dtype=np.uint8)
+    b = rng.integers(0, 2, (NUM_CLASSES, DIM), dtype=np.uint8)
+    out = benchmark(hamming_distance, a, b)
+    assert out.shape == (NUM_CLASSES,)
+
+
+def test_attack_sampling(benchmark, model):
+    rng = np.random.default_rng(5)
+    out = benchmark(attack_hdc_model, model, 0.10, "random", rng)
+    assert isinstance(out, HDCModel)
+
+
+def test_packed_similarity_search(benchmark, model):
+    """The packed backend's query-vs-model search; compare with
+    test_similarity_search for the packing speed/space payoff."""
+    from repro.core.packed import pack, packed_hamming_distance
+
+    rng = np.random.default_rng(7)
+    packed_model = pack(model.class_hv)
+    query = pack(rng.integers(0, 2, DIM, dtype=np.uint8))
+    out = benchmark(
+        packed_hamming_distance, query.words[0], packed_model.words
+    )
+    assert out.shape == (NUM_CLASSES,)
+
+
+def test_pack_batch(benchmark):
+    from repro.core.packed import pack
+
+    rng = np.random.default_rng(8)
+    hvs = rng.integers(0, 2, (64, DIM), dtype=np.uint8)
+    packed = benchmark(pack, hvs)
+    assert packed.words.shape == (64, -(-DIM // 64))
+
+
+def test_recover_step(benchmark, model):
+    rng = np.random.default_rng(6)
+    attacked = attack_hdc_model(model, 0.10, "random", rng)
+    query = rng.integers(0, 2, DIM, dtype=np.uint8)
+    config = RecoveryConfig(confidence_threshold=0.0)  # always repair
+    pred = benchmark(recover_step, attacked, query, config, rng)
+    assert 0 <= pred < NUM_CLASSES

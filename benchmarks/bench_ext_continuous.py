@@ -1,0 +1,20 @@
+"""Extension bench: stability envelope of always-on recovery."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import continuous
+
+
+def test_continuous(benchmark):
+    result = run_and_record(
+        benchmark, "ext_continuous",
+        lambda: continuous.run(scale=bench_scale()),
+        continuous.render,
+    )
+    # The conservative gate must be harmless relative to no recovery.
+    assert result.conservative_gap > -0.05
+    # And it must not do worse than the always-on default under
+    # continuous churn (the experiment's deployment guideline).
+    assert (
+        result.accuracy_conservative[-1] >= result.accuracy_default[-1] - 0.02
+    )

@@ -1,0 +1,19 @@
+"""Extension bench: SECDED-protected DNN vs bare HDC (Section 6.6)."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import ecc_comparison
+
+
+def test_ecc_comparison(benchmark):
+    result = run_and_record(
+        benchmark, "ext_ecc",
+        lambda: ecc_comparison.run(scale=bench_scale()),
+        ecc_comparison.render,
+    )
+    # ECC shields the DNN at the lowest error rate...
+    assert result.dnn_ecc_loss[0] <= result.dnn_raw_loss[0] + 0.01
+    assert result.residual_rates[0] < result.error_rates[0]
+    # ...but saturates at the top of the sweep, where bare HDC still
+    # holds single-digit loss.
+    assert result.hdc_loss[-1] < result.dnn_ecc_loss[-1]

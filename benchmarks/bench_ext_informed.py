@@ -1,0 +1,16 @@
+"""Extension bench: margin-aware white-box attack vs random flips."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import informed
+
+
+def test_informed(benchmark):
+    result = run_and_record(
+        benchmark, "ext_informed",
+        lambda: informed.run(scale=bench_scale()),
+        informed.render,
+    )
+    # The informed attack dominates random flips at the top of the sweep
+    # — holographic robustness is not adversarial security.
+    assert result.informed_loss[-1] > result.random_loss[-1] + 0.05

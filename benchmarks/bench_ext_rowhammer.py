@@ -1,0 +1,17 @@
+"""Extension bench: clustered (Row-Hammer) damage vs recovery."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import rowhammer
+
+
+def test_rowhammer(benchmark):
+    result = run_and_record(
+        benchmark, "ext_rowhammer",
+        lambda: rowhammer.run(scale=bench_scale()),
+        rowhammer.render,
+    )
+    # Physically-local damage hurts more than uniform at equal budget...
+    assert sum(result.clustered_loss) > sum(result.uniform_loss)
+    # ...and chunk-level recovery wins back most of the clustered loss.
+    assert sum(result.recovered_loss) < 0.6 * sum(result.clustered_loss)

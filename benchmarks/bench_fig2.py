@@ -1,0 +1,17 @@
+"""Regenerates paper Figure 2: PIM efficiency running DNN and HDC."""
+
+from _common import run_and_record
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark):
+    result = run_and_record(
+        benchmark, "figure2", figure2.run, figure2.render
+    )
+    hdc_pim = result.entry("HDC-PIM")
+    dnn_pim = result.entry("DNN-PIM")
+    # Paper headline shapes: HDC-PIM beats DNN-PIM, and PIM beats the
+    # GPU baseline for both learners.
+    assert hdc_pim.relative_speedup > dnn_pim.relative_speedup > 1.0
+    assert hdc_pim.relative_energy_eff > dnn_pim.relative_energy_eff > 1.0

@@ -1,0 +1,18 @@
+"""Regenerates paper Figure 3: confidence & substitution-rate sweeps."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark):
+    result = run_and_record(
+        benchmark, "figure3",
+        lambda: figure3.run(scale=bench_scale()),
+        figure3.render,
+    )
+    t_c = result.series("T_C")
+    assert len(t_c) > 0
+    # A larger T_C trusts fewer samples — the monotone Figure 3 relation.
+    trusted = [p.trusted_samples for p in t_c]
+    assert trusted == sorted(trusted, reverse=True)

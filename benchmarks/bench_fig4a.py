@@ -1,0 +1,29 @@
+"""Regenerates paper Figure 4a: PIM accelerator lifetime, DNN vs HDC."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import figure4a
+
+
+def test_figure4a(benchmark):
+    result = run_and_record(
+        benchmark, "figure4a",
+        lambda: figure4a.run(scale=bench_scale()),
+        figure4a.render,
+    )
+    labels = [s.label for s in result.series]
+    hdc = [s for s in result.series if s.label.startswith("HDC")]
+    dnn8 = result.by_label("DNN 8-bit")
+    # Paper headline shape: every HDC configuration outlives the DNN by a
+    # wide margin (the paper reports months vs years).
+    assert all(
+        s.lifetime_years > 5 * dnn8.lifetime_years for s in hdc
+    ), labels
+    # The D=10k vs D=4k ordering is driven by the low-BER tail of the
+    # measured loss curves, where sampling noise at bench scale can be
+    # comparable to the 1% budget; require the larger model to be at
+    # least in the same band rather than strictly ahead.
+    assert hdc[-1].lifetime_years >= 0.5 * hdc[0].lifetime_years
+    # Higher precision dies first: float32 DNN before 8-bit DNN.
+    fp32 = result.by_label("DNN float32")
+    assert fp32.lifetime_years <= dnn8.lifetime_years

@@ -1,0 +1,20 @@
+"""Regenerates paper Figure 4b: DRAM refresh relaxation trade-off."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import figure4b
+
+
+def test_figure4b(benchmark):
+    result = run_and_record(
+        benchmark, "figure4b",
+        lambda: figure4b.run(scale=bench_scale()),
+        figure4b.render,
+    )
+    p4 = result.at_rate(0.04)
+    p6 = result.at_rate(0.06)
+    # Calibrated operating points: ~14% / ~22% efficiency gain.
+    assert 0.10 < p4.efficiency_improvement < 0.18
+    assert 0.18 < p6.efficiency_improvement < 0.26
+    # HDC tolerates the relaxed refresh far better than the DNN.
+    assert p6.hdc_quality_loss < p6.dnn_quality_loss

@@ -1,0 +1,16 @@
+"""Regenerates paper Table 1: HDC quality loss under random noise."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_and_record(
+        benchmark, "table1",
+        lambda: table1.run(scale=bench_scale()),
+        table1.render,
+    )
+    # Structural sanity: every configured model row is present.
+    assert len(result.rows) == 5
+    assert result.rows[0].label.startswith("DNN")

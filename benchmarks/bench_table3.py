@@ -1,0 +1,22 @@
+"""Regenerates paper Table 3: baseline vs HDC loss under both attacks."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark):
+    result = run_and_record(
+        benchmark, "table3",
+        lambda: table3.run(scale=bench_scale()),
+        table3.render,
+    )
+    assert {r.learner for r in result.rows} == {"DNN", "SVM", "AdaBoost", "HDC"}
+    # Paper headline: HDC's worst loss stays far below DNN's worst loss.
+    hdc_worst = max(
+        max(r.losses) for r in result.rows if r.learner == "HDC"
+    )
+    dnn_worst = max(
+        max(r.losses) for r in result.rows if r.learner == "DNN"
+    )
+    assert hdc_worst < dnn_worst

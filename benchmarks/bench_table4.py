@@ -1,0 +1,28 @@
+"""Regenerates paper Table 4: quality loss with/without RobustHD recovery."""
+
+from _common import bench_scale, run_and_record
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark):
+    result = run_and_record(
+        benchmark, "table4",
+        lambda: table4.run(scale=bench_scale()),
+        table4.render,
+    )
+    assert len(result.cells) == len(result.datasets) * len(result.error_rates)
+    # Under the paper's uniform-flip protocol the damage spreads thinly
+    # below the chunk detector's margin, so on this substrate recovery is
+    # a small, noise-level win (see EXPERIMENTS.md); assert it never does
+    # meaningful harm here.  The strong recovery claim — most of the loss
+    # won back — is asserted by bench_ext_rowhammer.py, where the damage
+    # has the physical locality the detector targets.
+    highest = max(result.error_rates)
+    without = sum(
+        result.cell(d, highest).loss_without for d in result.datasets
+    )
+    with_rec = sum(
+        result.cell(d, highest).loss_with for d in result.datasets
+    )
+    assert with_rec < without + 0.01 * len(result.datasets)

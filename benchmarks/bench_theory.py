@@ -1,0 +1,62 @@
+"""Bench: closed-form robustness theory vs measured campaigns.
+
+Validates the simulator against the analytic flip-probability model
+(``repro.analysis.theory``): the predicted quality loss should track the
+measured bit-flip campaigns across the rate sweep — the theory explains
+*why* Table 1's losses shrink with D and grow with the rate.
+"""
+
+from _common import RESULTS_DIR, bench_scale
+
+from repro.analysis.quality import percent
+from repro.analysis.tables import render_table
+from repro.analysis.theory import predicted_quality_loss
+from repro.core.pipeline import RecoveryExperiment
+from repro.datasets import load
+from repro.experiments.config import get_scale
+from repro.faults.injector import run_hdc_campaign
+
+RATES = (0.02, 0.05, 0.10, 0.15, 0.25)
+
+
+def _run():
+    cfg = get_scale(bench_scale())
+    data = load("ucihar", max_train=cfg.max_train, max_test=cfg.max_test)
+    experiment = RecoveryExperiment(
+        data, dim=cfg.dim, epochs=0, stream_fraction=0.5, seed=0
+    )
+    model = experiment.model
+    campaign = run_hdc_campaign(
+        model, experiment.eval_queries, experiment.eval_labels, RATES,
+        trials=max(cfg.trials, 5), seed=0,
+    )
+    rows = []
+    for rate in RATES:
+        rows.append((
+            rate,
+            predicted_quality_loss(
+                model, experiment.eval_queries, experiment.eval_labels, rate
+            ),
+            campaign.loss(rate, "random"),
+        ))
+    return rows
+
+
+def test_theory_vs_measurement(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_table(
+        ["Flip rate", "Predicted loss", "Measured loss"],
+        [[percent(r, 0), percent(p), percent(m)] for r, p, m in rows],
+        title="Theory check — analytic flip model vs measured campaigns (ucihar)",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "theory.txt").write_text(text + "\n")
+    print()
+    print(text)
+    # Prediction and measurement rise together and stay within a small
+    # band of each other at every rate.
+    predicted = [p for _, p, _ in rows]
+    measured = [m for _, _, m in rows]
+    assert predicted == sorted(predicted)
+    for p, m in zip(predicted, measured):
+        assert abs(p - m) < max(0.015, 0.6 * max(p, m))

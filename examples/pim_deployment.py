@@ -1,0 +1,104 @@
+"""PIM deployment study: efficiency, lifetime and DRAM refresh relaxation.
+
+Walks the processing-in-memory substrate end to end:
+
+1. cost an HDC and a DNN inference kernel on the NOR-based DPIM chip and
+   against the GPU roofline baseline (the paper's Figure 2 story);
+2. couple the DNN/HDC write traffic to the NVM endurance process and
+   project accelerator lifetime (Figure 4a story);
+3. relax the DRAM refresh interval and trade energy for bit errors
+   (Figure 4b story).
+
+Run:  python examples/pim_deployment.py
+"""
+
+from repro.analysis import percent, render_table
+from repro.pim import (
+    DPIM,
+    DRAMModel,
+    GPUModel,
+    LifetimeProjector,
+    SECONDS_PER_YEAR,
+)
+
+NUM_FEATURES, NUM_CLASSES, DIM = 561, 12, 10_000
+DNN_LAYERS = [561, 512, 512, 12]
+
+
+def main() -> None:
+    dpim = DPIM()
+    gpu = GPUModel()
+
+    # --- 1. kernel costs ---------------------------------------------------
+    hdc = dpim.hdc_inference(NUM_FEATURES, DIM, NUM_CLASSES)
+    dnn = dpim.dnn_inference(DNN_LAYERS, width=8)
+    dnn_bytes = sum(a * b for a, b in zip(DNN_LAYERS[:-1], DNN_LAYERS[1:]))
+    gpu_lat = gpu.inference_latency_s(gpu.dnn_ops(DNN_LAYERS), dnn_bytes)
+    gpu_energy = gpu.inference_energy_j(gpu.dnn_ops(DNN_LAYERS), dnn_bytes)
+    print(
+        render_table(
+            ["Kernel", "Throughput (inf/s)", "Energy (uJ)"],
+            [
+                ["HDC on DPIM", f"{dpim.throughput_per_s(hdc):,.0f}",
+                 f"{hdc.energy_j * 1e6:.1f}"],
+                ["DNN on DPIM", f"{dpim.throughput_per_s(dnn):,.0f}",
+                 f"{dnn.energy_j * 1e6:.1f}"],
+                ["DNN on GPU", f"{1 / gpu_lat:,.0f}", f"{gpu_energy * 1e6:.1f}"],
+            ],
+            title="In-memory vs GPU inference cost",
+        )
+    )
+
+    # --- 2. lifetime under endurance ---------------------------------------
+    # Wear rate: kernel writes spread over 32x the model footprint, at
+    # 100 inferences/second; quality-loss curves stylised for the demo
+    # (the real experiment measures them — see repro.experiments.figure4a).
+    print()
+    rows = []
+    for label, kernel, model_bits, tolerated_ber in (
+        ("HDC D=10k", hdc, (NUM_CLASSES + NUM_FEATURES) * DIM, 0.06),
+        ("DNN 8-bit", dnn, dnn_bytes * 8, 0.005),
+    ):
+        cells = model_bits * 8 * 32
+        rate = kernel.writes * 100.0 / cells
+        projector = LifetimeProjector(
+            rate,
+            lambda ber, tol=tolerated_ber: 0.0 if ber < tol else 0.05,
+            device=dpim.config.device,
+        )
+        years = projector.lifetime_s(0.01) / SECONDS_PER_YEAR
+        rows.append([label, f"{kernel.writes:,}", f"{years:.2f} years"])
+    print(
+        render_table(
+            ["Learner", "Writes / inference", "Lifetime (<1% loss)"],
+            rows,
+            title="PIM lifetime at 100 inf/s (10^9-endurance NVM)",
+        )
+    )
+
+    # --- 3. DRAM refresh relaxation -----------------------------------------
+    print()
+    dram = DRAMModel()
+    rows = []
+    for target in (0.02, 0.04, 0.06):
+        interval = dram.interval_for_error_rate(target)
+        gain = dram.efficiency_at_error_rate(target)
+        rows.append(
+            [percent(target, 0), f"{interval:.0f} ms", percent(gain, 1)]
+        )
+    print(
+        render_table(
+            ["Error rate", "Refresh interval", "Energy gain"],
+            rows,
+            title="DRAM refresh relaxation (64 ms baseline)",
+        )
+    )
+    print(
+        "\nAt these error rates the HDC model loses well under 1% accuracy "
+        "(Table 3),\nso the refresh relaxation is free performance for "
+        "RobustHD — and fatal for 8-bit DNN weights."
+    )
+
+
+if __name__ == "__main__":
+    main()

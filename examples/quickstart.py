@@ -1,0 +1,63 @@
+"""Quickstart: train an HDC classifier, attack its memory, watch it shrug.
+
+This walks the three core API layers in ~40 lines of user code:
+
+1. load a dataset (a seeded synthetic stand-in for UCI HAR);
+2. train a binary hyperdimensional classifier;
+3. flip 10% of the stored model's bits and compare quality loss against
+   an 8-bit DNN given the same treatment.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import MLPClassifier, QuantizedDeployment
+from repro.core import Encoder, HDCClassifier
+from repro.datasets import load
+from repro.faults import attack_hdc_model
+
+ERROR_RATE = 0.10
+
+
+def main() -> None:
+    data = load("ucihar", max_train=1000, max_test=500)
+    print(f"dataset: {data.name}  n={data.num_features}  k={data.num_classes}")
+
+    # --- HDC: encode into 10k-dimensional binary hypervectors, bundle ----
+    encoder = Encoder(num_features=data.num_features, dim=10_000, seed=7)
+    hdc = HDCClassifier(encoder, num_classes=data.num_classes, epochs=0)
+    hdc.fit(data.train_x, data.train_y)
+    encoded_test = encoder.encode_batch(data.test_x)
+    hdc_clean = hdc.score_encoded(encoded_test, data.test_y)
+    print(f"HDC clean accuracy:      {hdc_clean:.3f}")
+
+    # --- DNN baseline, deployed as 8-bit fixed point ----------------------
+    mlp = MLPClassifier(
+        data.num_features, data.num_classes, hidden=(128,), epochs=20, seed=7
+    ).fit(data.train_x, data.train_y)
+    deployment = QuantizedDeployment(mlp, width=8)
+    dnn_clean = deployment.score(data.test_x, data.test_y)
+    print(f"DNN clean accuracy:      {dnn_clean:.3f}")
+
+    # --- flip 10% of each stored model's bits -----------------------------
+    rng = np.random.default_rng(0)
+    attacked_hdc = attack_hdc_model(hdc.model, ERROR_RATE, "random", rng)
+    hdc_attacked = float(
+        np.mean(attacked_hdc.predict(encoded_test) == data.test_y)
+    )
+    dnn_attacked = deployment.attacked(ERROR_RATE, "random", rng).score(
+        data.test_x, data.test_y
+    )
+    print(f"\nafter a {ERROR_RATE:.0%} random bit-flip attack on the model memory:")
+    print(f"HDC accuracy:  {hdc_attacked:.3f}  (loss {hdc_clean - hdc_attacked:+.3f})")
+    print(f"DNN accuracy:  {dnn_attacked:.3f}  (loss {dnn_clean - dnn_attacked:+.3f})")
+    print(
+        "\nThe hypervector model spreads every fact over 10,000 dimensions, "
+        "so no single bit matters;\nthe fixed-point DNN concentrates value "
+        "in MSBs, so random flips explode weights."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Temporal encoding demo: order-sensitive HDC on sequence data.
+
+The paper's activity-recognition datasets (UCI HAR, PAMAP) are windows
+of time series.  This example shows the HDC machinery handling the
+*temporal* structure directly: permutation n-grams make the encoding
+order-sensitive, so two activities composed of the same motions in a
+different order become separable — and the resulting classifier keeps
+the usual hypervector robustness to bit flips.
+
+Also demonstrates the associative item memory: noisy motif encodings
+snap back to their stored prototypes (cleanup), the read-side primitive
+of HDC data structures.
+
+Run:  python examples/temporal_sequences.py
+"""
+
+import numpy as np
+
+from repro.core import HDCClassifier, ItemMemory, SequenceEncoder
+from repro.core.hypervector import flip_bits
+from repro.faults import attack_hdc_model
+
+NUM_CLASSES, FEATURES, MOTIFS = 4, 8, 6
+
+
+def make_activity_task(per_class=40, cycles=3, noise=0.02, seed=0):
+    """Each 'activity' is the same six motion motifs in a class-specific
+    order — only the ordering distinguishes the classes."""
+    rng = np.random.default_rng(seed)
+    motifs = rng.random((MOTIFS, FEATURES))
+    orders = [rng.permutation(MOTIFS) for _ in range(NUM_CLASSES)]
+    sequences, labels = [], []
+    for c in range(NUM_CLASSES):
+        for _ in range(per_class):
+            picks = np.tile(orders[c], cycles)
+            seq = motifs[picks] + rng.normal(0, noise, (len(picks), FEATURES))
+            sequences.append(np.clip(seq, 0, 1))
+            labels.append(c)
+    return motifs, sequences, np.array(labels)
+
+
+def main() -> None:
+    motifs, sequences, labels = make_activity_task()
+    split = len(sequences) * 3 // 4
+    order = np.random.default_rng(1).permutation(len(sequences))
+    train_idx, test_idx = order[:split], order[split:]
+
+    for n, story in ((1, "order-blind (bag of motifs)"), (3, "3-gram (order-aware)")):
+        encoder = SequenceEncoder(num_features=FEATURES, dim=8_192, n=n, seed=2)
+        encoded = encoder.encode_batch(sequences)
+        clf = HDCClassifier(
+            encoder.step_encoder, num_classes=NUM_CLASSES, epochs=0
+        ).fit_encoded(encoded[train_idx], labels[train_idx])
+        acc = clf.score_encoded(encoded[test_idx], labels[test_idx])
+        print(f"n={n} {story:32s} accuracy: {acc:.3f}")
+        if n == 3:
+            attacked = attack_hdc_model(
+                clf.model, 0.10, "random", np.random.default_rng(3)
+            )
+            attacked_acc = float(np.mean(
+                attacked.predict(encoded[test_idx]) == labels[test_idx]
+            ))
+            print(f"     ... after 10% bit flips on the model: {attacked_acc:.3f}")
+
+    # Associative cleanup: noisy motif encodings resolve to their items.
+    print("\nitem-memory cleanup of noisy motif encodings:")
+    encoder = SequenceEncoder(num_features=FEATURES, dim=8_192, n=3, seed=2)
+    memory = ItemMemory(dim=8_192)
+    clean_codes = encoder.step_encoder.encode_batch(motifs)
+    for i, code in enumerate(clean_codes):
+        memory.add(f"motif{i}", code)
+    rng = np.random.default_rng(4)
+    hits = 0
+    for i, code in enumerate(clean_codes):
+        noisy = flip_bits(code, rng.choice(8_192, size=8_192 // 4,
+                                           replace=False))
+        name, _, dist = memory.cleanup(noisy)
+        hits += name == f"motif{i}"
+    print(f"  25% of bits flipped, {hits}/{MOTIFS} motifs still resolve")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of RobustHD (Poduval et al., DAC 2022).
+
+RobustHD is a hyperdimensional-computing learning system that is robust
+to memory bit-flip attacks and technology noise, and that adaptively
+*self-recovers* corrupted model dimensions at runtime using only
+unlabeled inference data.
+
+Quick tour
+----------
+>>> from repro import datasets
+>>> from repro.core import Encoder, HDCClassifier, RobustHDRecovery
+>>> data = datasets.load("ucihar", max_train=500, max_test=200)
+>>> enc = Encoder(num_features=data.num_features, dim=2000, seed=7)
+>>> clf = HDCClassifier(enc, num_classes=data.num_classes).fit(
+...     data.train_x, data.train_y)
+>>> round(clf.score(data.test_x, data.test_y), 2) > 0.5
+True
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: binary hypervector algebra, ID-level
+    encoding, HDC classification, and the adaptive recovery framework
+    (confidence gating, noisy-chunk detection, probabilistic
+    substitution).
+``repro.baselines``
+    From-scratch DNN (MLP), linear SVM and AdaBoost comparators, plus the
+    fixed-point / float32 deployment representations the attacks target.
+``repro.faults``
+    Random and targeted bit-flip attacks, fault-injection campaigns, and
+    stochastic memory error processes (DRAM retention, NVM wear-out).
+``repro.pim``
+    Digital processing-in-memory substrate: memristor cell model,
+    NOR-based crossbar, cycle/energy accounting, endurance/lifetime,
+    ECC and DRAM refresh models.
+``repro.datasets``
+    Seeded synthetic stand-ins for the six Table 2 datasets.
+``repro.experiments``
+    One module per paper table/figure, regenerating its rows/series.
+``repro.analysis``
+    Quality-loss metrics, sweeps and plain-text report rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

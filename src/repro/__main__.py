@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro                      # everything at default scale
+    python -m repro --scale smoke        # fast sanity run
+    python -m repro table4 figure2       # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    continuous,
+    ecc_comparison,
+    informed,
+    rowhammer,
+    figure2,
+    figure3,
+    figure4a,
+    figure4b,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.config import SCALES
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table3": table3,
+    "table4": table4,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4a": figure4a,
+    "figure4b": figure4b,
+    "continuous": continuous,
+    "ecc_comparison": ecc_comparison,
+    "rowhammer": rowhammer,
+    "informed": informed,
+}
+# figure2 is a pure cost model and takes no scale argument.
+_SCALELESS = {"figure2"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the RobustHD paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help=f"subset to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--scale", default="default", choices=sorted(SCALES),
+        help="experiment scale preset (default: default)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)}"
+        )
+
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        if name in _SCALELESS:
+            result = module.run()
+        else:
+            result = module.run(scale=args.scale)
+        print(module.render(result))
+        print(f"[{name} finished in {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Metrics, sweeps and plain-text report rendering."""
+
+from repro.analysis.quality import accuracy, percent, quality_loss
+from repro.analysis.stats import (
+    accuracy_ci,
+    bootstrap_ci,
+    loss_difference_significant,
+)
+from repro.analysis.sweep import SweepPoint, grid_sweep
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.theory import (
+    flip_probability,
+    margin_distribution,
+    predicted_quality_loss,
+)
+
+__all__ = [
+    "SweepPoint",
+    "accuracy",
+    "accuracy_ci",
+    "bootstrap_ci",
+    "flip_probability",
+    "grid_sweep",
+    "loss_difference_significant",
+    "margin_distribution",
+    "percent",
+    "predicted_quality_loss",
+    "quality_loss",
+    "render_series",
+    "render_table",
+]

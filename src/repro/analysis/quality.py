@@ -1,0 +1,39 @@
+"""Quality metrics shared by every experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "quality_loss", "percent"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels "
+            f"{labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot score zero predictions")
+    return float(np.mean(predictions == labels))
+
+
+def quality_loss(clean_accuracy: float, degraded_accuracy: float) -> float:
+    """Quality loss as the paper reports it: clean minus degraded accuracy.
+
+    Negative values (degraded run scoring above clean, possible at low
+    error rates through sampling noise) are preserved, not clamped — the
+    tables should show the measurement, not a prettified version.
+    """
+    for name, value in (("clean", clean_accuracy), ("degraded", degraded_accuracy)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} accuracy must be in [0, 1], got {value}")
+    return clean_accuracy - degraded_accuracy
+
+
+def percent(fraction: float, digits: int = 2) -> str:
+    """Format a fraction as a percent string, e.g. 0.0153 -> '1.53%'."""
+    return f"{fraction * 100:.{digits}f}%"

@@ -1,0 +1,40 @@
+"""Parameter-sweep helper for experiments and ablations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["SweepPoint", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point: the parameters and the measurement."""
+
+    params: dict[str, Any]
+    value: Any
+
+
+def grid_sweep(
+    grid: Mapping[str, Iterable[Any]],
+    evaluate: Callable[..., Any],
+) -> list[SweepPoint]:
+    """Evaluate ``evaluate(**params)`` over the Cartesian product of ``grid``.
+
+    Keys become keyword arguments.  Points are evaluated in deterministic
+    (sorted-key, given-value-order) order so seeded experiments are
+    reproducible.
+    """
+    if not grid:
+        raise ValueError("grid must have at least one parameter")
+    keys = sorted(grid)
+    values = [list(grid[k]) for k in keys]
+    if any(len(v) == 0 for v in values):
+        raise ValueError("every grid parameter needs at least one value")
+    points = []
+    for combo in product(*values):
+        params = dict(zip(keys, combo))
+        points.append(SweepPoint(params=params, value=evaluate(**params)))
+    return points

@@ -1,0 +1,59 @@
+"""Plain-text rendering of result tables and series.
+
+Every experiment module returns structured results *and* can print them
+in the row/column layout of the corresponding paper table or figure, so
+a benchmark run reads side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule.
+
+    Cells are stringified; column widths fit the widest cell.  Numeric
+    formatting is the caller's job (usually via
+    :func:`repro.analysis.quality.percent`).
+    """
+    if not headers:
+        raise ValueError("need at least one header")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in str_rows))
+        if str_rows
+        else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt([str(h) for h in headers]))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    title: str | None = None,
+) -> str:
+    """A two-column series (a 'figure' in text form)."""
+    return render_table([x_label, y_label], [list(p) for p in points], title)

@@ -1,0 +1,117 @@
+"""Closed-form robustness theory for binary HDC under bit flips.
+
+The empirical tables (1, 3, 4) measure quality loss; this module
+*predicts* it from first principles, so the simulator can be checked
+against theory and the experiments' shapes explained rather than just
+observed.
+
+Model.  A query ``Q`` scores every class by Hamming similarity.  Let the
+query's *normalised margin* over the runner-up be
+``m = (sim_win - sim_2nd) / D``.  Flipping each stored bit independently
+with probability ``p`` perturbs each class's similarity; the *difference*
+of two class scores changes by a sum of ``2 D`` independent ``±1/D``
+contributions each active with probability ``p``, giving the margin a
+Gaussian perturbation with
+
+* mean shift: ``-2 p m`` (damage pulls every score toward D/2, shrinking
+  the margin proportionally), and
+* std: ``2 sqrt(p (1 - p) / (2 D))`` (independent flips in the winner's
+  and runner-up's hypervectors).
+
+A prediction flips when the perturbed margin goes negative, so
+
+``P(flip | m) = Phi( -(m (1 - 2p)) / (2 sqrt(p (1 - p) / (2 D))) )``
+
+and the expected quality loss is that probability integrated over the
+(correctly classified) queries' margin distribution, minus the
+symmetric gain from incorrect queries flipping back.  The functions
+below expose the per-query flip probability and the dataset-level
+expectation; ``tests/analysis/test_theory.py`` checks the prediction
+against measured campaigns, and the theory explains two shapes at once:
+loss grows with ``p`` roughly like the margin-CDF near zero, and grows
+as ``1 / sqrt(D)`` shrinks — the Table 1 dimensionality trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import HDCModel
+from repro.pim.nvm import _norm_cdf
+
+__all__ = [
+    "margin_distribution",
+    "flip_probability",
+    "predicted_quality_loss",
+]
+
+
+def margin_distribution(
+    model: HDCModel, queries: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised winner-vs-runner-up margins of a query set.
+
+    Returns ``(margins, correct)``: the signed margin of the *true*
+    class over the best rival, as a fraction of ``D`` (positive =
+    correctly classified), and the correctness mask.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    sims = model.similarities(queries)  # (B, k), centred dot products
+    idx = np.arange(sims.shape[0])
+    own = sims[idx, labels]
+    rival = sims.copy()
+    rival[idx, labels] = -np.inf
+    best_rival = rival.max(axis=1)
+    # Centred 1-bit weights are +-1/2, so a similarity difference of s
+    # units means s extra matching dimensions; normalise by D.
+    margins = (own - best_rival) / model.dim
+    return margins, margins > 0
+
+
+def flip_probability(
+    margins: np.ndarray, flip_rate: float, dim: int
+) -> np.ndarray:
+    """Probability each query's *decision changes* under rate-``p`` flips.
+
+    For a correctly classified query (positive margin) this is the
+    probability of losing it; for a misclassified one (negative margin),
+    the probability noise pushes it back over the boundary.  Valid for
+    binary models under uniform independent flips; margins are
+    normalised (fractions of ``D``).
+    """
+    if not 0.0 <= flip_rate <= 1.0:
+        raise ValueError(f"flip_rate must be in [0, 1], got {flip_rate}")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    margins = np.asarray(margins, dtype=np.float64)
+    if flip_rate == 0.0:
+        return np.zeros_like(margins)
+    std = 2.0 * np.sqrt(flip_rate * (1.0 - flip_rate) / (2.0 * dim))
+    shifted = np.abs(margins) * (1.0 - 2.0 * flip_rate)
+    return np.asarray(_norm_cdf(-shifted / std), dtype=np.float64)
+
+
+def predicted_quality_loss(
+    model: HDCModel,
+    queries: np.ndarray,
+    labels: np.ndarray,
+    flip_rate: float,
+) -> float:
+    """Expected quality loss of a rate-``p`` uniform attack, from theory.
+
+    Integrates the per-query flip probability over the measured margin
+    distribution: correctly classified queries contribute expected
+    losses, incorrectly classified ones expected *gains* (noise can push
+    them back over the boundary), matching how the empirical campaigns
+    score accuracy.
+
+    Only exact for 1-bit models (the perturbation algebra assumes
+    binary elements).
+    """
+    if model.bits != 1:
+        raise ValueError("theory applies to 1-bit models")
+    margins, correct = margin_distribution(model, queries, labels)
+    p_flip = flip_probability(margins, flip_rate, model.dim)
+    expected_losses = p_flip[correct].sum()
+    expected_gains = p_flip[~correct].sum()
+    return float((expected_losses - expected_gains) / margins.shape[0])

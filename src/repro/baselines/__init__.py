@@ -1,0 +1,18 @@
+"""Baseline learners (DNN / SVM / AdaBoost) and attackable deployments."""
+
+from repro.baselines.adaboost import AdaBoostClassifier, DecisionStump
+from repro.baselines.deploy import QuantizedDeployment, WeightedModel
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.quantization import FixedPointTensor, FloatTensor
+from repro.baselines.svm import LinearSVM
+
+__all__ = [
+    "AdaBoostClassifier",
+    "DecisionStump",
+    "FixedPointTensor",
+    "FloatTensor",
+    "LinearSVM",
+    "MLPClassifier",
+    "QuantizedDeployment",
+    "WeightedModel",
+]

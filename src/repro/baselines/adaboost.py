@@ -1,0 +1,216 @@
+"""AdaBoost baseline: SAMME multi-class boosting over decision stumps.
+
+Table 3 includes an AdaBoost row — notably more robust than DNN/SVM
+because each weak learner only consumes one threshold, so a flipped bit
+damages one vote instead of a shared representation; still far behind
+HDC.  This module implements the SAMME algorithm (Zhu et al.) from
+scratch with depth-1 decision trees (stumps) as weak learners.
+
+Attack surface: the learned *weights* of the ensemble are the stump
+thresholds and the stump vote weights (alphas); both are deployed as
+fixed-point tensors via :class:`repro.baselines.deploy.QuantizedDeployment`.
+The integer structure (which feature each stump splits on, which class
+each side votes for) is program text, not model weight, so it is not part
+of the attacked memory region — consistent with the paper attacking
+"model weights".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DecisionStump", "AdaBoostClassifier"]
+
+
+@dataclass
+class DecisionStump:
+    """A depth-1 tree: ``class_left`` if ``x[feature] <= threshold`` else
+    ``class_right``."""
+
+    feature: int
+    threshold: float
+    class_left: int
+    class_right: int
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        col = features[:, self.feature]
+        return np.where(col <= self.threshold, self.class_left, self.class_right)
+
+
+def _fit_stump(
+    features: np.ndarray,
+    labels: np.ndarray,
+    sample_weights: np.ndarray,
+    num_classes: int,
+    num_thresholds: int,
+    rng: np.random.Generator,
+    max_features: int | None = None,
+) -> tuple[DecisionStump, float]:
+    """Weighted-error-minimising stump over quantile candidate thresholds.
+
+    Returns the stump and its weighted error.  ``max_features`` randomly
+    subsamples the candidate split features (speeds up wide datasets
+    without changing the algorithm).
+    """
+    n_feat = features.shape[1]
+    feat_candidates = np.arange(n_feat)
+    if max_features is not None and max_features < n_feat:
+        feat_candidates = rng.choice(n_feat, size=max_features, replace=False)
+    qs = np.linspace(0.05, 0.95, num_thresholds)
+    best: tuple[float, DecisionStump] | None = None
+    onehot_w = np.zeros((labels.shape[0], num_classes))
+    onehot_w[np.arange(labels.shape[0]), labels] = sample_weights
+    total_per_class = onehot_w.sum(axis=0)  # (k,)
+    for f in feat_candidates:
+        col = features[:, f]
+        thresholds = np.unique(np.quantile(col, qs))
+        for t in thresholds:
+            left = col <= t
+            left_per_class = onehot_w[left].sum(axis=0)  # (k,)
+            right_per_class = total_per_class - left_per_class
+            cl = int(np.argmax(left_per_class))
+            cr = int(np.argmax(right_per_class))
+            correct = left_per_class[cl] + right_per_class[cr]
+            err = 1.0 - correct  # sample_weights sum to 1
+            if best is None or err < best[0]:
+                best = (err, DecisionStump(int(f), float(t), cl, cr))
+    assert best is not None  # feat_candidates is never empty
+    return best[1], best[0]
+
+
+class AdaBoostClassifier:
+    """SAMME boosting over decision stumps.
+
+    Parameters
+    ----------
+    num_features, num_classes:
+        Input width and number of labels.
+    num_stumps:
+        Ensemble size (rounds of boosting).
+    num_thresholds:
+        Candidate quantile thresholds evaluated per feature per round.
+    max_features:
+        Random feature subsample per round (None = all features).
+    seed:
+        RNG seed for the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        num_stumps: int = 50,
+        num_thresholds: int = 10,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if num_features < 1 or num_classes < 2:
+            raise ValueError(
+                f"need num_features >= 1 and num_classes >= 2, got "
+                f"{num_features}, {num_classes}"
+            )
+        if num_stumps < 1:
+            raise ValueError(f"num_stumps must be >= 1, got {num_stumps}")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.num_stumps = num_stumps
+        self.num_thresholds = num_thresholds
+        self.max_features = max_features
+        self.seed = seed
+        self.stumps: list[DecisionStump] = []
+        self.alphas = np.zeros(0)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "AdaBoostClassifier":
+        """Run SAMME for ``num_stumps`` rounds."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        n = features.shape[0]
+        k = self.num_classes
+        rng = np.random.default_rng(self.seed)
+        w = np.full(n, 1.0 / n)
+        self.stumps = []
+        alphas: list[float] = []
+        for _ in range(self.num_stumps):
+            stump, err = _fit_stump(
+                features, labels, w, k, self.num_thresholds, rng,
+                self.max_features,
+            )
+            err = float(np.clip(err, 1e-10, 1.0 - 1e-10))
+            if err >= 1.0 - 1.0 / k:
+                # Weak learner no better than chance; SAMME stops here.
+                break
+            alpha = np.log((1.0 - err) / err) + np.log(k - 1.0)
+            preds = stump.predict(features)
+            w = w * np.exp(alpha * (preds != labels))
+            w /= w.sum()
+            self.stumps.append(stump)
+            alphas.append(alpha)
+            if err <= 1e-9:
+                break
+        self.alphas = np.asarray(alphas)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Weighted vote totals ``(batch, k)``."""
+        if not self.stumps:
+            raise RuntimeError("AdaBoost is not fitted; call fit() first")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        votes = np.zeros((features.shape[0], self.num_classes))
+        alphas = np.nan_to_num(self.alphas, nan=0.0, posinf=1e30, neginf=-1e30)
+        for stump, alpha in zip(self.stumps, alphas):
+            preds = stump.predict(features)
+            votes[np.arange(features.shape[0]), preds] += alpha
+        return votes
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.decision_function(features), axis=1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        preds = self.predict(features)
+        return float(np.mean(preds == np.asarray(labels)))
+
+    # --- WeightedModel interface (see repro.baselines.deploy) ---
+
+    def get_weights(self) -> list[np.ndarray]:
+        """The attackable float parameters: stump thresholds and alphas."""
+        thresholds = np.array([s.threshold for s in self.stumps])
+        return [thresholds, self.alphas.copy()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        if len(weights) != 2:
+            raise ValueError(f"expected 2 arrays, got {len(weights)}")
+        thresholds, alphas = weights
+        if thresholds.shape[0] != len(self.stumps):
+            raise ValueError("threshold count does not match stump count")
+        if alphas.shape[0] != len(self.stumps):
+            raise ValueError("alpha count does not match stump count")
+        for stump, t in zip(self.stumps, thresholds):
+            stump.threshold = float(t)
+        self.alphas = np.asarray(alphas, dtype=np.float64)
+
+    def clone(self) -> "AdaBoostClassifier":
+        """Copy carrying the fitted *structure* (features, vote classes).
+
+        The deployment wrapper reloads thresholds/alphas through
+        ``set_weights``, so the clone must keep the integer stump
+        structure that is not part of the attacked memory.
+        """
+        fresh = AdaBoostClassifier(
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            num_stumps=self.num_stumps,
+            num_thresholds=self.num_thresholds,
+            max_features=self.max_features,
+            seed=self.seed,
+        )
+        fresh.stumps = [
+            DecisionStump(s.feature, s.threshold, s.class_left, s.class_right)
+            for s in self.stumps
+        ]
+        fresh.alphas = self.alphas.copy()
+        return fresh

@@ -1,0 +1,117 @@
+"""Deployment wrapper: a trained baseline stored as attackable memory.
+
+The paper's threat model attacks the *stored* model, not the training
+process: "we assume the trained model, i.e., model weight, are stored in
+a memory that is possibly vulnerable to attack or error" (Section 6.2).
+``QuantizedDeployment`` captures that boundary for every baseline learner:
+
+* at deployment the float parameters are quantised to ``width``-bit fixed
+  point (8 bits by default, the TPU-style setting the paper uses) or kept
+  as IEEE float32 (``storage="float32"``, the exploding-exponent case);
+* the resulting bit-addressable tensors are what the attacker flips;
+* inference always reads the parameters back *through* the corrupted
+  representation, so bit damage propagates into predictions exactly as it
+  would on real hardware.
+
+Any learner exposing ``get_weights() / set_weights() / clone()`` can be
+deployed this way (MLP, SVM, AdaBoost all do).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.baselines.quantization import FixedPointTensor, FloatTensor
+
+__all__ = ["WeightedModel", "QuantizedDeployment"]
+
+
+class WeightedModel(Protocol):
+    """Structural interface every attackable baseline implements."""
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Return the learned parameters as a list of float arrays."""
+        ...
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameters (same shapes as ``get_weights`` returned)."""
+        ...
+
+    def clone(self) -> "WeightedModel":
+        """Structural copy (hyper-parameters, not necessarily weights)."""
+        ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict integer labels for a feature matrix."""
+        ...
+
+
+class QuantizedDeployment:
+    """A baseline model frozen into attackable memory.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`WeightedModel`.
+    width:
+        Fixed-point bits per weight (ignored for float32 storage).
+    storage:
+        ``"fixed"`` for ``width``-bit fixed point, ``"float32"`` for
+        IEEE-754 storage.
+    """
+
+    def __init__(
+        self,
+        model: WeightedModel,
+        width: int = 8,
+        storage: str = "fixed",
+    ) -> None:
+        if storage not in ("fixed", "float32"):
+            raise ValueError(
+                f"storage must be 'fixed' or 'float32', got {storage!r}"
+            )
+        self._model = model
+        self.storage = storage
+        self.width = width if storage == "fixed" else 32
+        weights = model.get_weights()
+        if storage == "fixed":
+            self.tensors: list[FixedPointTensor | FloatTensor] = [
+                FixedPointTensor.from_float(w, width) for w in weights
+            ]
+        else:
+            self.tensors = [FloatTensor.from_float(w) for w in weights]
+
+    @property
+    def total_bits(self) -> int:
+        """Memory footprint of the stored parameters, in bits."""
+        return sum(t.total_bits for t in self.tensors)
+
+    def materialize(self) -> WeightedModel:
+        """Instantiate a model computing with the (possibly damaged) bits."""
+        fresh = self._model.clone()
+        fresh.set_weights([t.to_float() for t in self.tensors])
+        return fresh
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict through the stored representation."""
+        return self.materialize().predict(features)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy computed through the stored representation."""
+        preds = self.predict(features)
+        return float(np.mean(preds == np.asarray(labels)))
+
+    def attacked(
+        self, rate: float, mode: str, rng: np.random.Generator
+    ) -> "QuantizedDeployment":
+        """Return a new deployment with ``rate`` of its bits flipped."""
+        from repro.faults.bitflip import attack_tensors
+
+        out = QuantizedDeployment.__new__(QuantizedDeployment)
+        out._model = self._model
+        out.storage = self.storage
+        out.width = self.width
+        out.tensors = attack_tensors(self.tensors, rate, mode, rng)
+        return out

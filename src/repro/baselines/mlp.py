@@ -1,0 +1,190 @@
+"""Deep-neural-network baseline: a numpy multi-layer perceptron.
+
+The paper compares RobustHD against "state-of-the-art deep neural network
+solutions" with configurations from LookNN (Razlighi et al., DATE'17) —
+small fully-connected networks per dataset.  This module implements that
+baseline from scratch: mini-batch SGD with momentum, ReLU hidden layers, a
+softmax cross-entropy head, He initialisation and optional L2 decay.
+
+The trained float model is deployed through
+:class:`repro.baselines.deploy.QuantizedDeployment`, which is where the
+bit-flip attacks land.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.confidence import softmax
+
+__all__ = ["MLPClassifier"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLPClassifier:
+    """Fully-connected ReLU network trained with mini-batch SGD.
+
+    Parameters
+    ----------
+    num_features, num_classes:
+        Input width and number of labels.
+    hidden:
+        Hidden layer widths, e.g. ``(128,)`` or ``(256, 128)``.
+    epochs, batch_size, learning_rate, momentum, l2:
+        Standard SGD hyper-parameters.
+    seed:
+        Seed for initialisation and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (128,),
+        epochs: int = 30,
+        batch_size: int = 64,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if num_features < 1 or num_classes < 2:
+            raise ValueError(
+                f"need num_features >= 1 and num_classes >= 2, got "
+                f"{num_features}, {num_classes}"
+            )
+        if any(h < 1 for h in hidden):
+            raise ValueError(f"hidden widths must be >= 1, got {tuple(hidden)}")
+        if epochs < 0 or batch_size < 1:
+            raise ValueError("epochs must be >= 0 and batch_size >= 1")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.l2 = l2
+        self.seed = seed
+        self._init_params(np.random.default_rng(seed))
+
+    def _layer_dims(self) -> list[tuple[int, int]]:
+        widths = [self.num_features, *self.hidden, self.num_classes]
+        return list(zip(widths[:-1], widths[1:]))
+
+    def _init_params(self, rng: np.random.Generator) -> None:
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in self._layer_dims():
+            std = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, std, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    def _forward(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return (logits, per-layer activations including the input)."""
+        activations = [features]
+        x = features
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            x = x @ w + b
+            if i != last:
+                x = _relu(x)
+            activations.append(x)
+        return x, activations
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        """Train with mini-batch SGD + momentum on cross-entropy loss."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        rng = np.random.default_rng(self.seed + 1)
+        vel_w = [np.zeros_like(w) for w in self.weights]
+        vel_b = [np.zeros_like(b) for b in self.biases]
+        n = features.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                x, y = features[idx], labels[idx]
+                logits, acts = self._forward(x)
+                probs = softmax(logits, axis=1)
+                grad = probs
+                grad[np.arange(y.shape[0]), y] -= 1.0
+                grad /= y.shape[0]
+                # Backprop through the dense stack.
+                for layer in range(len(self.weights) - 1, -1, -1):
+                    a_in = acts[layer]
+                    gw = a_in.T @ grad + self.l2 * self.weights[layer]
+                    gb = grad.sum(axis=0)
+                    if layer > 0:
+                        grad = grad @ self.weights[layer].T
+                        grad[acts[layer] <= 0] = 0.0
+                    vel_w[layer] = (
+                        self.momentum * vel_w[layer] - self.learning_rate * gw
+                    )
+                    vel_b[layer] = (
+                        self.momentum * vel_b[layer] - self.learning_rate * gb
+                    )
+                    self.weights[layer] += vel_w[layer]
+                    self.biases[layer] += vel_b[layer]
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities ``(batch, k)``."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        logits, _ = self._forward(features)
+        # Corrupted weights can drive logits to inf/nan; map non-finite
+        # logits to a value-safe floor so argmax stays defined (a real
+        # accelerator would emit saturated garbage rather than crash).
+        logits = np.nan_to_num(logits, nan=0.0, posinf=1e30, neginf=-1e30)
+        return softmax(logits, axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        preds = self.predict(features)
+        return float(np.mean(preds == np.asarray(labels)))
+
+    # --- WeightedModel interface (see repro.baselines.deploy) ---
+
+    def get_weights(self) -> list[np.ndarray]:
+        """All parameters, weights interleaved with biases, layer order."""
+        out: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            out.append(w.copy())
+            out.append(b.copy())
+        return out
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        expected = 2 * len(self.weights)
+        if len(weights) != expected:
+            raise ValueError(f"expected {expected} arrays, got {len(weights)}")
+        for i in range(len(self.weights)):
+            w, b = weights[2 * i], weights[2 * i + 1]
+            if w.shape != self.weights[i].shape or b.shape != self.biases[i].shape:
+                raise ValueError(f"shape mismatch at layer {i}")
+            self.weights[i] = np.asarray(w, dtype=np.float64)
+            self.biases[i] = np.asarray(b, dtype=np.float64)
+
+    def clone(self) -> "MLPClassifier":
+        """Same architecture and hyper-parameters, freshly initialised."""
+        return MLPClassifier(
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            hidden=self.hidden,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            l2=self.l2,
+            seed=self.seed,
+        )

@@ -1,0 +1,194 @@
+"""Bit-addressable weight tensors: fixed-point and float32.
+
+The paper's attack model flips *bits of the stored learning model*.  For
+the DNN/SVM/AdaBoost baselines those weights live in memory either as
+8-bit fixed-point values (the TPU-style deployment the paper evaluates,
+Section 2) or as IEEE-754 floats (the "flipping the exponent explodes the
+value" motivation).  This module gives both representations an explicit
+bit view so the fault injector can flip real memory bits and the model
+then computes with the corrupted values — exactly the paper's threat
+model, with no shortcut noise injection.
+
+Bit index convention: bits are numbered per element from 0 = LSB to
+``width - 1`` = MSB, and the flat bit address of element ``e``'s bit ``p``
+is ``e * width + p``.  The *targeted* attack in :mod:`repro.faults.bitflip`
+exploits this layout to hit MSBs/exponents first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointTensor", "FloatTensor"]
+
+
+@dataclass
+class FixedPointTensor:
+    """A tensor quantised to ``width``-bit two's-complement fixed point.
+
+    Attributes
+    ----------
+    raw:
+        Unsigned integer array (dtype ``uint32``) holding the two's
+        complement bit pattern of each element in its low ``width`` bits.
+    scale:
+        Dequantisation scale: ``value = signed(raw) * scale``.
+    width:
+        Bits per element (the paper's deployment uses 8).
+    shape:
+        Logical tensor shape (``raw`` is stored flat).
+    """
+
+    raw: np.ndarray
+    scale: float
+    width: int
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.width <= 32:
+            raise ValueError(f"width must be in [2, 32], got {self.width}")
+        if self.raw.dtype != np.uint32 or self.raw.ndim != 1:
+            raise ValueError("raw must be a flat uint32 array")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0, got {self.scale}")
+        if int(np.prod(self.shape)) != self.raw.size:
+            raise ValueError(
+                f"shape {self.shape} does not match {self.raw.size} elements"
+            )
+
+    @classmethod
+    def from_float(
+        cls, values: np.ndarray, width: int = 8, scale: float | None = None
+    ) -> "FixedPointTensor":
+        """Quantise a float tensor symmetrically to ``width`` bits.
+
+        With ``scale=None`` the scale is chosen so the largest magnitude
+        maps to the largest representable integer, the standard symmetric
+        per-tensor quantisation.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        qmax = (1 << (width - 1)) - 1
+        if scale is None:
+            peak = float(np.abs(values).max()) if values.size else 0.0
+            scale = peak / qmax if peak > 0 else 1.0
+        q = np.clip(np.round(values / scale), -qmax - 1, qmax).astype(np.int64)
+        mask = (1 << width) - 1
+        raw = (q & mask).astype(np.uint32)
+        return cls(raw=raw.reshape(-1), scale=scale, width=width,
+                   shape=tuple(values.shape))
+
+    def to_float(self) -> np.ndarray:
+        """Dequantise back to a float64 tensor of the original shape."""
+        signbit = 1 << (self.width - 1)
+        mask = (1 << self.width) - 1
+        vals = (self.raw & mask).astype(np.int64)
+        vals = np.where(vals & signbit, vals - (1 << self.width), vals)
+        return (vals * self.scale).reshape(self.shape)
+
+    @property
+    def total_bits(self) -> int:
+        return self.raw.size * self.width
+
+    def copy(self) -> "FixedPointTensor":
+        return FixedPointTensor(
+            raw=self.raw.copy(), scale=self.scale, width=self.width,
+            shape=self.shape,
+        )
+
+    def flip_bits(self, bit_indices: np.ndarray) -> None:
+        """Flip the given flat bit addresses in place."""
+        idx = np.asarray(bit_indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.total_bits:
+            raise IndexError(
+                f"bit index out of range [0, {self.total_bits})"
+            )
+        elements = idx // self.width
+        positions = idx % self.width
+        # Flips may collide on an element; apply with xor reduction so two
+        # flips of the same bit cancel, matching real memory behaviour.
+        np.bitwise_xor.at(self.raw, elements, (1 << positions).astype(np.uint32))
+
+    def msb_first_bit_order(self) -> np.ndarray:
+        """Flat bit addresses sorted most-significant-plane first.
+
+        Used by the targeted attack: all sign bits come before all
+        next-highest bits, and so on down to the LSB plane.
+        """
+        planes = np.arange(self.width - 1, -1, -1, dtype=np.int64)
+        elements = np.arange(self.raw.size, dtype=np.int64)
+        return (elements[None, :] * self.width + planes[:, None]).reshape(-1)
+
+
+@dataclass
+class FloatTensor:
+    """An IEEE-754 float32 tensor with a bit view.
+
+    Exposes the same flip interface as :class:`FixedPointTensor` so the
+    fault injector is representation-agnostic.  Bit 31 is the sign, bits
+    30-23 the exponent, bits 22-0 the mantissa; the targeted order hits
+    the exponent MSBs first — the paper's "flipping the exponent bit can
+    increase the weight value to extremely large" scenario.
+    """
+
+    raw: np.ndarray
+    shape: tuple[int, ...]
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.raw.dtype != np.uint32 or self.raw.ndim != 1:
+            raise ValueError("raw must be a flat uint32 array")
+        if self.width != 32:
+            raise ValueError("FloatTensor only supports float32 (width=32)")
+        if int(np.prod(self.shape)) != self.raw.size:
+            raise ValueError(
+                f"shape {self.shape} does not match {self.raw.size} elements"
+            )
+
+    @classmethod
+    def from_float(cls, values: np.ndarray) -> "FloatTensor":
+        values = np.asarray(values, dtype=np.float32)
+        return cls(raw=values.reshape(-1).view(np.uint32).copy(),
+                   shape=tuple(values.shape))
+
+    def to_float(self) -> np.ndarray:
+        # A flipped exponent can produce inf/nan; the downstream model
+        # still has to compute, so pass the damage through unfiltered.
+        with np.errstate(invalid="ignore"):
+            floats = self.raw.view(np.float32).astype(np.float64)
+        return floats.reshape(self.shape)
+
+    @property
+    def total_bits(self) -> int:
+        return self.raw.size * self.width
+
+    def copy(self) -> "FloatTensor":
+        return FloatTensor(raw=self.raw.copy(), shape=self.shape)
+
+    def flip_bits(self, bit_indices: np.ndarray) -> None:
+        """Flip the given flat bit addresses in place."""
+        idx = np.asarray(bit_indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.total_bits:
+            raise IndexError(f"bit index out of range [0, {self.total_bits})")
+        elements = idx // self.width
+        positions = idx % self.width
+        np.bitwise_xor.at(self.raw, elements, (1 << positions).astype(np.uint32))
+
+    def msb_first_bit_order(self) -> np.ndarray:
+        """Flat bit addresses, exponent-then-sign planes first.
+
+        Exponent bits (30..23) dominate the value, so the worst-case
+        attack exhausts them before touching sign (31) and mantissa.
+        """
+        planes = np.concatenate([
+            np.arange(30, 22, -1),  # exponent, MSB first
+            np.array([31]),         # sign
+            np.arange(22, -1, -1),  # mantissa
+        ]).astype(np.int64)
+        elements = np.arange(self.raw.size, dtype=np.int64)
+        return (elements[None, :] * self.width + planes[:, None]).reshape(-1)

@@ -1,0 +1,119 @@
+"""Linear SVM baseline trained with hinge-loss SGD (one-vs-rest).
+
+Table 3 of the paper reports SVM quality loss under random/targeted
+bit-flip attacks.  This is a from-scratch linear SVM: one binary
+max-margin separator per class trained by stochastic sub-gradient descent
+on the regularised hinge loss (Pegasos-style step-size schedule), with
+prediction by maximum decision value.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with SGD hinge-loss training.
+
+    Parameters
+    ----------
+    num_features, num_classes:
+        Input width and number of labels.
+    epochs:
+        Passes over the training set.
+    reg:
+        L2 regularisation strength (the Pegasos ``lambda``).
+    seed:
+        Shuffle seed.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        epochs: int = 20,
+        reg: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if num_features < 1 or num_classes < 2:
+            raise ValueError(
+                f"need num_features >= 1 and num_classes >= 2, got "
+                f"{num_features}, {num_classes}"
+            )
+        if epochs < 0 or reg <= 0:
+            raise ValueError("epochs must be >= 0 and reg > 0")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.epochs = epochs
+        self.reg = reg
+        self.seed = seed
+        self.weights = np.zeros((num_classes, num_features))
+        self.bias = np.zeros(num_classes)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        """Pegasos-style SGD on the one-vs-rest hinge losses."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        n = features.shape[0]
+        # Bipolar target matrix: +1 for the own class, -1 otherwise.
+        targets = -np.ones((n, self.num_classes))
+        targets[np.arange(n), labels] = 1.0
+        rng = np.random.default_rng(self.seed)
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for i in order:
+                step += 1
+                eta = 1.0 / (self.reg * step)
+                x, t = features[i], targets[i]  # (n_feat,), (k,)
+                margins = t * (self.weights @ x + self.bias)
+                violating = margins < 1.0  # (k,)
+                self.weights *= 1.0 - eta * self.reg
+                if violating.any():
+                    self.weights[violating] += (
+                        eta * t[violating, None] * x[None, :]
+                    )
+                    self.bias[violating] += eta * t[violating]
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Per-class margins ``(batch, k)``."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        scores = features @ self.weights.T + self.bias
+        return np.nan_to_num(scores, nan=0.0, posinf=1e30, neginf=-1e30)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.decision_function(features), axis=1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        preds = self.predict(features)
+        return float(np.mean(preds == np.asarray(labels)))
+
+    # --- WeightedModel interface (see repro.baselines.deploy) ---
+
+    def get_weights(self) -> list[np.ndarray]:
+        return [self.weights.copy(), self.bias.copy()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        if len(weights) != 2:
+            raise ValueError(f"expected 2 arrays, got {len(weights)}")
+        w, b = weights
+        if w.shape != self.weights.shape or b.shape != self.bias.shape:
+            raise ValueError("shape mismatch loading SVM weights")
+        self.weights = np.asarray(w, dtype=np.float64)
+        self.bias = np.asarray(b, dtype=np.float64)
+
+    def clone(self) -> "LinearSVM":
+        return LinearSVM(
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            epochs=self.epochs,
+            reg=self.reg,
+            seed=self.seed,
+        )

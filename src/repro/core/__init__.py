@@ -1,0 +1,59 @@
+"""RobustHD core: hypervector algebra, encoding, learning, recovery."""
+
+from repro.core.confidence import confident_mask, prediction_confidence, softmax
+from repro.core.encoder import Encoder, quantize_features
+from repro.core.io import load_classifier, save_classifier
+from repro.core.itemmemory import ItemMemory
+from repro.core.hypervector import (
+    bind,
+    bundle,
+    hamming_distance,
+    hamming_similarity,
+    level_hypervectors,
+    normalized_hamming_similarity,
+    permute,
+    random_hypervector,
+    random_hypervectors,
+)
+from repro.core.model import HDCClassifier, HDCModel
+from repro.core.packed import PackedHypervectors, pack, unpack
+from repro.core.sequence import SequenceEncoder, ngram_encode
+from repro.core.recovery import (
+    RecoveryConfig,
+    RecoveryStats,
+    RobustHDRecovery,
+    probabilistic_substitution,
+    recover_step,
+)
+
+__all__ = [
+    "Encoder",
+    "ItemMemory",
+    "PackedHypervectors",
+    "SequenceEncoder",
+    "HDCClassifier",
+    "HDCModel",
+    "RecoveryConfig",
+    "RecoveryStats",
+    "RobustHDRecovery",
+    "bind",
+    "bundle",
+    "confident_mask",
+    "hamming_distance",
+    "hamming_similarity",
+    "level_hypervectors",
+    "load_classifier",
+    "ngram_encode",
+    "normalized_hamming_similarity",
+    "pack",
+    "permute",
+    "prediction_confidence",
+    "probabilistic_substitution",
+    "quantize_features",
+    "random_hypervector",
+    "random_hypervectors",
+    "recover_step",
+    "save_classifier",
+    "unpack",
+    "softmax",
+]

@@ -1,0 +1,137 @@
+"""ID-level encoding of feature vectors into binary hypervectors.
+
+Implements the encoding of Section 3.1 of the paper:
+
+.. math::
+
+    \\vec H = \\sum_{k=1}^{n} \\; \\lfloor f_k \\rceil_{\\mathcal F} \\oplus \\vec B_k
+
+Each feature position ``k`` owns a random *base* (a.k.a. ID) hypervector
+``B_k``; the feature's value is quantised to one of ``L`` levels and
+replaced by the corresponding *level* hypervector; the two are XOR-bound;
+and the ``n`` bound vectors are bundled (elementwise summed and
+majority-thresholded) into the final binary hypervector ``H``.
+
+Because any two base hypervectors are quasi-orthogonal, the encoding
+retains *where* each feature sits in the input, while the level family
+retains *how large* it is — and the final bundle spreads all of that
+information holographically over all ``D`` dimensions, which is the root
+of RobustHD's bit-flip robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hypervector import (
+    bind,
+    level_hypervectors,
+    random_hypervectors,
+)
+
+__all__ = ["Encoder", "quantize_features"]
+
+
+def quantize_features(
+    features: np.ndarray, levels: int, low: float, high: float
+) -> np.ndarray:
+    """Quantise real features into integer level indices ``0 .. levels-1``.
+
+    Values are clipped to ``[low, high]`` first, so out-of-range inputs
+    saturate instead of wrapping — saturation matches what a fixed sensor
+    range does and keeps adjacent inputs adjacent in level space.
+    """
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    if not high > low:
+        raise ValueError(f"need high > low, got low={low}, high={high}")
+    clipped = np.clip(features, low, high)
+    scaled = (clipped - low) / (high - low)  # in [0, 1]
+    idx = np.floor(scaled * levels).astype(np.int64)
+    return np.minimum(idx, levels - 1)
+
+
+@dataclass
+class Encoder:
+    """ID-level hypervector encoder for fixed-length feature vectors.
+
+    Parameters
+    ----------
+    num_features:
+        Length ``n`` of the input feature vectors.
+    dim:
+        Hypervector dimensionality ``D`` (paper uses 4k-10k).
+    levels:
+        Number of quantisation levels ``L`` for feature values.
+    low, high:
+        Expected dynamic range of (normalised) feature values; inputs are
+        clipped to this range before quantisation.
+    seed:
+        Seed for the base/level hypervector tables.  Two encoders built
+        with the same parameters and seed are identical, which is what
+        lets train- and test-time encoding agree.
+
+    The encoder owns two codebooks generated at construction:
+
+    * ``base``  — shape ``(num_features, dim)``, i.i.d. random.
+    * ``level`` — shape ``(levels, dim)``, correlated (see
+      :func:`repro.core.hypervector.level_hypervectors`).
+    """
+
+    num_features: int
+    dim: int = 10_000
+    levels: int = 32
+    low: float = 0.0
+    high: float = 1.0
+    seed: int = 0
+    base: np.ndarray = field(init=False, repr=False)
+    level: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {self.num_features}")
+        if self.dim < 2:
+            raise ValueError(f"dim must be >= 2, got {self.dim}")
+        rng = np.random.default_rng(self.seed)
+        self.base = random_hypervectors(self.num_features, self.dim, rng)
+        self.level = level_hypervectors(self.levels, self.dim, rng)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode one feature vector ``(n,)`` into a binary hypervector ``(D,)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValueError(
+                f"encode expects a 1-D feature vector, got {features.ndim}-D; "
+                "use encode_batch for matrices"
+            )
+        return self.encode_batch(features[None, :])[0]
+
+    def encode_batch(self, features: np.ndarray) -> np.ndarray:
+        """Encode a feature matrix ``(batch, n)`` into hypervectors ``(batch, D)``.
+
+        Encoding is deterministic (majority ties resolve to 0) so the same
+        input always produces the same hypervector, at train and test time.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got {features.ndim}-D")
+        if features.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {features.shape[1]}"
+            )
+        idx = quantize_features(features, self.levels, self.low, self.high)
+        out = np.empty((features.shape[0], self.dim), dtype=np.uint8)
+        # Encode in moderate batches: the bound tensor is (chunk, n, D)
+        # uint8, so cap the working set at roughly chunk*n*D bytes.
+        max_cells = 64_000_000
+        rows_per_block = max(1, max_cells // (self.num_features * self.dim))
+        for start in range(0, features.shape[0], rows_per_block):
+            stop = min(start + rows_per_block, features.shape[0])
+            block_idx = idx[start:stop]  # (b, n)
+            lvl = self.level[block_idx]  # (b, n, D)
+            bound = bind(lvl, self.base[None, :, :])  # (b, n, D)
+            counts = bound.sum(axis=1, dtype=np.int64)  # (b, D)
+            out[start:stop] = (2 * counts > self.num_features).astype(np.uint8)
+        return out

@@ -1,0 +1,274 @@
+"""Binary hypervector algebra.
+
+This module implements the primitive operations of hyperdimensional
+computing (HDC) over *binary* hypervectors, the representation RobustHD
+uses throughout (the paper always deploys a binary model for maximum
+robustness, see Section 3.2).
+
+A hypervector is a 1-D ``numpy`` array of dtype ``uint8`` whose elements
+are 0 or 1.  Dimensionality ``D`` is typically 4,000-10,000 in the paper;
+the functions here work for any ``D >= 1``.  Batches of hypervectors are
+2-D arrays of shape ``(batch, D)``.
+
+The algebra provides:
+
+* ``random_hypervector`` / ``random_hypervectors`` — i.i.d. Bernoulli(1/2)
+  base vectors; any two are ~``D/2`` apart in Hamming distance, i.e.
+  quasi-orthogonal.
+* ``level_hypervectors`` — a family of correlated vectors for quantised
+  scalar values, where Hamming distance grows linearly with level
+  difference (used by the ID-level encoder).
+* ``bind`` — XOR binding; associates two hypervectors into a third that is
+  dissimilar to both but preserves distance structure.
+* ``bundle`` — elementwise majority; superimposes a set of hypervectors
+  into one that remains similar to every input.
+* ``hamming_distance`` / ``hamming_similarity`` — the metric used for all
+  inference in RobustHD.
+* chunk views — reshaping helpers used by the noisy-chunk detector.
+
+All randomness flows through an explicit ``numpy.random.Generator`` so
+every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "random_hypervector",
+    "random_hypervectors",
+    "level_hypervectors",
+    "bind",
+    "permute",
+    "bundle",
+    "bundle_counts",
+    "binarize_counts",
+    "hamming_distance",
+    "hamming_similarity",
+    "normalized_hamming_similarity",
+    "flip_bits",
+    "as_chunks",
+    "from_chunks",
+    "validate_hypervector",
+]
+
+
+def validate_hypervector(hv: np.ndarray, name: str = "hypervector") -> None:
+    """Raise ``ValueError`` unless ``hv`` is a valid binary hypervector.
+
+    Accepts 1-D (single vector) or 2-D (batch) arrays whose values are all
+    0 or 1.  Any integer or boolean dtype is accepted; float arrays are
+    rejected because silent rounding hides encoding bugs.
+    """
+    if not isinstance(hv, np.ndarray):
+        raise ValueError(f"{name} must be a numpy array, got {type(hv).__name__}")
+    if hv.ndim not in (1, 2):
+        raise ValueError(f"{name} must be 1-D or 2-D, got {hv.ndim}-D")
+    if hv.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not (np.issubdtype(hv.dtype, np.integer) or hv.dtype == np.bool_):
+        raise ValueError(f"{name} must have an integer or bool dtype, got {hv.dtype}")
+    bad = (hv != 0) & (hv != 1)
+    if bad.any():
+        raise ValueError(f"{name} must be binary (0/1); found other values")
+
+
+def random_hypervector(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw one i.i.d. Bernoulli(1/2) binary hypervector of length ``dim``."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return rng.integers(0, 2, size=dim, dtype=np.uint8)
+
+
+def random_hypervectors(count: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` independent random hypervectors, shape ``(count, dim)``."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return rng.integers(0, 2, size=(count, dim), dtype=np.uint8)
+
+
+def level_hypervectors(
+    levels: int, dim: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Build a family of ``levels`` correlated hypervectors for scalar encoding.
+
+    The first level is random; each subsequent level flips a fresh slice of
+    ``dim / (levels - 1) / 2`` positions, so that
+
+    * adjacent levels are close (small Hamming distance), and
+    * the first and last levels are ~``dim/2`` apart (quasi-orthogonal),
+
+    giving a locality-preserving embedding of a quantised scalar.  This is
+    the standard level-hypervector construction used by the ID-level
+    encoder of Section 3.1.
+
+    Returns an array of shape ``(levels, dim)``.
+    """
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    if dim < levels:
+        raise ValueError(f"dim ({dim}) must be >= levels ({levels})")
+    out = np.empty((levels, dim), dtype=np.uint8)
+    out[0] = random_hypervector(dim, rng)
+    # Partition half of the index space into (levels - 1) disjoint slices;
+    # flipping one fresh slice per step walks from the base vector to a
+    # vector ~dim/2 away at the final level.
+    half = dim // 2
+    order = rng.permutation(dim)[:half]
+    boundaries = np.linspace(0, half, levels, dtype=np.int64)
+    for lvl in range(1, levels):
+        out[lvl] = out[lvl - 1]
+        flip_idx = order[boundaries[lvl - 1] : boundaries[lvl]]
+        out[lvl, flip_idx] ^= 1
+    return out
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """XOR-bind two hypervectors (or broadcastable batches).
+
+    Binding is self-inverse: ``bind(bind(a, b), b) == a``.  The result is
+    quasi-orthogonal to both inputs but preserves Hamming distances:
+    ``d(bind(a, c), bind(b, c)) == d(a, b)``.
+    """
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    return np.bitwise_xor(a, b)
+
+
+def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Cyclically shift a hypervector (or batch) by ``shifts`` positions.
+
+    Permutation is HDC's third primitive (alongside binding and
+    bundling): it produces a vector quasi-orthogonal to its input while
+    preserving pairwise distances, and unlike XOR binding it is
+    *non-commutative* — ``permute(bind(a, b))`` differs from
+    ``bind(permute(a), b)`` — which is what encodes *order*.  Sequence
+    encoders use ``permute(x, k)`` to tag the item ``k`` steps back in
+    time.  Inverse: ``permute(hv, -shifts)``.
+    """
+    return np.roll(hv, shifts, axis=-1)
+
+
+def bundle_counts(hvs: np.ndarray) -> np.ndarray:
+    """Sum a batch of hypervectors elementwise into integer counts.
+
+    Input shape ``(n, D)``; output shape ``(D,)`` with dtype ``int64``.
+    This is the accumulation half of bundling; pair with
+    :func:`binarize_counts` to obtain a binary class hypervector, or keep
+    the counts for multi-bit models (Table 1 evaluates 1-bit and 2-bit).
+    """
+    if hvs.ndim != 2:
+        raise ValueError(f"expected a 2-D batch, got {hvs.ndim}-D")
+    return hvs.sum(axis=0, dtype=np.int64)
+
+
+def binarize_counts(
+    counts: np.ndarray, total: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Majority-threshold integer counts back to a binary hypervector.
+
+    ``counts[i]`` is the number of ones accumulated at dimension ``i`` out
+    of ``total`` bundled vectors.  Dimensions with a strict majority of
+    ones become 1, strict minority become 0, and exact ties are broken
+    randomly when ``rng`` is given (deterministically to 0 otherwise).
+    """
+    if total < 1:
+        raise ValueError(f"total must be >= 1, got {total}")
+    doubled = 2 * counts.astype(np.int64)
+    out = (doubled > total).astype(np.uint8)
+    ties = doubled == total
+    if rng is not None and ties.any():
+        out[ties] = rng.integers(0, 2, size=int(ties.sum()), dtype=np.uint8)
+    return out
+
+
+def bundle(hvs: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Majority-bundle a batch ``(n, D)`` into one binary hypervector ``(D,)``.
+
+    The bundle remains similar (Hamming distance < D/2) to each input with
+    high probability, which is what lets a class hypervector represent all
+    of its training examples at once.
+    """
+    counts = bundle_counts(hvs)
+    return binarize_counts(counts, hvs.shape[0], rng)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray | np.int64:
+    """Count of differing positions between ``a`` and ``b``.
+
+    Supports broadcasting: a query ``(D,)`` against a model ``(k, D)``
+    returns a length-``k`` vector of distances.
+    """
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    diff = np.bitwise_xor(a, b)
+    return diff.sum(axis=-1, dtype=np.int64)
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray | np.int64:
+    """Count of matching positions, ``D - hamming_distance``."""
+    dim = a.shape[-1]
+    return dim - hamming_distance(a, b)
+
+
+def normalized_hamming_similarity(
+    a: np.ndarray, b: np.ndarray
+) -> np.ndarray | np.float64:
+    """Matching fraction in ``[0, 1]``; 0.5 means quasi-orthogonal."""
+    dim = a.shape[-1]
+    return hamming_similarity(a, b) / np.float64(dim)
+
+
+def flip_bits(
+    hv: np.ndarray, indices: np.ndarray | Sequence[int]
+) -> np.ndarray:
+    """Return a copy of ``hv`` with the bits at ``indices`` flipped.
+
+    For a 2-D model array, ``indices`` addresses the *flattened* bit
+    positions (row-major), matching how an attacker sees a contiguous
+    memory region holding the model.
+    """
+    out = hv.copy()
+    flat = out.reshape(-1)
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= flat.size):
+        raise IndexError(
+            f"bit index out of range [0, {flat.size}): "
+            f"min={idx.min()}, max={idx.max()}"
+        )
+    flat[idx] ^= 1
+    return out
+
+
+def as_chunks(hv: np.ndarray, num_chunks: int) -> np.ndarray:
+    """View a hypervector (or batch) as ``num_chunks`` equal chunks.
+
+    A ``(D,)`` vector becomes ``(num_chunks, d)`` and a ``(k, D)`` batch
+    becomes ``(k, num_chunks, d)`` where ``d = D / num_chunks``.  ``D``
+    must divide evenly — RobustHD chooses ``m`` so it does.  The result is
+    a *view* when possible, so writes propagate back.
+    """
+    dim = hv.shape[-1]
+    if num_chunks < 1:
+        raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+    if dim % num_chunks != 0:
+        raise ValueError(
+            f"dimension {dim} is not divisible into {num_chunks} chunks"
+        )
+    d = dim // num_chunks
+    return hv.reshape(*hv.shape[:-1], num_chunks, d)
+
+
+def from_chunks(chunks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`as_chunks`: merge the last two axes back into one."""
+    if chunks.ndim < 2:
+        raise ValueError("expected at least 2 dimensions (chunks, d)")
+    return chunks.reshape(*chunks.shape[:-2], chunks.shape[-2] * chunks.shape[-1])

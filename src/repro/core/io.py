@@ -1,0 +1,85 @@
+"""Saving and loading trained RobustHD models.
+
+A deployed RobustHD system needs two artefacts: the quantised class
+hypervectors (:class:`~repro.core.model.HDCModel`) and the encoder
+*parameters* (the codebooks regenerate deterministically from the seed,
+so only the construction arguments are stored — a few integers instead
+of ``(n + levels) x D`` bits).
+
+The on-disk format is a single ``.npz`` file.  Loading re-derives the
+encoder and wraps everything in a ready-to-serve
+:class:`~repro.core.model.HDCClassifier`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+
+__all__ = ["save_classifier", "load_classifier"]
+
+_FORMAT_VERSION = 1
+
+
+def save_classifier(path: str | Path, classifier: HDCClassifier) -> None:
+    """Persist a fitted classifier (model bits + encoder parameters)."""
+    model = classifier.model
+    if model is None:
+        raise ValueError("classifier is not fitted; nothing to save")
+    encoder = classifier.encoder
+    np.savez_compressed(
+        Path(path),
+        format_version=_FORMAT_VERSION,
+        class_hv=model.class_hv,
+        bits=model.bits,
+        num_features=encoder.num_features,
+        dim=encoder.dim,
+        levels=encoder.levels,
+        low=encoder.low,
+        high=encoder.high,
+        encoder_seed=encoder.seed,
+        num_classes=classifier.num_classes,
+        epochs=classifier.epochs,
+        classifier_seed=classifier.seed,
+    )
+
+
+def load_classifier(path: str | Path) -> HDCClassifier:
+    """Load a classifier saved by :func:`save_classifier`.
+
+    The encoder codebooks are regenerated from the stored parameters and
+    seed, so encodings produced by the loaded classifier are bit-for-bit
+    identical to the original's.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        encoder = Encoder(
+            num_features=int(data["num_features"]),
+            dim=int(data["dim"]),
+            levels=int(data["levels"]),
+            low=float(data["low"]),
+            high=float(data["high"]),
+            seed=int(data["encoder_seed"]),
+        )
+        classifier = HDCClassifier(
+            encoder,
+            num_classes=int(data["num_classes"]),
+            bits=int(data["bits"]),
+            epochs=int(data["epochs"]),
+            seed=int(data["classifier_seed"]),
+        )
+        classifier.model = HDCModel(
+            class_hv=np.ascontiguousarray(data["class_hv"]),
+            bits=int(data["bits"]),
+        )
+    return classifier

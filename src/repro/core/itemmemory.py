@@ -1,0 +1,84 @@
+"""Item memory: nearest-hypervector cleanup (associative memory).
+
+HDC systems keep a *item memory* of known atomic hypervectors and
+"clean up" noisy vectors by snapping them to the nearest stored item —
+the associative-memory operation of the paper's reference [9]
+("Exploring hyperdimensional associative memory").  It is the decoding
+half of every bind/bundle data structure: unbind a composite, then clean
+up the result.
+
+The cleanup tolerates enormous noise: with random items at D = 10k, a
+query 30-40% of dimensions away from its item still resolves correctly
+with overwhelming probability — the same redundancy argument that makes
+the RobustHD model attack-tolerant, here in recall form (quantified in
+``tests/core/test_itemmemory.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypervector import hamming_distance, validate_hypervector
+
+__all__ = ["ItemMemory"]
+
+
+class ItemMemory:
+    """A named store of atomic hypervectors with nearest-item cleanup."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._names: list[str] = []
+        self._items = np.zeros((0, dim), dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    def add(self, name: str, hv: np.ndarray) -> None:
+        """Store an item; names are unique."""
+        if name in self._names:
+            raise KeyError(f"item {name!r} already stored")
+        validate_hypervector(hv, name="item")
+        if hv.ndim != 1 or hv.shape[0] != self.dim:
+            raise ValueError(
+                f"item must be a 1-D vector of length {self.dim}"
+            )
+        self._names.append(name)
+        self._items = np.concatenate(
+            [self._items, hv.astype(np.uint8)[None, :]], axis=0
+        )
+
+    def get(self, name: str) -> np.ndarray:
+        """Retrieve a stored item by name (a copy)."""
+        try:
+            idx = self._names.index(name)
+        except ValueError:
+            raise KeyError(f"no item named {name!r}") from None
+        return self._items[idx].copy()
+
+    def cleanup(self, hv: np.ndarray) -> tuple[str, np.ndarray, int]:
+        """Snap a (noisy) hypervector to the nearest stored item.
+
+        Returns ``(name, clean_item, distance)``.
+        """
+        if not self._names:
+            raise RuntimeError("item memory is empty")
+        if hv.ndim != 1 or hv.shape[0] != self.dim:
+            raise ValueError(f"query must be a 1-D vector of length {self.dim}")
+        distances = hamming_distance(hv, self._items)
+        idx = int(np.argmin(distances))
+        return self._names[idx], self._items[idx].copy(), int(distances[idx])
+
+    def cleanup_batch(self, hvs: np.ndarray) -> list[str]:
+        """Nearest-item names for a batch ``(B, D)``."""
+        hvs = np.atleast_2d(hvs)
+        return [self.cleanup(hv)[0] for hv in hvs]

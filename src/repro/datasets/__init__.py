@@ -1,0 +1,25 @@
+"""Synthetic dataset substrate matching the paper's Table 2 profiles."""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PROFILES,
+    DatasetProfile,
+    load,
+    load_all,
+)
+from repro.datasets.synthetic import (
+    Dataset,
+    make_classification,
+    make_prototype_classification,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "DatasetProfile",
+    "PROFILES",
+    "load",
+    "load_all",
+    "make_classification",
+    "make_prototype_classification",
+]

@@ -1,0 +1,55 @@
+"""One module per paper table/figure; each has ``run()`` and ``render()``.
+
+| Module      | Paper result                                            |
+|-------------|---------------------------------------------------------|
+| ``table1``  | HDC quality loss vs noise, D x precision grid           |
+| ``table3``  | DNN/SVM/AdaBoost/HDC loss vs error rate, both attacks   |
+| ``table4``  | loss with/without RobustHD recovery, six datasets       |
+| ``figure2`` | PIM vs GPU speedup/energy for DNN and HDC               |
+| ``figure3`` | recovery dynamics vs confidence threshold and sub. rate |
+| ``figure4a``| PIM accelerator lifetime under NVM endurance            |
+| ``figure4b``| DRAM refresh relaxation: efficiency vs accuracy         |
+
+Four extension experiments go beyond the paper's evaluation:
+
+| ``continuous``     | recovery vs continuous noise accumulation        |
+| ``ecc_comparison`` | SECDED-protected DNN vs bare HDC (Section 6.6)   |
+| ``rowhammer``      | clustered (physically local) damage + recovery   |
+| ``informed``       | margin-aware white-box attack (security limit)   |
+
+Run any of them from the command line, e.g.::
+
+    python -m repro.experiments.table4
+"""
+
+from repro.experiments import (
+    continuous,
+    ecc_comparison,
+    informed,
+    rowhammer,
+    figure2,
+    figure3,
+    figure4a,
+    figure4b,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "continuous",
+    "ecc_comparison",
+    "figure2",
+    "figure3",
+    "figure4a",
+    "figure4b",
+    "get_scale",
+    "informed",
+    "rowhammer",
+    "table1",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,66 @@
+"""Shared scale presets for the experiment harness.
+
+Every experiment runs at one of three scales:
+
+* ``smoke`` — seconds; used by the test suite to exercise the full code
+  path of every experiment.
+* ``default`` — minutes; the scale the committed benchmark numbers in
+  EXPERIMENTS.md were produced at.
+* ``full`` — closer to the paper's sample counts and trial counts; for
+  an unhurried reproduction run.
+
+The dimensionality fields mirror the paper: the deployed model is
+``D = 10k`` binary, with 4k/5k variants appearing in Table 1 and
+Figure 4a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs every experiment accepts."""
+
+    name: str
+    max_train: int
+    max_test: int
+    dim: int
+    trials: int
+    recovery_passes: int
+
+    def __post_init__(self) -> None:
+        if self.max_train < 2 or self.max_test < 2:
+            raise ValueError("max_train and max_test must be >= 2")
+        if self.dim < 100:
+            raise ValueError("dim must be >= 100")
+        if self.trials < 1 or self.recovery_passes < 1:
+            raise ValueError("trials and recovery_passes must be >= 1")
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke", max_train=300, max_test=200, dim=1_000,
+        trials=1, recovery_passes=2,
+    ),
+    "default": ExperimentScale(
+        name="default", max_train=1_500, max_test=1_500, dim=10_000,
+        trials=3, recovery_passes=4,
+    ),
+    "full": ExperimentScale(
+        name="full", max_train=4_000, max_test=3_000, dim=10_000,
+        trials=5, recovery_passes=6,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale preset by name (or pass one through)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+    return SCALES[scale]

@@ -1,0 +1,146 @@
+"""Figure 2: PIM efficiency running DNN and HDC, normalised to DNN-on-GPU.
+
+Reproduces the paper's Figure 2 — relative speedup and energy efficiency
+of {DNN, HDC} x {GPU, PIM}, all normalised to the DNN running on the GPU
+baseline.  Headline shapes (paper: HDC-PIM is 2.4x faster / 3.7x more
+energy-efficient than DNN-PIM, and 47.6x / 21.2x vs DNN-GPU):
+
+* PIM beats the GPU for both learners (no data movement, massive
+  row-parallelism);
+* HDC beats DNN on PIM (bitwise XOR/popcount vs quadratic-cycle
+  fixed-point multiplies).
+
+The PIM numbers come from the analytic DPIM gate model
+(:mod:`repro.pim.dpim`); the GPU baseline is the spec-sheet roofline
+model (:mod:`repro.pim.gpu`).  Both are cost models — the reproduced
+quantity is the ratio structure, not absolute microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.pim.dpim import DPIM, DPIMConfig
+from repro.pim.gpu import GPUConfig, GPUModel
+
+__all__ = ["Workload", "Figure2Entry", "Figure2Result", "run", "render", "main",
+           "DEFAULT_WORKLOAD"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """The inference workload shapes being costed.
+
+    ``dnn_layers`` follows the LookNN-style configuration band the paper
+    cites for these datasets (two hidden layers of 512).
+    """
+
+    num_features: int = 561
+    num_classes: int = 12
+    hdc_dim: int = 10_000
+    dnn_layers: tuple[int, ...] = (561, 512, 512, 12)
+    weight_bits: int = 8
+
+
+DEFAULT_WORKLOAD = Workload()
+
+
+@dataclass(frozen=True)
+class Figure2Entry:
+    """One platform x learner bar pair of Figure 2."""
+
+    label: str
+    throughput_per_s: float
+    energy_j: float
+    relative_speedup: float
+    relative_energy_eff: float
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    entries: tuple[Figure2Entry, ...]
+    workload: Workload
+
+    def entry(self, label: str) -> Figure2Entry:
+        for e in self.entries:
+            if e.label == label:
+                return e
+        raise KeyError(f"no entry {label!r}")
+
+
+def run(
+    workload: Workload = DEFAULT_WORKLOAD,
+    dpim_config: DPIMConfig | None = None,
+    gpu_config: GPUConfig | None = None,
+) -> Figure2Result:
+    """Cost the four platform x learner combinations and normalise."""
+    dpim = DPIM(dpim_config)
+    gpu = GPUModel(gpu_config) if gpu_config else GPUModel()
+    w = workload
+
+    dnn_model_bytes = float(
+        sum(a * b for a, b in zip(w.dnn_layers[:-1], w.dnn_layers[1:]))
+        * w.weight_bits / 8
+    )
+    hdc_model_bytes = float(
+        (w.num_classes + w.num_features) * w.hdc_dim / 8
+    )
+
+    # GPU baselines.
+    dnn_gpu_lat = gpu.inference_latency_s(gpu.dnn_ops(list(w.dnn_layers)),
+                                          dnn_model_bytes)
+    dnn_gpu_energy = gpu.inference_energy_j(gpu.dnn_ops(list(w.dnn_layers)),
+                                            dnn_model_bytes)
+    hdc_gpu_ops = gpu.hdc_ops(w.num_features, w.hdc_dim, w.num_classes)
+    hdc_gpu_lat = gpu.inference_latency_s(hdc_gpu_ops, hdc_model_bytes)
+    hdc_gpu_energy = gpu.inference_energy_j(hdc_gpu_ops, hdc_model_bytes)
+
+    # PIM kernels.
+    dnn_pim = dpim.dnn_inference(list(w.dnn_layers), width=w.weight_bits)
+    hdc_pim = dpim.hdc_inference(w.num_features, w.hdc_dim, w.num_classes)
+
+    raw = {
+        "DNN-GPU": (1.0 / dnn_gpu_lat, dnn_gpu_energy),
+        "HDC-GPU": (1.0 / hdc_gpu_lat, hdc_gpu_energy),
+        "DNN-PIM": (dpim.throughput_per_s(dnn_pim), dnn_pim.energy_j),
+        "HDC-PIM": (dpim.throughput_per_s(hdc_pim), hdc_pim.energy_j),
+    }
+    base_thr, base_energy = raw["DNN-GPU"]
+    entries = tuple(
+        Figure2Entry(
+            label=label,
+            throughput_per_s=thr,
+            energy_j=energy,
+            relative_speedup=thr / base_thr,
+            relative_energy_eff=base_energy / energy,
+        )
+        for label, (thr, energy) in raw.items()
+    )
+    return Figure2Result(entries=entries, workload=w)
+
+
+def render(result: Figure2Result) -> str:
+    headers = ["Platform", "Throughput (inf/s)", "Energy (uJ/inf)",
+               "Speedup vs DNN-GPU", "Energy eff. vs DNN-GPU"]
+    rows = [
+        [
+            e.label,
+            f"{e.throughput_per_s:,.0f}",
+            f"{e.energy_j * 1e6:.2f}",
+            f"{e.relative_speedup:.1f}x",
+            f"{e.relative_energy_eff:.1f}x",
+        ]
+        for e in result.entries
+    ]
+    return render_table(
+        headers, rows, title="Figure 2 — PIM efficiency running DNN and HDC"
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

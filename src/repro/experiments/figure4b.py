@@ -1,0 +1,147 @@
+"""Figure 4b: DRAM refresh-cycle relaxation vs efficiency and accuracy.
+
+Reproduces the paper's Figure 4b — what happens when the DRAM holding the
+model relaxes its 64 ms refresh interval: energy efficiency improves
+(refresh power shrinks) while retention errors appear.  Headline shapes
+(paper: a 4% / 6% error rate buys ~14% / ~22% DRAM energy efficiency,
+and those error rates barely dent HDC while degrading the DNN):
+
+* the efficiency-vs-error-rate curve itself comes from the calibrated
+  DRAM retention/refresh model (:mod:`repro.pim.dram`);
+* the accuracy consequences are measured on the actual trained models by
+  flipping the corresponding fraction of stored bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.quality import percent
+from repro.analysis.tables import render_table
+from repro.baselines.deploy import QuantizedDeployment
+from repro.baselines.mlp import MLPClassifier
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets import load
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.faults.injector import run_deployment_campaign, run_hdc_campaign
+from repro.pim.dram import DRAMModel
+
+__all__ = ["Figure4bPoint", "Figure4bResult", "run", "render", "main"]
+
+DATASET = "ucihar"
+ERROR_RATES = (0.0, 0.02, 0.04, 0.06, 0.08)
+
+
+@dataclass(frozen=True)
+class Figure4bPoint:
+    """One refresh-relaxation operating point."""
+
+    error_rate: float
+    refresh_interval_ms: float
+    efficiency_improvement: float
+    dnn_quality_loss: float
+    hdc_quality_loss: float
+
+
+@dataclass(frozen=True)
+class Figure4bResult:
+    points: tuple[Figure4bPoint, ...]
+    dataset: str
+    scale: str
+
+    def at_rate(self, rate: float) -> Figure4bPoint:
+        for p in self.points:
+            if abs(p.error_rate - rate) < 1e-12:
+                return p
+        raise KeyError(f"no point at error rate {rate}")
+
+
+def run(
+    scale: str | ExperimentScale = "default", seed: int = 0
+) -> Figure4bResult:
+    """Sweep refresh relaxation; measure model damage at each point."""
+    cfg = get_scale(scale)
+    data = load(DATASET, max_train=cfg.max_train, max_test=cfg.max_test)
+    dram = DRAMModel()
+
+    # HDC model.
+    encoder = Encoder(num_features=data.num_features, dim=cfg.dim, seed=seed)
+    encoded_train = encoder.encode_batch(data.train_x)
+    encoded_test = encoder.encode_batch(data.test_x)
+    clf = HDCClassifier(
+        encoder, num_classes=data.num_classes, bits=1, epochs=0, seed=seed
+    ).fit_encoded(encoded_train, data.train_y)
+    model = clf.model
+    assert model is not None
+
+    # DNN model (8-bit deployment).
+    mlp = MLPClassifier(
+        data.num_features, data.num_classes, hidden=(128,), epochs=20, seed=seed
+    ).fit(data.train_x, data.train_y)
+    deployment = QuantizedDeployment(mlp, width=8)
+
+    nonzero = [r for r in ERROR_RATES if r > 0]
+    hdc_campaign = run_hdc_campaign(
+        model, encoded_test, data.test_y, nonzero,
+        modes=("random",), trials=cfg.trials, seed=seed,
+    )
+    dnn_campaign = run_deployment_campaign(
+        deployment, data.test_x, data.test_y, nonzero,
+        modes=("random",), trials=cfg.trials, seed=seed,
+    )
+
+    points = []
+    for rate in ERROR_RATES:
+        if rate == 0.0:
+            interval = dram.config.base_interval_ms
+            gain = 0.0
+            dnn_loss = 0.0
+            hdc_loss = 0.0
+        else:
+            interval = dram.interval_for_error_rate(rate)
+            gain = dram.efficiency_at_error_rate(rate)
+            dnn_loss = dnn_campaign.loss(rate, "random")
+            hdc_loss = hdc_campaign.loss(rate, "random")
+        points.append(
+            Figure4bPoint(
+                error_rate=rate,
+                refresh_interval_ms=interval,
+                efficiency_improvement=gain,
+                dnn_quality_loss=dnn_loss,
+                hdc_quality_loss=hdc_loss,
+            )
+        )
+    return Figure4bResult(points=tuple(points), dataset=DATASET, scale=cfg.name)
+
+
+def render(result: Figure4bResult) -> str:
+    headers = [
+        "Error rate", "Refresh interval", "DRAM energy gain",
+        "DNN quality loss", "HDC quality loss",
+    ]
+    rows = [
+        [
+            percent(p.error_rate, 0),
+            f"{p.refresh_interval_ms:.0f} ms",
+            percent(p.efficiency_improvement, 1),
+            percent(p.dnn_quality_loss),
+            percent(p.hdc_quality_loss),
+        ]
+        for p in result.points
+    ]
+    return render_table(
+        headers, rows,
+        title=(
+            f"Figure 4b — DRAM refresh relaxation "
+            f"({result.dataset}, scale={result.scale})"
+        ),
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Table 1: HDC quality loss under random hardware noise.
+
+Reproduces the paper's Table 1 — quality loss of the UCI HAR task under
+{1, 2, 5, 10, 15}% random bit error, for HDC models with dimensionality
+D in {5k, 10k} and element precision in {1, 2} bits, against the 8-bit
+DNN reference row.  The headline: loss falls with dimensionality and
+*rises* with element precision, which is why RobustHD always deploys a
+1-bit model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.quality import percent
+from repro.analysis.tables import render_table
+from repro.baselines.deploy import QuantizedDeployment
+from repro.baselines.mlp import MLPClassifier
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets import load
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.faults.injector import run_deployment_campaign, run_hdc_campaign
+
+__all__ = ["Table1Row", "Table1Result", "run", "render", "main"]
+
+ERROR_RATES = (0.01, 0.02, 0.05, 0.10, 0.15)
+HDC_DIMS = (5_000, 10_000)
+HDC_BITS = (1, 2)
+DATASET = "ucihar"
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row: a model configuration and its loss at every error rate."""
+
+    label: str
+    losses: tuple[float, ...]  # aligned with ERROR_RATES
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+    error_rates: tuple[float, ...]
+    dataset: str
+    scale: str
+
+
+def run(scale: str | ExperimentScale = "default", seed: int = 0) -> Table1Result:
+    """Train the models and run the noise campaigns."""
+    cfg = get_scale(scale)
+    data = load(DATASET, max_train=cfg.max_train, max_test=cfg.max_test)
+    rows: list[Table1Row] = []
+
+    # DNN reference row (8-bit fixed point, random flips).
+    mlp = MLPClassifier(
+        data.num_features, data.num_classes, hidden=(128,), epochs=20, seed=seed
+    ).fit(data.train_x, data.train_y)
+    deployment = QuantizedDeployment(mlp, width=8)
+    dnn = run_deployment_campaign(
+        deployment, data.test_x, data.test_y, ERROR_RATES,
+        modes=("random",), trials=cfg.trials, seed=seed,
+    )
+    rows.append(
+        Table1Row(
+            label="DNN (8-bit)",
+            losses=tuple(dnn.loss(r, "random") for r in ERROR_RATES),
+        )
+    )
+
+    # HDC rows: D x precision grid.  Table 1 uses 5k/10k regardless of the
+    # run scale's dim, except at smoke scale where we shrink proportionally.
+    dims = HDC_DIMS if cfg.dim >= max(HDC_DIMS) else (cfg.dim // 2, cfg.dim)
+    for dim in dims:
+        encoder = Encoder(num_features=data.num_features, dim=dim, seed=seed)
+        encoded_train = encoder.encode_batch(data.train_x)
+        encoded_test = encoder.encode_batch(data.test_x)
+        for bits in HDC_BITS:
+            clf = HDCClassifier(
+                encoder, num_classes=data.num_classes, bits=bits, epochs=0,
+                seed=seed,
+            ).fit_encoded(encoded_train, data.train_y)
+            model = clf.model
+            assert model is not None
+            campaign = run_hdc_campaign(
+                model, encoded_test, data.test_y, ERROR_RATES,
+                modes=("random",), trials=cfg.trials, seed=seed,
+            )
+            dim_label = f"{dim // 1000}k" if dim >= 1000 else str(dim)
+            rows.append(
+                Table1Row(
+                    label=f"D={dim_label} {bits}-bit",
+                    losses=tuple(campaign.loss(r, "random") for r in ERROR_RATES),
+                )
+            )
+    return Table1Result(
+        rows=tuple(rows),
+        error_rates=ERROR_RATES,
+        dataset=DATASET,
+        scale=cfg.name,
+    )
+
+
+def render(result: Table1Result) -> str:
+    """Print in the paper's layout: rows = models, columns = error rates."""
+    headers = ["Hardware Error"] + [percent(r, 0) for r in result.error_rates]
+    rows = [
+        [row.label] + [percent(loss) for loss in row.losses]
+        for row in result.rows
+    ]
+    return render_table(
+        headers, rows,
+        title=(
+            f"Table 1 — HDC quality loss under random noise "
+            f"({result.dataset}, scale={result.scale})"
+        ),
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

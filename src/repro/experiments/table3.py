@@ -1,0 +1,164 @@
+"""Table 3: quality loss of DNN / SVM / AdaBoost / HDC under attack.
+
+Reproduces the paper's Table 3 — quality loss at {2, 4, 6, 8, 10, 12}%
+bit-flip rates, for both the *random* and *targeted* attack modes, across
+four learners.  The headline shapes:
+
+* every conventional learner degrades steeply with the error rate and
+  much faster under the targeted (MSB-first) attack;
+* HDC's loss stays in the low single digits and is nearly identical for
+  random and targeted attacks, because every bit of a binary hypervector
+  is an MSB — there is nothing better to target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.quality import percent
+from repro.analysis.tables import render_table
+from repro.baselines.adaboost import AdaBoostClassifier
+from repro.baselines.deploy import QuantizedDeployment
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.svm import LinearSVM
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets import load
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.faults.injector import run_deployment_campaign, run_hdc_campaign
+
+__all__ = ["Table3Row", "Table3Result", "run", "render", "main"]
+
+ERROR_RATES = (0.02, 0.04, 0.06, 0.08, 0.10, 0.12)
+MODES = ("random", "targeted")
+DEFAULT_DATASETS = ("ucihar",)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One learner x mode row, averaged across datasets."""
+
+    learner: str
+    mode: str
+    losses: tuple[float, ...]  # aligned with ERROR_RATES
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: tuple[Table3Row, ...]
+    error_rates: tuple[float, ...]
+    datasets: tuple[str, ...]
+    scale: str
+
+
+def _baseline_campaigns(
+    data, cfg: ExperimentScale, seed: int
+) -> dict[str, dict[str, tuple[float, ...]]]:
+    """Train + attack the three conventional learners on one dataset."""
+    learners = {
+        "DNN": MLPClassifier(
+            data.num_features, data.num_classes, hidden=(128,), epochs=20,
+            seed=seed,
+        ),
+        "SVM": LinearSVM(
+            data.num_features, data.num_classes, epochs=10, seed=seed
+        ),
+        "AdaBoost": AdaBoostClassifier(
+            data.num_features, data.num_classes, num_stumps=200,
+            max_features=min(40, data.num_features), seed=seed,
+        ),
+    }
+    out: dict[str, dict[str, tuple[float, ...]]] = {}
+    for name, learner in learners.items():
+        learner.fit(data.train_x, data.train_y)
+        deployment = QuantizedDeployment(learner, width=8)
+        campaign = run_deployment_campaign(
+            deployment, data.test_x, data.test_y, ERROR_RATES,
+            modes=MODES, trials=cfg.trials, seed=seed,
+        )
+        out[name] = {
+            mode: tuple(campaign.loss(r, mode) for r in ERROR_RATES)
+            for mode in MODES
+        }
+    return out
+
+
+def _hdc_campaign(
+    data, cfg: ExperimentScale, seed: int
+) -> dict[str, tuple[float, ...]]:
+    """Train + attack the binary HDC model on one dataset."""
+    encoder = Encoder(num_features=data.num_features, dim=cfg.dim, seed=seed)
+    encoded_train = encoder.encode_batch(data.train_x)
+    encoded_test = encoder.encode_batch(data.test_x)
+    clf = HDCClassifier(
+        encoder, num_classes=data.num_classes, bits=1, epochs=0, seed=seed
+    ).fit_encoded(encoded_train, data.train_y)
+    model = clf.model
+    assert model is not None
+    campaign = run_hdc_campaign(
+        model, encoded_test, data.test_y, ERROR_RATES,
+        modes=MODES, trials=cfg.trials, seed=seed,
+    )
+    return {
+        mode: tuple(campaign.loss(r, mode) for r in ERROR_RATES)
+        for mode in MODES
+    }
+
+
+def run(
+    scale: str | ExperimentScale = "default",
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    seed: int = 0,
+) -> Table3Result:
+    """Run the Table 3 campaigns, averaging losses across ``datasets``."""
+    cfg = get_scale(scale)
+    accum: dict[tuple[str, str], list[np.ndarray]] = {}
+    for name in datasets:
+        data = load(name, max_train=cfg.max_train, max_test=cfg.max_test)
+        per_learner = _baseline_campaigns(data, cfg, seed)
+        per_learner["HDC"] = _hdc_campaign(data, cfg, seed)
+        for learner, by_mode in per_learner.items():
+            for mode, losses in by_mode.items():
+                accum.setdefault((learner, mode), []).append(np.asarray(losses))
+    rows = [
+        Table3Row(
+            learner=learner,
+            mode=mode,
+            losses=tuple(np.mean(accum[(learner, mode)], axis=0)),
+        )
+        for learner in ("DNN", "SVM", "AdaBoost", "HDC")
+        for mode in MODES
+    ]
+    return Table3Result(
+        rows=tuple(rows),
+        error_rates=ERROR_RATES,
+        datasets=tuple(datasets),
+        scale=cfg.name,
+    )
+
+
+def render(result: Table3Result) -> str:
+    """Print in the paper's layout: learner x mode rows, rate columns."""
+    headers = ["Learner", "Attack"] + [percent(r, 0) for r in result.error_rates]
+    rows = [
+        [row.learner, row.mode] + [percent(loss, 1) for loss in row.losses]
+        for row in result.rows
+    ]
+    return render_table(
+        headers, rows,
+        title=(
+            f"Table 3 — quality loss vs error rate "
+            f"(datasets={','.join(result.datasets)}, scale={result.scale})"
+        ),
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

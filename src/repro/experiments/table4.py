@@ -1,0 +1,134 @@
+"""Table 4: quality loss with and without RobustHD data recovery.
+
+Reproduces the paper's Table 4 — per-dataset quality loss at {2, 6, 10}%
+error rates, with the stored model either left attacked ("without
+recovery") or repaired online by the unsupervised RobustHD loop ("with
+recovery"), under the paper's *uniform random* flip protocol.
+
+Reproduction note (measured on this substrate, see EXPERIMENTS.md):
+uniform damage spreads so thinly over the chunks of a D = 10k model that
+most chunks stay below the detection margin, so the recovery loop fires
+rarely and its benefit is a noise-level fraction of the already-small
+loss.  The regime where the mechanism wins decisively — damage with
+physical locality, where a few chunks are razed and the per-chunk vote
+pinpoints them — is evaluated in :mod:`repro.experiments.rowhammer`,
+which recovers 75-85% of the clustered-attack loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.quality import percent
+from repro.analysis.tables import render_table
+from repro.core.pipeline import RecoveryExperiment
+from repro.core.recovery import RecoveryConfig
+from repro.datasets import DATASET_NAMES, load
+from repro.experiments.config import ExperimentScale, get_scale
+
+__all__ = ["Table4Cell", "Table4Result", "run", "render", "main"]
+
+ERROR_RATES = (0.02, 0.06, 0.10)
+
+
+@dataclass(frozen=True)
+class Table4Cell:
+    """Losses for one dataset at one error rate."""
+
+    dataset: str
+    rate: float
+    loss_without: float
+    loss_with: float
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    cells: tuple[Table4Cell, ...]
+    error_rates: tuple[float, ...]
+    datasets: tuple[str, ...]
+    scale: str
+
+    def cell(self, dataset: str, rate: float) -> Table4Cell:
+        for c in self.cells:
+            if c.dataset == dataset and abs(c.rate - rate) < 1e-12:
+                return c
+        raise KeyError(f"no cell for {dataset} at rate {rate}")
+
+
+def run(
+    scale: str | ExperimentScale = "default",
+    datasets: Sequence[str] = DATASET_NAMES,
+    config: RecoveryConfig | None = None,
+    seed: int = 0,
+) -> Table4Result:
+    """Run attack-only and attack+recover for every dataset x rate cell."""
+    cfg = get_scale(scale)
+    config = config or RecoveryConfig()
+    cells: list[Table4Cell] = []
+    for name in datasets:
+        data = load(name, max_train=cfg.max_train, max_test=cfg.max_test)
+        experiment = RecoveryExperiment(
+            data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
+        )
+        for rate in ERROR_RATES:
+            without = float(
+                np.mean(
+                    [
+                        experiment.attack_only(rate, seed=seed + t)
+                        for t in range(cfg.trials)
+                    ]
+                )
+            )
+            with_rec = float(
+                np.mean(
+                    [
+                        experiment.attack_and_recover(
+                            rate, config,
+                            passes=cfg.recovery_passes, seed=seed + t,
+                        ).loss_with_recovery
+                        for t in range(cfg.trials)
+                    ]
+                )
+            )
+            cells.append(
+                Table4Cell(
+                    dataset=name, rate=rate,
+                    loss_without=without, loss_with=with_rec,
+                )
+            )
+    return Table4Result(
+        cells=tuple(cells),
+        error_rates=ERROR_RATES,
+        datasets=tuple(datasets),
+        scale=cfg.name,
+    )
+
+
+def render(result: Table4Result) -> str:
+    """Print in the paper's layout: two row blocks, dataset columns."""
+    headers = ["Error Rate"] + list(result.datasets)
+    rows: list[list[str]] = []
+    for label, attr in (
+        ("Without Recovery", "loss_without"),
+        ("With Recovery", "loss_with"),
+    ):
+        for rate in result.error_rates:
+            row = [f"{label} {percent(rate, 0)}"]
+            for name in result.datasets:
+                row.append(percent(getattr(result.cell(name, rate), attr)))
+            rows.append(row)
+    return render_table(
+        headers, rows,
+        title=f"Table 4 — quality loss with/without recovery (scale={result.scale})",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Fault models: bit-flip attacks, error campaigns, memory error processes."""
+
+from repro.faults.injector import (
+    CampaignCell,
+    CampaignResult,
+    run_deployment_campaign,
+    run_hdc_campaign,
+)
+from repro.faults.models import (
+    StuckAtFaultMap,
+    TransientFlipProcess,
+    dram_error_rate_for_interval,
+)
+from repro.faults.informed import attack_hdc_informed, dimension_importance
+from repro.faults.bitflip import (
+    attack_hdc_model,
+    attack_tensor,
+    attack_tensors,
+    flip_hdc_bits,
+    hdc_msb_first_bit_order,
+    num_bits_to_flip,
+    sample_random_bits,
+    sample_targeted_bits,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "StuckAtFaultMap",
+    "TransientFlipProcess",
+    "attack_hdc_informed",
+    "attack_hdc_model",
+    "dimension_importance",
+    "dram_error_rate_for_interval",
+    "run_deployment_campaign",
+    "run_hdc_campaign",
+    "attack_tensor",
+    "attack_tensors",
+    "flip_hdc_bits",
+    "hdc_msb_first_bit_order",
+    "num_bits_to_flip",
+    "sample_random_bits",
+    "sample_targeted_bits",
+]

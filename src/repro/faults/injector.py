@@ -1,0 +1,128 @@
+"""Fault-injection campaigns: sweep error rates, aggregate quality loss.
+
+Every robustness table in the paper is a campaign: fix a trained model,
+sweep attack rates (and modes), run several independent trials per cell,
+and report the mean *quality loss* — clean accuracy minus attacked
+accuracy.  This module is the seeded, reusable harness for that pattern,
+for both HDC models and quantised baseline deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.deploy import QuantizedDeployment
+from repro.core.model import HDCModel
+from repro.faults.bitflip import attack_hdc_model
+
+__all__ = ["CampaignCell", "CampaignResult", "run_hdc_campaign", "run_deployment_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (rate, mode) cell of a campaign."""
+
+    rate: float
+    mode: str
+    quality_loss_mean: float
+    quality_loss_std: float
+    attacked_accuracy_mean: float
+    trials: int
+
+
+@dataclass
+class CampaignResult:
+    """All cells of a campaign plus the clean reference accuracy."""
+
+    clean_accuracy: float
+    cells: list[CampaignCell] = field(default_factory=list)
+
+    def cell(self, rate: float, mode: str) -> CampaignCell:
+        """Look up a cell by rate and mode."""
+        for c in self.cells:
+            if c.mode == mode and abs(c.rate - rate) < 1e-12:
+                return c
+        raise KeyError(f"no cell for rate={rate}, mode={mode}")
+
+    def loss(self, rate: float, mode: str) -> float:
+        """Mean quality loss of one cell, as a fraction."""
+        return self.cell(rate, mode).quality_loss_mean
+
+
+def _summary(clean: float, accs: list[float], rate: float, mode: str) -> CampaignCell:
+    arr = np.asarray(accs, dtype=np.float64)
+    losses = clean - arr
+    return CampaignCell(
+        rate=rate,
+        mode=mode,
+        quality_loss_mean=float(losses.mean()),
+        quality_loss_std=float(losses.std()),
+        attacked_accuracy_mean=float(arr.mean()),
+        trials=len(accs),
+    )
+
+
+def run_hdc_campaign(
+    model: HDCModel,
+    encoded_queries: np.ndarray,
+    labels: np.ndarray,
+    rates: Sequence[float],
+    modes: Sequence[str] = ("random",),
+    trials: int = 3,
+    seed: int = 0,
+) -> CampaignResult:
+    """Attack a stored HDC model across rates x modes x trials.
+
+    ``encoded_queries`` are pre-encoded test hypervectors (encoding once
+    outside the campaign keeps trials cheap and isolates the variable
+    under study — the stored model's bits).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    labels = np.asarray(labels, dtype=np.int64)
+    clean = float(np.mean(model.predict(encoded_queries) == labels))
+    result = CampaignResult(clean_accuracy=clean)
+    for mode in modes:
+        for rate in rates:
+            accs = []
+            for trial in range(trials):
+                rng = np.random.default_rng(
+                    hash((seed, mode, round(rate * 1e9), trial)) % (2**32)
+                )
+                attacked = attack_hdc_model(model, rate, mode, rng)
+                accs.append(
+                    float(np.mean(attacked.predict(encoded_queries) == labels))
+                )
+            result.cells.append(_summary(clean, accs, rate, mode))
+    return result
+
+
+def run_deployment_campaign(
+    deployment: QuantizedDeployment,
+    features: np.ndarray,
+    labels: np.ndarray,
+    rates: Sequence[float],
+    modes: Sequence[str] = ("random",),
+    trials: int = 3,
+    seed: int = 0,
+) -> CampaignResult:
+    """Attack a quantised baseline deployment across rates x modes x trials."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    labels = np.asarray(labels, dtype=np.int64)
+    clean = deployment.score(features, labels)
+    result = CampaignResult(clean_accuracy=clean)
+    for mode in modes:
+        for rate in rates:
+            accs = []
+            for trial in range(trials):
+                rng = np.random.default_rng(
+                    hash((seed, mode, round(rate * 1e9), trial)) % (2**32)
+                )
+                attacked = deployment.attacked(rate, mode, rng)
+                accs.append(attacked.score(features, labels))
+            result.cells.append(_summary(clean, accs, rate, mode))
+    return result

@@ -1,0 +1,115 @@
+"""Stochastic memory error processes beyond one-shot attacks.
+
+Bit-flip *attacks* (:mod:`repro.faults.bitflip`) corrupt a stored model
+once.  Technology noise is a process: DRAM cells leak continuously when
+refresh is relaxed, and worn-out NVM cells become *stuck* — they hold a
+value and silently ignore writes, which matters for RobustHD because
+probabilistic substitution cannot repair a stuck bit directly (healthy
+bits in the same chunk have to compensate).
+
+Three processes:
+
+* :class:`TransientFlipProcess` — i.i.d. flips at a rate per exposure
+  (the DRAM retention abstraction; each refresh-relaxation window is one
+  exposure).
+* :class:`StuckAtFaultMap` — a persistent map of dead bits with frozen
+  values; ``apply`` forces the stuck values onto a model, and calling it
+  again after any write models the write being ignored by dead cells.
+* :func:`dram_error_rate_for_interval` — convenience bridge from a
+  refresh interval to a flip rate via :class:`repro.pim.dram.DRAMModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import HDCModel
+from repro.faults.bitflip import flip_hdc_bits, sample_random_bits
+from repro.pim.dram import DEFAULT_DRAM, DRAMConfig, DRAMModel
+
+__all__ = [
+    "TransientFlipProcess",
+    "StuckAtFaultMap",
+    "dram_error_rate_for_interval",
+]
+
+
+class TransientFlipProcess:
+    """I.i.d. transient bit flips at a fixed rate per exposure.
+
+    Each call to :meth:`expose` flips a fresh ``rate`` fraction of the
+    model's stored bits, in place — the model accumulates damage across
+    exposures exactly as a relaxed-refresh DRAM accumulates retention
+    errors between scrubs.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = np.random.default_rng(seed)
+        self.exposures = 0
+
+    def expose(self, model: HDCModel) -> int:
+        """Apply one exposure; returns the number of bits flipped."""
+        bits = sample_random_bits(model.total_bits, self.rate, self.rng)
+        flip_hdc_bits(model, bits)
+        self.exposures += 1
+        return bits.shape[0]
+
+
+class StuckAtFaultMap:
+    """Persistent stuck-at faults over an HDC model's bit space.
+
+    A fraction of bit addresses is dead; each dead bit is frozen at a
+    random value (stuck-at-0 or stuck-at-1 with equal probability, the
+    unbiased wear-out assumption).  :meth:`apply` overwrites the model's
+    dead bits with their stuck values — call it after *every* model write
+    to emulate the memory discarding writes to dead cells.
+
+    Only 1-bit models are supported: the stuck map addresses model
+    elements directly, mirroring how the recovery loop sees memory.
+    """
+
+    def __init__(
+        self, model_shape: tuple[int, int], rate: float, rng: np.random.Generator
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        num_classes, dim = model_shape
+        if num_classes < 1 or dim < 1:
+            raise ValueError(f"bad model shape {model_shape}")
+        total = num_classes * dim
+        count = int(round(rate * total))
+        flat = rng.choice(total, size=count, replace=False)
+        self.shape = (num_classes, dim)
+        self.indices = np.sort(flat)
+        self.values = rng.integers(0, 2, size=count, dtype=np.uint8)
+
+    @property
+    def num_stuck(self) -> int:
+        return self.indices.shape[0]
+
+    def apply(self, model: HDCModel) -> int:
+        """Force stuck values onto the model in place.
+
+        Returns how many bits actually changed (i.e. how many writes the
+        dead cells discarded since the last enforcement).
+        """
+        if model.bits != 1:
+            raise ValueError("StuckAtFaultMap requires a 1-bit model")
+        if model.class_hv.shape != self.shape:
+            raise ValueError(
+                f"model shape {model.class_hv.shape} != fault map {self.shape}"
+            )
+        flat = model.class_hv.reshape(-1)
+        changed = int(np.count_nonzero(flat[self.indices] != self.values))
+        flat[self.indices] = self.values
+        return changed
+
+
+def dram_error_rate_for_interval(
+    interval_ms: float, config: DRAMConfig = DEFAULT_DRAM
+) -> float:
+    """Raw flip rate produced by one relaxed refresh interval."""
+    return float(np.asarray(DRAMModel(config).error_rate(interval_ms)))

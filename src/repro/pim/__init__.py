@@ -1,0 +1,49 @@
+"""Processing-in-memory substrate: devices, crossbar, costs, lifetime."""
+
+from repro.pim.crossbar import Crossbar, OpCost
+from repro.pim.dpim import DPIM, DPIMConfig
+from repro.pim.dram import DEFAULT_DRAM, DRAMConfig, DRAMModel
+from repro.pim.ecc import SECDED, DecodeResult, ECCStats
+from repro.pim.endurance import (
+    SECONDS_PER_YEAR,
+    LifetimePoint,
+    LifetimeProjector,
+    WearTracker,
+)
+from repro.pim.gpu import GTX_1080, GPUConfig, GPUModel
+from repro.pim.mapping import (
+    Placement,
+    map_dnn_model,
+    map_hdc_model,
+    wear_tracker_for,
+    writes_per_cell_per_inference,
+)
+from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice, WearModel
+
+__all__ = [
+    "Crossbar",
+    "DEFAULT_DEVICE",
+    "DEFAULT_DRAM",
+    "DPIM",
+    "DPIMConfig",
+    "DRAMConfig",
+    "DRAMModel",
+    "DecodeResult",
+    "ECCStats",
+    "GPUConfig",
+    "GPUModel",
+    "GTX_1080",
+    "LifetimePoint",
+    "LifetimeProjector",
+    "NVMDevice",
+    "OpCost",
+    "Placement",
+    "SECDED",
+    "SECONDS_PER_YEAR",
+    "WearModel",
+    "WearTracker",
+    "map_dnn_model",
+    "map_hdc_model",
+    "wear_tracker_for",
+    "writes_per_cell_per_inference",
+]

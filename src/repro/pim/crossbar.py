@@ -1,0 +1,209 @@
+"""Digital PIM crossbar: row-parallel in-memory NOR and derived gates.
+
+Section 5.1 of the paper: DPIM "selects three or more columns of the
+memory as input NOR operands", drives the output column, and "this NOR
+computation performs in row-parallel on all the activated memory rows".
+All richer bitwise operations (NOT/OR/AND/XOR, and the bit-serial adders
+the arithmetic model builds on) are composed from this single primitive,
+exactly as in the MAGIC family of designs the paper cites.
+
+:class:`Crossbar` is a *functional + costed* simulator:
+
+* functionally it stores a bit matrix and executes NOR over selected
+  columns for all rows at once (so computed results are real, and the
+  tests can check them against numpy truth);
+* every executed primitive is metered: cycles (one NOR per cycle),
+  output-column writes (each NOR evaluation switches the output cell),
+  initialisation writes (output cells are preset to ``R_ON``), and energy
+  (via the :class:`~repro.pim.nvm.NVMDevice` constants).
+
+:class:`OpCost` aggregates the metering; the architecture model in
+:mod:`repro.pim.dpim` works with these costs symbolically for large
+workloads where simulating every bit would be pointless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice
+
+__all__ = ["OpCost", "Crossbar"]
+
+
+@dataclass
+class OpCost:
+    """Metered cost of a sequence of in-memory operations.
+
+    ``cycles`` is serial depth (latency); ``gate_evals`` is the total
+    number of NOR evaluations (each occupies one lane for one cycle, so
+    it sets throughput on a work-conserving mapping); ``writes`` counts
+    the cell switching events (``gate_evals`` times the switching
+    activity), which drive both energy and endurance.
+    """
+
+    cycles: int = 0
+    writes: int = 0
+    reads: int = 0
+    gate_evals: int = 0
+    energy_j: float = 0.0
+
+    def __iadd__(self, other: "OpCost") -> "OpCost":
+        self.cycles += other.cycles
+        self.writes += other.writes
+        self.reads += other.reads
+        self.gate_evals += other.gate_evals
+        self.energy_j += other.energy_j
+        return self
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            cycles=self.cycles + other.cycles,
+            writes=self.writes + other.writes,
+            reads=self.reads + other.reads,
+            gate_evals=self.gate_evals + other.gate_evals,
+            energy_j=self.energy_j + other.energy_j,
+        )
+
+    def scaled(self, factor: int | float) -> "OpCost":
+        """Cost of repeating this operation ``factor`` times."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return OpCost(
+            cycles=int(round(self.cycles * factor)),
+            writes=int(round(self.writes * factor)),
+            reads=int(round(self.reads * factor)),
+            gate_evals=int(round(self.gate_evals * factor)),
+            energy_j=self.energy_j * factor,
+        )
+
+    def latency_s(self, device: NVMDevice = DEFAULT_DEVICE) -> float:
+        """Wall-clock latency given the device's switching delay."""
+        return self.cycles * device.switching_delay_s
+
+
+class Crossbar:
+    """A rows x cols bit array with in-memory NOR compute.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array geometry.  Typical arrays are 1024 x 1024; tests use small
+        ones.
+    device:
+        Device corner used for energy metering.
+    """
+
+    def __init__(
+        self, rows: int, cols: int, device: NVMDevice = DEFAULT_DEVICE
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"rows and cols must be >= 1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.device = device
+        self.data = np.zeros((rows, cols), dtype=np.uint8)
+        self.write_counts = np.zeros((rows, cols), dtype=np.int64)
+        self.cost = OpCost()
+
+    # -- plain memory traffic -------------------------------------------------
+
+    def write_column(self, col: int, bits: np.ndarray) -> None:
+        """Program a full column (one cycle, one write per changed cell)."""
+        self._check_col(col)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.rows,):
+            raise ValueError(f"expected {self.rows} bits, got shape {bits.shape}")
+        switched = self.data[:, col] != bits
+        self.data[:, col] = bits
+        self.write_counts[:, col] += switched
+        self._meter_writes(int(np.count_nonzero(switched)), cycles=1)
+
+    def read_column(self, col: int) -> np.ndarray:
+        """Sense a full column (one cycle, one read per cell)."""
+        self._check_col(col)
+        self.cost.cycles += 1
+        self.cost.reads += self.rows
+        self.cost.energy_j += self.rows * self.device.read_energy_j
+        return self.data[:, col].copy()
+
+    # -- compute primitives ---------------------------------------------------
+
+    def nor(self, input_cols: Sequence[int], output_col: int) -> None:
+        """Row-parallel NOR of ``input_cols`` into ``output_col``.
+
+        Mirrors the hardware sequence: the output column is first
+        initialised to ``R_ON`` (logic 1), then any input holding 1 pulls
+        the output to ``R_OFF`` (logic 0).  One compute cycle plus one
+        initialisation cycle; writes are counted per actually-switched
+        output cell plus the initialisation writes.
+        """
+        if len(input_cols) < 1:
+            raise ValueError("nor needs at least one input column")
+        for c in input_cols:
+            self._check_col(c)
+        self._check_col(output_col)
+        if output_col in input_cols:
+            raise ValueError("output column cannot be one of the inputs")
+        inputs = self.data[:, list(input_cols)]
+        result = (inputs.sum(axis=1) == 0).astype(np.uint8)
+        self.cost.gate_evals += self.rows
+        # Initialisation: preset output cells to 1 (R_ON); only cells
+        # currently at 0 physically switch.
+        init_switching = self.data[:, output_col] == 0
+        self.data[:, output_col] = 1
+        self.write_counts[:, output_col] += init_switching
+        self._meter_writes(int(np.count_nonzero(init_switching)), cycles=1)
+        # Evaluation: rows with any 1 input switch the output to 0.
+        eval_switching = result == 0
+        self.data[:, output_col] = result
+        self.write_counts[:, output_col] += eval_switching
+        self._meter_writes(int(np.count_nonzero(eval_switching)), cycles=1)
+
+    def not_(self, input_col: int, output_col: int) -> None:
+        """NOT via single-input NOR."""
+        self.nor([input_col], output_col)
+
+    def or_(self, a: int, b: int, output_col: int, scratch: int) -> None:
+        """OR = NOT(NOR(a, b)); needs one scratch column."""
+        self.nor([a, b], scratch)
+        self.not_(scratch, output_col)
+
+    def and_(self, a: int, b: int, output_col: int, scratch: tuple[int, int]) -> None:
+        """AND = NOR(NOT a, NOT b); needs two scratch columns."""
+        s0, s1 = scratch
+        self.not_(a, s0)
+        self.not_(b, s1)
+        self.nor([s0, s1], output_col)
+
+    def xor(
+        self, a: int, b: int, output_col: int, scratch: tuple[int, int, int]
+    ) -> None:
+        """XOR as the standard 5-NOR MAGIC sequence, row-parallel.
+
+        ``s1 = NOR(a, NOR(a,b))`` is 1 only for (a=0, b=1) and
+        ``s2 = NOR(b, NOR(a,b))`` only for (a=1, b=0); their NOR is XNOR,
+        and a final NOT yields XOR.  Uses three scratch columns.
+        """
+        s0, s1, s2 = scratch
+        if len({a, b, output_col, s0, s1, s2}) != 6:
+            raise ValueError("xor requires six distinct columns")
+        self.nor([a, b], s0)       # s0 = NOR(a, b)
+        self.nor([a, s0], s1)      # s1 = 1 iff a=0, b=1
+        self.nor([b, s0], s2)      # s2 = 1 iff a=1, b=0
+        self.nor([s1, s2], s0)     # s0 = XNOR(a, b)
+        self.not_(s0, output_col)  # out = XOR(a, b)
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_col(self, col: int) -> None:
+        if not 0 <= col < self.cols:
+            raise IndexError(f"column {col} out of range [0, {self.cols})")
+
+    def _meter_writes(self, switched: int, cycles: int) -> None:
+        self.cost.cycles += cycles
+        self.cost.writes += switched
+        self.cost.energy_j += switched * self.device.write_energy_j

@@ -1,0 +1,281 @@
+"""DPIM architecture model: cycle/energy/write accounting for ML kernels.
+
+:mod:`repro.pim.crossbar` simulates NOR compute bit-for-bit; that is the
+right tool for correctness tests but not for metering a 10,000-dimension
+workload.  This module carries the same cost rules *analytically*:
+
+* every derived gate has a known NOR count (XOR = 5, full adder = 9 — the
+  MAGIC mappings the paper builds on [24, 32]);
+* one NOR over a column is one cycle, regardless of how many rows
+  (lanes) evaluate it — that is the row-parallelism of Section 5.1;
+* every gate evaluation writes its output cell (plus the initialisation
+  write), which is what couples compute to endurance (Section 5.3);
+* an ``N``-bit multiply is a shift-add sequence whose cycle count grows
+  quadratically with ``N`` — "the number of sequential cycles ... is
+  increasing quadratically with the bit-width during PIM multiplication"
+  (Section 5.3) — while HDC needs only XOR and popcount.
+
+The two top-level kernels mirror the paper's comparison:
+
+* :meth:`DPIM.hdc_inference` — encode (bind + bundle) and classify
+  (XOR + popcount against ``k`` class hypervectors) one input;
+* :meth:`DPIM.dnn_inference` — fixed-point dense layers at ``width`` bits.
+
+Costs come back as :class:`~repro.pim.crossbar.OpCost`, so latency and
+energy derive from the same device constants as the functional simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Sequence
+
+from repro.pim.crossbar import OpCost
+from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice
+
+__all__ = ["DPIMConfig", "DPIM", "NOR_PER_XOR", "NOR_PER_FULL_ADDER"]
+
+# MAGIC-style gate mappings (NOR evaluations per derived gate).
+NOR_PER_XOR = 5
+NOR_PER_FULL_ADDER = 9
+NOR_PER_AND = 3
+
+
+@dataclass(frozen=True)
+class DPIMConfig:
+    """Geometry and device corner of one DPIM chip.
+
+    Attributes
+    ----------
+    array_rows, array_cols:
+        Crossbar tile geometry.
+    num_arrays:
+        Tiles per chip; ``num_arrays * array_rows`` is the number of
+        parallel lanes a column-wise gate evaluates at once.
+    device:
+        NVM device corner (energy, switching delay, endurance).
+    switch_activity:
+        Fraction of gate evaluations whose output cell actually toggles;
+        with random data each NOR's init+eval writes the cell about once
+        on average, and this factor lets the energy model reflect that
+        rather than double count.
+    """
+
+    array_rows: int = 1024
+    array_cols: int = 1024
+    num_arrays: int = 8192
+    device: NVMDevice = DEFAULT_DEVICE
+    switch_activity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.array_rows < 1 or self.array_cols < 1 or self.num_arrays < 1:
+            raise ValueError("array geometry values must all be >= 1")
+        if not 0.0 < self.switch_activity <= 2.0:
+            raise ValueError(
+                f"switch_activity must be in (0, 2], got {self.switch_activity}"
+            )
+
+    @property
+    def parallel_lanes(self) -> int:
+        """Rows evaluating a column-wise gate simultaneously, chip-wide."""
+        return self.array_rows * self.num_arrays
+
+
+class DPIM:
+    """Analytic DPIM cost model for the paper's two workload families."""
+
+    def __init__(self, config: DPIMConfig | None = None) -> None:
+        self.config = config or DPIMConfig()
+
+    # -- primitive cost rules --------------------------------------------------
+
+    def _gates_cost(self, serial_gates: int, total_gates: int) -> OpCost:
+        """Cost of a kernel with ``serial_gates`` of gate depth and
+        ``total_gates`` gate evaluations overall.
+
+        Depth sets cycles (each gate level is one NOR cycle plus its
+        init cycle); volume sets writes and energy.
+        """
+        if serial_gates < 0 or total_gates < 0:
+            raise ValueError("gate counts must be >= 0")
+        device = self.config.device
+        writes = int(round(total_gates * self.config.switch_activity))
+        return OpCost(
+            cycles=2 * serial_gates,  # init + evaluate per gate level
+            writes=writes,
+            reads=0,
+            gate_evals=total_gates,
+            energy_j=writes * device.write_energy_j,
+        )
+
+    @property
+    def nor_bandwidth_per_s(self) -> float:
+        """Chip-wide NOR evaluations per second on a work-conserving
+        mapping: every lane evaluates one gate per two cycles (init +
+        evaluate) at the device switching rate."""
+        return (
+            self.config.parallel_lanes
+            / (2.0 * self.config.device.switching_delay_s)
+        )
+
+    def throughput_per_s(self, cost: OpCost) -> float:
+        """Sustained kernel executions per second for a metered kernel.
+
+        Batch throughput is work-limited: the chip retires
+        ``nor_bandwidth_per_s`` gate evaluations per second, and one
+        kernel execution consumes ``cost.gate_evals`` of them.  (Latency
+        of a single execution is ``cost.latency_s()``; throughput is what
+        Figure 2 compares, since both the paper's PIM and GPU baselines
+        run throughput-oriented TensorFlow backends.)
+        """
+        if cost.gate_evals <= 0:
+            raise ValueError("cost has no gate evaluations")
+        return self.nor_bandwidth_per_s / cost.gate_evals
+
+    def _lane_batches(self, lanes_needed: int) -> int:
+        """How many sequential passes a lane demand requires."""
+        if lanes_needed < 0:
+            raise ValueError("lanes_needed must be >= 0")
+        return max(1, ceil(lanes_needed / self.config.parallel_lanes))
+
+    def xor_vectors(self, num_bits: int, num_pairs: int = 1) -> OpCost:
+        """XOR ``num_pairs`` bit-vector pairs of ``num_bits`` each.
+
+        Bits map onto lanes; gate depth is the XOR's 5 NORs times the
+        number of lane batches needed to cover every bit.
+        """
+        if num_bits < 1 or num_pairs < 1:
+            raise ValueError("num_bits and num_pairs must be >= 1")
+        batches = self._lane_batches(num_bits * num_pairs)
+        depth = NOR_PER_XOR * batches
+        total = NOR_PER_XOR * num_bits * num_pairs
+        return self._gates_cost(depth, total)
+
+    def popcount(self, num_bits: int, copies: int = 1) -> OpCost:
+        """Population count of ``num_bits`` bits (``copies`` in parallel).
+
+        A reduction tree: level ``l`` adds pairs of ``l``-bit partial
+        counts with ``l+1``-bit ripple adders (9 NORs per bit).  The tree
+        has ``log2(num_bits)`` levels; the depth is the sum of per-level
+        adder depths and the volume is one full adder per eliminated bit
+        at each level.
+        """
+        if num_bits < 1:
+            raise ValueError("num_bits must be >= 1")
+        levels = max(1, ceil(log2(num_bits)))
+        depth_gates = 0
+        total_gates = 0
+        remaining = num_bits
+        for level in range(1, levels + 1):
+            adder_width = level + 1
+            pairs = remaining // 2
+            if pairs == 0:
+                break
+            batches = self._lane_batches(pairs * copies)
+            depth_gates += NOR_PER_FULL_ADDER * adder_width * batches
+            total_gates += NOR_PER_FULL_ADDER * adder_width * pairs * copies
+            remaining = remaining - pairs
+        return self._gates_cost(depth_gates, total_gates)
+
+    def fixed_add(self, width: int, count: int = 1) -> OpCost:
+        """``count`` parallel ripple-carry adds of ``width``-bit values."""
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        batches = self._lane_batches(count)
+        depth = NOR_PER_FULL_ADDER * width * batches
+        total = NOR_PER_FULL_ADDER * width * count
+        return self._gates_cost(depth, total)
+
+    def fixed_multiply(self, width: int, count: int = 1) -> OpCost:
+        """``count`` parallel ``width x width``-bit shift-add multiplies.
+
+        ``width`` partial products (one AND plane each) plus
+        ``width - 1`` accumulating adds of up to ``2*width`` bits — the
+        quadratic-in-bit-width cost Section 5.3 describes.
+        """
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        batches = self._lane_batches(count)
+        and_depth = NOR_PER_AND * width
+        add_depth = NOR_PER_FULL_ADDER * 2 * width * (width - 1)
+        depth = (and_depth + add_depth) * batches
+        per_mult = NOR_PER_AND * width * width + NOR_PER_FULL_ADDER * 2 * width * (
+            width - 1
+        )
+        return self._gates_cost(depth, per_mult * count)
+
+    # -- workload kernels --------------------------------------------------------
+
+    def hdc_encode(self, num_features: int, dim: int) -> OpCost:
+        """Encode one input: bind every feature's level HV, bundle, threshold.
+
+        ``num_features`` XORs of ``dim`` bits, a popcount-style add tree
+        per dimension over the ``num_features`` bound bits, and one final
+        compare (an add-width subtract) per dimension.
+        """
+        cost = self.xor_vectors(dim, num_pairs=num_features)
+        # Per-dimension accumulation of num_features one-bit values is a
+        # popcount of num_features bits, done for `dim` dimensions.
+        cost += self.popcount(num_features, copies=dim)
+        # Majority threshold: one comparison (subtract) per dimension.
+        cmp_width = max(1, ceil(log2(max(2, num_features))))
+        cost += self.fixed_add(cmp_width, count=dim)
+        return cost
+
+    def hdc_classify(self, dim: int, num_classes: int) -> OpCost:
+        """Hamming-score one encoded query against ``num_classes`` classes."""
+        cost = self.xor_vectors(dim, num_pairs=num_classes)
+        cost += self.popcount(dim, copies=num_classes)
+        return cost
+
+    def hdc_inference(
+        self, num_features: int, dim: int, num_classes: int
+    ) -> OpCost:
+        """Full HDC pipeline for one input: encode then classify."""
+        return self.hdc_encode(num_features, dim) + self.hdc_classify(
+            dim, num_classes
+        )
+
+    def dnn_inference(self, layer_widths: Sequence[int], width: int = 8) -> OpCost:
+        """One forward pass of a dense network at ``width``-bit precision.
+
+        ``layer_widths`` is ``[input, hidden..., output]``.  Every MAC is
+        a ``width``-bit multiply plus a ``2*width``-bit accumulate; each
+        layer also pays an adder-tree reduction over its fan-in.
+        """
+        if len(layer_widths) < 2:
+            raise ValueError("need at least input and output layer widths")
+        if any(w < 1 for w in layer_widths):
+            raise ValueError("layer widths must all be >= 1")
+        cost = OpCost()
+        for fan_in, fan_out in zip(layer_widths[:-1], layer_widths[1:]):
+            macs = fan_in * fan_out
+            cost += self.fixed_multiply(width, count=macs)
+            # Accumulation tree per output neuron across fan_in products.
+            levels = max(1, ceil(log2(max(2, fan_in))))
+            adds = (fan_in - 1) * fan_out
+            batches = self._lane_batches(fan_out * fan_in // 2 or 1)
+            depth = NOR_PER_FULL_ADDER * 2 * width * levels * batches
+            total = NOR_PER_FULL_ADDER * 2 * width * adds
+            cost += self._gates_cost(depth, total)
+        return cost
+
+    # -- endurance coupling -------------------------------------------------------
+
+    def writes_per_cell(self, cost: OpCost, active_cells: int | None = None) -> float:
+        """Average writes landing on each active cell for a metered kernel.
+
+        ``active_cells`` defaults to the chip's full cell count; pass the
+        actual mapped region to model a dense mapping (worse wear) or a
+        wear-levelled spread (better).
+        """
+        if active_cells is None:
+            active_cells = (
+                self.config.num_arrays
+                * self.config.array_rows
+                * self.config.array_cols
+            )
+        if active_cells < 1:
+            raise ValueError("active_cells must be >= 1")
+        return cost.writes / active_cells

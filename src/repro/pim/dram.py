@@ -1,0 +1,111 @@
+"""DRAM refresh-relaxation model (paper Section 6.6, Figure 4b).
+
+DRAM spends a major fraction of its power refreshing decaying cells
+every 64 ms.  Relaxing the refresh interval saves that power but lets
+the weakest cells drop bits — harmless for an HDC model, catastrophic
+for conventional weights.  Figure 4b quantifies the trade: refresh
+relaxed until the raw error rate is 4% (6%) buys ~14% (22%) energy
+efficiency.
+
+Model components:
+
+* **Retention tail.**  Within the guaranteed 64 ms interval no cell
+  leaks; past it, weak cells fail with a Weibull tail
+  ``P(t) = 1 - exp(-((t - t0) / lambda_ms) ** k)``.  The default shape
+  and scale are calibrated so the error-rate-vs-interval curve passes
+  through the paper's two quoted operating points (see
+  ``DEFAULT_DRAM`` and EXPERIMENTS.md).
+* **Energy.**  Refresh consumes ``refresh_energy_fraction`` of DRAM
+  energy at the 64 ms baseline and scales inversely with the interval;
+  the rest of the energy is interval-independent.  Efficiency
+  improvement is the reciprocal energy ratio minus one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DRAMConfig", "DRAMModel", "DEFAULT_DRAM"]
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Retention-tail and refresh-energy constants."""
+
+    base_interval_ms: float = 64.0
+    refresh_energy_fraction: float = 0.25
+    weibull_shape: float = 0.423
+    weibull_scale_ms: float = 119_000.0
+
+    def __post_init__(self) -> None:
+        if self.base_interval_ms <= 0:
+            raise ValueError("base_interval_ms must be > 0")
+        if not 0.0 < self.refresh_energy_fraction < 1.0:
+            raise ValueError("refresh_energy_fraction must be in (0, 1)")
+        if self.weibull_shape <= 0 or self.weibull_scale_ms <= 0:
+            raise ValueError("Weibull parameters must be > 0")
+
+
+DEFAULT_DRAM = DRAMConfig()
+
+
+class DRAMModel:
+    """Error-rate and energy consequences of a relaxed refresh interval."""
+
+    def __init__(self, config: DRAMConfig = DEFAULT_DRAM) -> None:
+        self.config = config
+
+    def error_rate(self, interval_ms: float | np.ndarray) -> np.ndarray | float:
+        """Raw bit-error rate when refreshing every ``interval_ms``."""
+        t = np.asarray(interval_ms, dtype=np.float64)
+        if (t <= 0).any():
+            raise ValueError("interval_ms must be > 0")
+        cfg = self.config
+        excess = np.maximum(t - cfg.base_interval_ms, 0.0)
+        rate = 1.0 - np.exp(-((excess / cfg.weibull_scale_ms) ** cfg.weibull_shape))
+        return rate if rate.shape else float(rate)
+
+    def interval_for_error_rate(self, target_rate: float) -> float:
+        """Refresh interval producing a given raw error rate (inverse)."""
+        if not 0.0 < target_rate < 1.0:
+            raise ValueError("target_rate must be in (0, 1)")
+        cfg = self.config
+        excess = cfg.weibull_scale_ms * (-np.log(1.0 - target_rate)) ** (
+            1.0 / cfg.weibull_shape
+        )
+        return float(cfg.base_interval_ms + excess)
+
+    def relative_energy(self, interval_ms: float | np.ndarray) -> np.ndarray | float:
+        """Energy per unit work relative to the 64 ms baseline (<= 1)."""
+        t = np.asarray(interval_ms, dtype=np.float64)
+        if (t < self.config.base_interval_ms).any():
+            raise ValueError(
+                "interval_ms must be >= the base refresh interval"
+            )
+        f = self.config.refresh_energy_fraction
+        energy = (1.0 - f) + f * self.config.base_interval_ms / t
+        return energy if energy.shape else float(energy)
+
+    def efficiency_improvement(
+        self, interval_ms: float | np.ndarray
+    ) -> np.ndarray | float:
+        """Energy-efficiency gain over the 64 ms baseline (0 at baseline)."""
+        energy = np.asarray(self.relative_energy(interval_ms))
+        gain = 1.0 / energy - 1.0
+        return gain if gain.shape else float(gain)
+
+    def efficiency_at_error_rate(self, target_rate: float) -> float:
+        """Efficiency gain at the interval that yields ``target_rate`` errors.
+
+        This is the Figure 4b x-to-y mapping: e.g. a 4% error rate should
+        return ~0.14 with the default calibration.
+        """
+        return float(
+            np.asarray(
+                self.efficiency_improvement(
+                    self.interval_for_error_rate(target_rate)
+                )
+            )
+        )

@@ -1,0 +1,182 @@
+"""Error-correcting code substrate: Hamming SECDED and its costs.
+
+Section 5.2: memories pair wear-leveling with ECC, and "the cost of ECC
+can dominate the system performance when we deal with noisy memory
+blocks".  One of RobustHD's selling points (Section 6.6) is that the HDC
+representation plus self-recovery makes this machinery unnecessary.  To
+*show* that, the reproduction needs a real ECC to compare against — both
+its correction behaviour and its overhead.
+
+This module implements Hamming(72,64) SECDED (the standard DRAM word
+code) generically as SECDED over any power-of-two data width: single-bit
+errors are corrected, double-bit errors are detected, and the storage
+overhead, per-access energy and latency multipliers are exposed so the
+DRAM/PIM efficiency models can charge for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SECDED", "ECCStats", "DecodeResult"]
+
+
+@dataclass
+class ECCStats:
+    """Counters across a decode campaign."""
+
+    words: int = 0
+    corrected: int = 0
+    detected_uncorrectable: int = 0
+    undetected: int = 0
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    data: np.ndarray
+    corrected: bool
+    uncorrectable: bool
+
+
+class SECDED:
+    """Single-error-correct, double-error-detect Hamming code.
+
+    Parameters
+    ----------
+    data_bits:
+        Word width to protect; 64 gives the classic (72, 64) DRAM code.
+
+    The code uses ``r`` parity bits with ``2**r >= data_bits + r + 1``
+    plus one overall parity bit for the double-error detect.
+    """
+
+    def __init__(self, data_bits: int = 64) -> None:
+        if data_bits < 1:
+            raise ValueError("data_bits must be >= 1")
+        self.data_bits = data_bits
+        r = 0
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        self.parity_bits = r
+        self.code_bits = data_bits + r + 1  # +1 overall parity
+        # Position map: codeword positions 1..(n-1) in classic Hamming
+        # layout; powers of two hold parity, the rest hold data.
+        n = data_bits + r
+        self._data_pos = np.array(
+            [p for p in range(1, n + 1) if p & (p - 1) != 0], dtype=np.int64
+        )
+        self._parity_pos = np.array([1 << i for i in range(r)], dtype=np.int64)
+
+    @property
+    def overhead(self) -> float:
+        """Storage overhead fraction, e.g. 0.125 for (72, 64)."""
+        return (self.code_bits - self.data_bits) / self.data_bits
+
+    # Energy/latency multipliers relative to an unprotected access; the
+    # syndrome XOR tree is charged per touched bit.
+    @property
+    def access_energy_multiplier(self) -> float:
+        """Extra bits moved + syndrome logic per access."""
+        return self.code_bits / self.data_bits * 1.10
+
+    @property
+    def access_latency_multiplier(self) -> float:
+        """Decode sits on the read critical path."""
+        return 1.25
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode a length-``data_bits`` 0/1 vector into a codeword."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.data_bits,):
+            raise ValueError(
+                f"expected {self.data_bits} data bits, got shape {data.shape}"
+            )
+        if ((data != 0) & (data != 1)).any():
+            raise ValueError("data must be binary")
+        n = self.data_bits + self.parity_bits
+        word = np.zeros(n + 1, dtype=np.uint8)  # index 0 = overall parity
+        word[self._data_pos] = data
+        for i, p in enumerate(self._parity_pos):
+            # Parity bit i covers positions with bit i set.
+            covered = np.arange(1, n + 1)
+            covered = covered[(covered & p) != 0]
+            word[p] = np.bitwise_xor.reduce(word[covered]) ^ word[p]
+        word[0] = np.bitwise_xor.reduce(word[1:])
+        return word
+
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        """Decode, correcting single flips and flagging double flips."""
+        word = np.asarray(codeword, dtype=np.uint8).copy()
+        n = self.data_bits + self.parity_bits
+        if word.shape != (n + 1,):
+            raise ValueError(f"expected {n + 1} code bits, got shape {word.shape}")
+        syndrome = 0
+        for i, p in enumerate(self._parity_pos):
+            covered = np.arange(1, n + 1)
+            covered = covered[(covered & p) != 0]
+            if np.bitwise_xor.reduce(word[covered]):
+                syndrome |= p
+        overall = int(np.bitwise_xor.reduce(word))
+        corrected = False
+        uncorrectable = False
+        if syndrome == 0 and overall == 0:
+            pass  # clean
+        elif overall == 1:
+            # Odd number of flips; assume one and correct it.
+            if syndrome == 0:
+                word[0] ^= 1  # the overall parity bit itself flipped
+            elif syndrome <= n:
+                word[syndrome] ^= 1
+            else:
+                uncorrectable = True
+            corrected = not uncorrectable
+        else:
+            # Even flips with nonzero syndrome: double error detected.
+            uncorrectable = True
+        return DecodeResult(
+            data=word[self._data_pos].copy(),
+            corrected=corrected,
+            uncorrectable=uncorrectable,
+        )
+
+    def scrub(
+        self,
+        data_words: np.ndarray,
+        error_rate: float,
+        rng: np.random.Generator,
+        stats: ECCStats | None = None,
+    ) -> np.ndarray:
+        """Encode, corrupt at ``error_rate``, decode a batch of words.
+
+        Returns the recovered data ``(num_words, data_bits)``; useful for
+        measuring residual error rates after ECC at a given raw error
+        rate (the quantity that decides when ECC stops being enough).
+        """
+        data_words = np.atleast_2d(np.asarray(data_words, dtype=np.uint8))
+        if data_words.shape[1] != self.data_bits:
+            raise ValueError(
+                f"expected words of {self.data_bits} bits, got "
+                f"{data_words.shape[1]}"
+            )
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        out = np.empty_like(data_words)
+        for i, data in enumerate(data_words):
+            code = self.encode(data)
+            flips = rng.random(code.shape[0]) < error_rate
+            code ^= flips.astype(np.uint8)
+            result = self.decode(code)
+            out[i] = result.data
+            if stats is not None:
+                stats.words += 1
+                if result.corrected:
+                    stats.corrected += 1
+                if result.uncorrectable:
+                    stats.detected_uncorrectable += 1
+                elif (result.data != data).any():
+                    stats.undetected += 1
+        return out

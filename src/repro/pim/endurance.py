@@ -1,0 +1,169 @@
+"""Endurance tracking, wear-leveling and PIM lifetime projection.
+
+Section 5.3: PIM arithmetic causes extensive switching in NVM cells, so
+an accelerator's lifetime is set by how fast compute traffic burns
+through the 10^9-write endurance budget, and by how much damage the
+running algorithm can absorb.  Section 6.5 turns this into Figure 4a:
+accuracy of the accelerated model as a function of deployment time.
+
+This module provides the pieces:
+
+* :class:`WearTracker` — per-region write accounting with an optional
+  wear-leveling remapper; wear-leveling spreads writes uniformly (the
+  ideal rotation), no wear-leveling concentrates them on the mapped
+  fraction of the chip.
+* :class:`LifetimeProjector` — converts a workload's writes/inference and
+  an inference rate into per-cell wear over time, then through the
+  :class:`~repro.pim.nvm.WearModel` into a bit-error-rate trajectory, and
+  finally — via a caller-supplied ``loss_at_error_rate`` curve — into the
+  accuracy-over-time series of Figure 4a and the "time until quality
+  loss exceeds X%" summary the paper quotes (DNN < 3 months; HDC 3.4 / 5
+  years at D = 4k / 10k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice, WearModel
+
+__all__ = ["WearTracker", "LifetimePoint", "LifetimeProjector", "SECONDS_PER_YEAR"]
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+class WearTracker:
+    """Per-region write accounting with optional ideal wear-leveling.
+
+    The tracker models the chip as ``num_regions`` equally sized cell
+    groups.  Without wear-leveling, traffic lands where the workload maps
+    it (callers add writes to explicit regions).  With wear-leveling, all
+    traffic is spread uniformly — the upper bound a rotation scheme
+    approaches.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        num_regions: int = 64,
+        wear_leveling: bool = True,
+    ) -> None:
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        if num_regions < 1 or num_regions > num_cells:
+            raise ValueError("need 1 <= num_regions <= num_cells")
+        self.num_cells = num_cells
+        self.num_regions = num_regions
+        self.wear_leveling = wear_leveling
+        self.region_writes = np.zeros(num_regions, dtype=np.float64)
+
+    @property
+    def cells_per_region(self) -> float:
+        return self.num_cells / self.num_regions
+
+    def add_writes(self, total_writes: float, region: int | None = None) -> None:
+        """Record write traffic.
+
+        With wear-leveling (or ``region=None``) the writes spread over all
+        regions; otherwise they land on one region — the dense-mapping
+        worst case.
+        """
+        if total_writes < 0:
+            raise ValueError("total_writes must be >= 0")
+        if self.wear_leveling or region is None:
+            self.region_writes += total_writes / self.num_regions
+        else:
+            if not 0 <= region < self.num_regions:
+                raise IndexError(
+                    f"region {region} out of range [0, {self.num_regions})"
+                )
+            self.region_writes[region] += total_writes
+
+    def writes_per_cell(self) -> np.ndarray:
+        """Average per-cell write count in each region."""
+        return self.region_writes / self.cells_per_region
+
+    def max_writes_per_cell(self) -> float:
+        """Worst-region per-cell wear — what limits lifetime."""
+        return float(self.writes_per_cell().max())
+
+
+@dataclass(frozen=True)
+class LifetimePoint:
+    """One point of an accuracy-over-time trajectory."""
+
+    time_s: float
+    writes_per_cell: float
+    bit_error_rate: float
+    quality_loss: float
+
+
+class LifetimeProjector:
+    """Accuracy-over-time projection for a PIM-resident learner.
+
+    Parameters
+    ----------
+    writes_per_cell_per_second:
+        Wear rate of the busiest cells, derived from the workload's
+        :class:`~repro.pim.crossbar.OpCost` (writes per inference), the
+        inference rate, and the mapped cell count (after wear-leveling).
+    loss_at_error_rate:
+        Callable mapping a model bit-error rate to quality loss (a
+        fraction); measured empirically by the experiment harness via
+        bit-flip campaigns on the actual learner.
+    device:
+        NVM corner supplying the endurance distribution.
+    """
+
+    def __init__(
+        self,
+        writes_per_cell_per_second: float,
+        loss_at_error_rate: Callable[[float], float],
+        device: NVMDevice = DEFAULT_DEVICE,
+    ) -> None:
+        if writes_per_cell_per_second <= 0:
+            raise ValueError("writes_per_cell_per_second must be > 0")
+        self.rate = writes_per_cell_per_second
+        self.loss_at_error_rate = loss_at_error_rate
+        self.wear = WearModel(device)
+
+    def at(self, time_s: float) -> LifetimePoint:
+        """Project the trajectory at one instant."""
+        if time_s < 0:
+            raise ValueError("time_s must be >= 0")
+        writes = self.rate * time_s
+        ber = float(np.asarray(self.wear.bit_error_rate(writes)))
+        return LifetimePoint(
+            time_s=time_s,
+            writes_per_cell=writes,
+            bit_error_rate=ber,
+            quality_loss=float(self.loss_at_error_rate(ber)),
+        )
+
+    def trajectory(self, times_s: Sequence[float]) -> list[LifetimePoint]:
+        """Project a full accuracy-over-time series (Figure 4a)."""
+        return [self.at(t) for t in times_s]
+
+    def lifetime_s(
+        self, max_quality_loss: float = 0.01, horizon_s: float = 20 * SECONDS_PER_YEAR
+    ) -> float:
+        """Time until quality loss first exceeds ``max_quality_loss``.
+
+        Bisection over a monotone trajectory; returns ``horizon_s`` if the
+        budget is never exceeded inside the horizon.
+        """
+        if max_quality_loss <= 0:
+            raise ValueError("max_quality_loss must be > 0")
+        if self.at(horizon_s).quality_loss <= max_quality_loss:
+            return horizon_s
+        lo, hi = 0.0, horizon_s
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.at(mid).quality_loss > max_quality_loss:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)

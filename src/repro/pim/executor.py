@@ -1,0 +1,134 @@
+"""Functional PIM execution: real HDC inference through the NOR crossbar.
+
+:mod:`repro.pim.dpim` prices kernels analytically; this module *runs*
+them.  An :class:`HDCExecutor` lays an HDC model out on
+:class:`~repro.pim.crossbar.Crossbar` tiles and classifies queries using
+nothing but the crossbar's own primitives — in-memory XOR for the
+binding/distance step and an in-memory ripple popcount for the
+reduction — then reads out the per-class counts through the sense
+amplifiers.
+
+Two purposes:
+
+* **functional validation** — the executor's predictions must equal the
+  numpy reference model's (tested in ``tests/pim/test_executor.py``),
+  which pins the gate mappings (XOR = 5 NORs, full adder = 9 NORs) to
+  real logic rather than constants in a cost table;
+* **cost cross-check** — the crossbar meters every executed gate, so the
+  measured cycles/writes of a real (small) inference can be compared
+  with the analytic model's prediction for the same shape.
+
+Layout: one tile per class; the class hypervector occupies column 0,
+the query is broadcast into column 1, XOR lands in column 2, and the
+popcount accumulates through a bit-serial counter in the remaining
+columns.  Dimensions map to rows; models wider than a tile's rows use
+multiple row groups ("folds") accumulated sequentially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import HDCModel
+from repro.pim.crossbar import Crossbar, OpCost
+from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice
+
+__all__ = ["HDCExecutor"]
+
+
+class HDCExecutor:
+    """Execute 1-bit HDC inference on functional crossbar tiles.
+
+    Parameters
+    ----------
+    model:
+        A binary :class:`~repro.core.model.HDCModel`.
+    tile_rows:
+        Rows per crossbar tile; the model folds over row groups if
+        ``dim > tile_rows``.
+    device:
+        NVM corner used for the tiles' energy metering.
+    """
+
+    # Column roles within a tile.
+    _COL_CLASS = 0
+    _COL_QUERY = 1
+    _COL_XOR = 2
+    _SCRATCH = (3, 4, 5)
+    _NUM_COLS = 6
+
+    def __init__(
+        self,
+        model: HDCModel,
+        tile_rows: int = 1024,
+        device: NVMDevice = DEFAULT_DEVICE,
+    ) -> None:
+        if model.bits != 1:
+            raise ValueError("HDCExecutor requires a 1-bit model")
+        if tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {tile_rows}")
+        self.model = model
+        self.tile_rows = min(tile_rows, model.dim)
+        self.folds = -(-model.dim // self.tile_rows)
+        self.tiles = [
+            Crossbar(self.tile_rows, self._NUM_COLS, device=device)
+            for _ in range(model.num_classes)
+        ]
+
+    def _fold_slice(self, fold: int) -> slice:
+        start = fold * self.tile_rows
+        return slice(start, min(start + self.tile_rows, self.model.dim))
+
+    def _padded(self, bits: np.ndarray) -> np.ndarray:
+        """Pad a fold's bits up to the tile height with zeros."""
+        if bits.shape[0] == self.tile_rows:
+            return bits
+        out = np.zeros(self.tile_rows, dtype=np.uint8)
+        out[: bits.shape[0]] = bits
+        return out
+
+    def classify(self, query: np.ndarray) -> int:
+        """Classify one binary query entirely through crossbar primitives.
+
+        For each class tile and each fold: program the class and query
+        fold columns, run the 5-NOR XOR, and read the XOR column out
+        through the sense amplifiers into a per-class mismatch count
+        (the peripheral popcount every PIM design implements next to the
+        array).  The label is the class with the fewest mismatches.
+        """
+        query = np.asarray(query, dtype=np.uint8)
+        if query.ndim != 1 or query.shape[0] != self.model.dim:
+            raise ValueError(
+                f"query must be a 1-D vector of length {self.model.dim}"
+            )
+        distances = np.zeros(self.model.num_classes, dtype=np.int64)
+        for c, tile in enumerate(self.tiles):
+            for fold in range(self.folds):
+                rows = self._fold_slice(fold)
+                tile.write_column(
+                    self._COL_CLASS, self._padded(self.model.class_hv[c, rows])
+                )
+                tile.write_column(self._COL_QUERY, self._padded(query[rows]))
+                tile.xor(
+                    self._COL_CLASS, self._COL_QUERY, self._COL_XOR,
+                    self._SCRATCH,
+                )
+                distances[c] += int(tile.read_column(self._COL_XOR).sum())
+        return int(np.argmin(distances))
+
+    def classify_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Classify a batch ``(b, D)``; returns int64 labels."""
+        queries = np.atleast_2d(queries)
+        return np.array([self.classify(q) for q in queries], dtype=np.int64)
+
+    @property
+    def cost(self) -> OpCost:
+        """Total metered cost across all tiles since construction."""
+        total = OpCost()
+        for tile in self.tiles:
+            total += tile.cost
+        return total
+
+    def max_writes_per_cell(self) -> int:
+        """Hottest cell's write count — the executor-level wear signal."""
+        return int(max(tile.write_counts.max() for tile in self.tiles))

@@ -1,0 +1,177 @@
+"""Mapping HDC and DNN workloads onto DPIM crossbar tiles.
+
+The analytic cost model (:mod:`repro.pim.dpim`) assumes a
+work-conserving mapping; this module makes the mapping explicit: which
+tiles hold a workload's operands, how many lanes and scratch columns
+each tile contributes, and — the part the lifetime experiments consume —
+how the kernel's write traffic distributes over tiles, with or without
+wear-leveling rotation.
+
+A :class:`Placement` is deliberately simple (contiguous tile ranges, one
+operand region + a scratch region per tile) — the fidelity target is the
+*wear distribution* and capacity accounting, not routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.pim.crossbar import OpCost
+from repro.pim.dpim import DPIMConfig
+from repro.pim.endurance import WearTracker
+
+__all__ = [
+    "Placement",
+    "map_hdc_model",
+    "map_dnn_model",
+    "wear_tracker_for",
+    "writes_per_cell_per_inference",
+]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A workload's footprint on the chip.
+
+    Attributes
+    ----------
+    label:
+        Human-readable workload name.
+    operand_bits:
+        Bits of persistent state (model weights / hypervectors).
+    scratch_bits:
+        Working bits for gate outputs (partial products, popcount trees).
+    tiles_used:
+        Crossbar tiles the placement occupies.
+    lanes_used:
+        Row-parallel lanes available to the kernel within those tiles.
+    config:
+        The chip the placement was made for.
+    """
+
+    label: str
+    operand_bits: int
+    scratch_bits: int
+    tiles_used: int
+    lanes_used: int
+    config: DPIMConfig
+
+    def __post_init__(self) -> None:
+        if self.operand_bits < 1 or self.scratch_bits < 0:
+            raise ValueError("operand_bits must be >= 1, scratch_bits >= 0")
+        if self.tiles_used < 1 or self.lanes_used < 1:
+            raise ValueError("tiles_used and lanes_used must be >= 1")
+
+    @property
+    def total_bits(self) -> int:
+        return self.operand_bits + self.scratch_bits
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the occupied tiles' capacity actually used."""
+        tile_capacity = self.config.array_rows * self.config.array_cols
+        return self.total_bits / (self.tiles_used * tile_capacity)
+
+    @property
+    def chip_fraction(self) -> float:
+        """Fraction of the whole chip this placement occupies."""
+        return self.tiles_used / self.config.num_arrays
+
+
+def _place(
+    label: str,
+    operand_bits: int,
+    scratch_per_operand: int,
+    config: DPIMConfig,
+) -> Placement:
+    scratch_bits = operand_bits * scratch_per_operand
+    tile_capacity = config.array_rows * config.array_cols
+    tiles = ceil((operand_bits + scratch_bits) / tile_capacity)
+    if tiles > config.num_arrays:
+        raise ValueError(
+            f"{label}: needs {tiles} tiles but the chip has "
+            f"{config.num_arrays}"
+        )
+    lanes = tiles * config.array_rows
+    return Placement(
+        label=label,
+        operand_bits=operand_bits,
+        scratch_bits=scratch_bits,
+        tiles_used=tiles,
+        lanes_used=lanes,
+        config=config,
+    )
+
+
+def map_hdc_model(
+    num_features: int,
+    dim: int,
+    num_classes: int,
+    config: DPIMConfig | None = None,
+    scratch_per_operand: int = 8,
+) -> Placement:
+    """Place an HDC deployment: class HVs + encoder codebooks + scratch.
+
+    Operands: ``num_classes`` class hypervectors plus the ``num_features``
+    base hypervectors and the level table (counted with the bases) —
+    everything inference reads each query.
+    """
+    if min(num_features, dim, num_classes) < 1:
+        raise ValueError("workload sizes must all be >= 1")
+    operand_bits = (num_classes + num_features) * dim
+    return _place(
+        f"HDC n={num_features} D={dim} k={num_classes}",
+        operand_bits, scratch_per_operand, config or DPIMConfig(),
+    )
+
+
+def map_dnn_model(
+    layer_widths: list[int],
+    weight_bits: int = 8,
+    config: DPIMConfig | None = None,
+    scratch_per_operand: int = 8,
+) -> Placement:
+    """Place a dense DNN: weight matrices at ``weight_bits`` plus scratch."""
+    if len(layer_widths) < 2:
+        raise ValueError("need at least input and output layer widths")
+    params = sum(a * b for a, b in zip(layer_widths[:-1], layer_widths[1:]))
+    return _place(
+        f"DNN {'x'.join(map(str, layer_widths))} @{weight_bits}b",
+        params * weight_bits, scratch_per_operand, config or DPIMConfig(),
+    )
+
+
+def wear_tracker_for(
+    placement: Placement,
+    rotation_span: int = 32,
+    wear_leveling: bool = True,
+) -> WearTracker:
+    """Build the wear tracker matching a placement.
+
+    The tracker's cell pool is the placement's footprint times the
+    wear-leveling ``rotation_span`` (the remapper rotates the kernel over
+    spare tiles), capped at the chip; regions are tiles.
+    """
+    if rotation_span < 1:
+        raise ValueError(f"rotation_span must be >= 1, got {rotation_span}")
+    tile_capacity = placement.config.array_rows * placement.config.array_cols
+    chip_cells = placement.config.num_arrays * tile_capacity
+    pool = min(placement.total_bits * rotation_span, chip_cells)
+    regions = max(1, min(placement.tiles_used * rotation_span,
+                         placement.config.num_arrays))
+    return WearTracker(
+        num_cells=int(pool),
+        num_regions=int(regions),
+        wear_leveling=wear_leveling,
+    )
+
+
+def writes_per_cell_per_inference(
+    placement: Placement, kernel: OpCost, rotation_span: int = 32
+) -> float:
+    """Average per-cell writes of one kernel execution after rotation."""
+    tile_capacity = placement.config.array_rows * placement.config.array_cols
+    chip_cells = placement.config.num_arrays * tile_capacity
+    pool = min(placement.total_bits * rotation_span, chip_cells)
+    return kernel.writes / pool

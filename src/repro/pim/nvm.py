@@ -1,0 +1,203 @@
+"""Non-volatile memory (memristor) device model.
+
+The paper's DPIM platform is built on bipolar resistive devices modelled
+with VTEAM parameters, tuned for "a switching delay of 1ns, a voltage
+pulse of 1V and 2V for RESET and SET operations" (Section 6.1) and an
+endurance of 10^9 writes (Section 6.5, citing [2]).  HSPICE gave the
+authors per-operation energy; here the same role is played by a small set
+of device constants from which the architecture model derives cycle and
+energy costs analytically.
+
+Two classes:
+
+* :class:`NVMDevice` — the constants of one device corner, with derived
+  per-event energies.
+* :class:`WearModel` — the stochastic endurance process: each cell fails
+  (sticks) after an individually drawn lifetime around the nominal
+  endurance; given a per-cell write count, it yields the expected (or
+  sampled) fraction of dead cells, which the lifetime experiments turn
+  into a model bit-error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy import floating
+
+__all__ = ["NVMDevice", "WearModel", "DEFAULT_DEVICE"]
+
+
+@dataclass(frozen=True)
+class NVMDevice:
+    """Device-corner constants of a bipolar resistive (VTEAM-style) cell.
+
+    Attributes
+    ----------
+    switching_delay_s:
+        Time for one SET/RESET transition; the paper tunes the VTEAM
+        model to 1 ns, which also sets the in-memory NOR cycle time.
+    set_voltage_v / reset_voltage_v:
+        Programming pulse amplitudes (2 V SET / 1 V RESET per the paper).
+    r_on_ohm / r_off_ohm:
+        Low / high resistance states.
+    endurance_writes:
+        Nominal switching endurance (10^9 in the evaluation).
+    endurance_sigma:
+        Lognormal sigma of per-cell endurance variability.  Real
+        filamentary RRAM endurance spreads over one to two decades of
+        write counts across a die; 1.2 puts ~1% of cells below
+        ``endurance / 16``, which is what makes weak-cell failures appear
+        long before the nominal endurance is reached.
+    read_energy_j:
+        Energy to sense one cell.
+    """
+
+    switching_delay_s: float = 1e-9
+    set_voltage_v: float = 2.0
+    reset_voltage_v: float = 1.0
+    r_on_ohm: float = 10e3
+    r_off_ohm: float = 10e6
+    endurance_writes: float = 1e9
+    endurance_sigma: float = 1.2
+    read_energy_j: float = 0.05e-12
+
+    def __post_init__(self) -> None:
+        if self.switching_delay_s <= 0:
+            raise ValueError("switching_delay_s must be > 0")
+        if self.r_off_ohm <= self.r_on_ohm:
+            raise ValueError("need r_off_ohm > r_on_ohm")
+        if self.endurance_writes <= 0:
+            raise ValueError("endurance_writes must be > 0")
+        if self.endurance_sigma < 0:
+            raise ValueError("endurance_sigma must be >= 0")
+
+    @property
+    def set_energy_j(self) -> float:
+        """Energy of one SET transition, ``V^2 / R_on * t_switch``.
+
+        The SET current flows through the device as it drops to the low
+        resistance state; using ``R_on`` upper-bounds the dissipation,
+        which is the convention cost models take for this device class.
+        """
+        return self.set_voltage_v**2 / self.r_on_ohm * self.switching_delay_s
+
+    @property
+    def reset_energy_j(self) -> float:
+        """Energy of one RESET transition, ``V^2 / R_on * t_switch``."""
+        return self.reset_voltage_v**2 / self.r_on_ohm * self.switching_delay_s
+
+    @property
+    def write_energy_j(self) -> float:
+        """Average energy of one write, assuming balanced SET/RESET traffic."""
+        return 0.5 * (self.set_energy_j + self.reset_energy_j)
+
+
+DEFAULT_DEVICE = NVMDevice()
+
+
+class WearModel:
+    """Stochastic endurance: cells die after individually drawn lifetimes.
+
+    Each cell's endurance is lognormal around the nominal value:
+    ``lifetime = endurance_writes * exp(sigma * Z)``, ``Z ~ N(0, 1)``.
+    With ``sigma = 0`` every cell fails at exactly the nominal count.
+
+    The *failure fraction* at a given per-cell write count is the CDF of
+    that lognormal — this is the quantity the lifetime experiments
+    translate into a model bit-error rate (a dead cell sticks at a value
+    that is wrong for half of the bits written through it on average, so
+    ``bit_error_rate = 0.5 * failure_fraction`` unless the caller models
+    stuck-at polarity itself).
+    """
+
+    def __init__(self, device: NVMDevice = DEFAULT_DEVICE) -> None:
+        self.device = device
+
+    def failure_fraction(self, writes_per_cell: float | np.ndarray) -> np.ndarray | floating:
+        """Expected fraction of dead cells after ``writes_per_cell`` writes."""
+        writes = np.asarray(writes_per_cell, dtype=np.float64)
+        if (writes < 0).any():
+            raise ValueError("writes_per_cell must be >= 0")
+        nominal = self.device.endurance_writes
+        sigma = self.device.endurance_sigma
+        with np.errstate(divide="ignore"):
+            if sigma == 0:
+                frac = (writes >= nominal).astype(np.float64)
+            else:
+                z = np.log(np.maximum(writes, 1e-300) / nominal) / sigma
+                frac = _norm_cdf(z)
+                frac = np.where(writes == 0, 0.0, frac)
+        return frac if frac.shape else float(frac)
+
+    def bit_error_rate(self, writes_per_cell: float | np.ndarray) -> np.ndarray | floating:
+        """Model bit-error rate: a dead cell corrupts half the bits it holds."""
+        frac = np.asarray(self.failure_fraction(writes_per_cell))
+        out = 0.5 * frac
+        return out if out.shape else float(out)
+
+    def sample_failures(
+        self,
+        num_cells: int,
+        writes_per_cell: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Boolean mask of which of ``num_cells`` cells have failed."""
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        if writes_per_cell < 0:
+            raise ValueError("writes_per_cell must be >= 0")
+        sigma = self.device.endurance_sigma
+        nominal = self.device.endurance_writes
+        if sigma == 0:
+            lifetimes = np.full(num_cells, nominal)
+        else:
+            lifetimes = nominal * np.exp(sigma * rng.standard_normal(num_cells))
+        return writes_per_cell >= lifetimes
+
+    def writes_until_failure_fraction(self, fraction: float) -> float:
+        """Per-cell write count at which the given fraction of cells is dead.
+
+        Inverse of :meth:`failure_fraction`; used to convert an accuracy
+        budget ("tolerate at most X% bit errors") into a lifetime.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        sigma = self.device.endurance_sigma
+        nominal = self.device.endurance_writes
+        if sigma == 0:
+            return nominal
+        return float(nominal * np.exp(sigma * _norm_ppf(fraction)))
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (numpy-only, no scipy dependency here)."""
+    from math import sqrt
+
+    return 0.5 * (1.0 + _erf(z / sqrt(2.0)))
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorised erf (Abramowitz-Stegun 7.1.26, |err| < 1.5e-7)."""
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+def _norm_ppf(p: float) -> float:
+    """Standard normal quantile by bisection on the CDF (scalar)."""
+    lo, hi = -10.0, 10.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if float(_norm_cdf(np.asarray(mid))) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

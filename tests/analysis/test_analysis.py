@@ -1,0 +1,78 @@
+"""Tests for metrics, tables and sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quality import accuracy, percent, quality_loss
+from repro.analysis.sweep import grid_sweep
+from repro.analysis.tables import render_series, render_table
+
+
+class TestQuality:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError, match="zero"):
+            accuracy(np.zeros(0), np.zeros(0))
+
+    def test_quality_loss(self):
+        assert quality_loss(0.95, 0.90) == pytest.approx(0.05)
+
+    def test_quality_loss_can_be_negative(self):
+        assert quality_loss(0.90, 0.95) == pytest.approx(-0.05)
+
+    def test_quality_loss_validates_range(self):
+        with pytest.raises(ValueError):
+            quality_loss(1.5, 0.5)
+
+    def test_percent(self):
+        assert percent(0.0153) == "1.53%"
+        assert percent(0.5, 0) == "50%"
+
+
+class TestTables:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["1"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_render_series(self):
+        text = render_series("x", "y", [(1, 2), (3, 4)])
+        assert "x" in text and "4" in text
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        points = grid_sweep(
+            {"a": [1, 2], "b": [10, 20]}, lambda a, b: a * b
+        )
+        assert len(points) == 4
+        values = {(p.params["a"], p.params["b"]): p.value for p in points}
+        assert values[(2, 20)] == 40
+
+    def test_deterministic_order(self):
+        points = grid_sweep({"b": [1, 2], "a": [3]}, lambda a, b: (a, b))
+        assert [p.params["b"] for p in points] == [1, 2]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep({}, lambda: None)
+        with pytest.raises(ValueError):
+            grid_sweep({"a": []}, lambda a: None)

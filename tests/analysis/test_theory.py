@@ -1,0 +1,99 @@
+"""Tests for the closed-form robustness theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    flip_probability,
+    margin_distribution,
+    predicted_quality_loss,
+)
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+from repro.datasets.synthetic import make_prototype_classification
+from repro.faults.injector import run_hdc_campaign
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    task = make_prototype_classification(
+        "toy", num_features=50, num_classes=4, num_train=400, num_test=300,
+        boundary_fraction=0.5, boundary_depth=(0.3, 0.5), seed=15,
+    )
+    encoder = Encoder(num_features=50, dim=4_000, seed=4)
+    clf = HDCClassifier(encoder, num_classes=4, epochs=0).fit(
+        task.train_x, task.train_y
+    )
+    queries = encoder.encode_batch(task.test_x)
+    return clf.model, queries, np.asarray(task.test_y)
+
+
+class TestMarginDistribution:
+    def test_correctness_mask_matches_predictions(self, fitted):
+        model, queries, labels = fitted
+        margins, correct = margin_distribution(model, queries, labels)
+        preds = model.predict(queries)
+        assert (correct == (preds == labels)).all()
+
+    def test_margins_bounded(self, fitted):
+        model, queries, labels = fitted
+        margins, _ = margin_distribution(model, queries, labels)
+        assert (np.abs(margins) <= 1.0).all()
+
+
+class TestFlipProbability:
+    def test_zero_rate_zero_flips(self):
+        p = flip_probability(np.array([0.1, -0.05]), 0.0, 10_000)
+        assert (p == 0.0).all()
+
+    def test_monotone_in_rate(self):
+        margins = np.array([0.05])
+        probs = [
+            float(flip_probability(margins, r, 10_000)[0])
+            for r in (0.01, 0.05, 0.1, 0.2)
+        ]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_margin(self):
+        p = flip_probability(np.array([0.002, 0.005, 0.01]), 0.1, 10_000)
+        assert p[0] > p[1] > p[2]
+
+    def test_dimensionality_protects(self):
+        """Table 1's trend: larger D, lower flip probability at the same
+        margin and rate."""
+        margins = np.array([0.03])
+        small = float(flip_probability(margins, 0.1, 1_000)[0])
+        large = float(flip_probability(margins, 0.1, 10_000)[0])
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flip_probability(np.array([0.1]), 1.5, 100)
+        with pytest.raises(ValueError):
+            flip_probability(np.array([0.1]), 0.1, 0)
+
+
+class TestPredictedLoss:
+    def test_tracks_measurement(self, fitted):
+        """Prediction within a factor-2 band of the measured campaign at
+        moderate rates, and correlated across the sweep."""
+        model, queries, labels = fitted
+        rates = (0.05, 0.10, 0.20)
+        campaign = run_hdc_campaign(
+            model, queries, labels, rates, trials=5, seed=0
+        )
+        predicted = [
+            predicted_quality_loss(model, queries, labels, r) for r in rates
+        ]
+        measured = [campaign.loss(r, "random") for r in rates]
+        for p, m in zip(predicted, measured):
+            assert p <= 2.5 * max(m, 0.002) + 0.01
+            assert m <= 3.0 * max(p, 0.002) + 0.01
+        # Both rise with the rate.
+        assert predicted == sorted(predicted)
+
+    def test_multibit_rejected(self, fitted):
+        model, queries, labels = fitted
+        bad = HDCModel(class_hv=model.class_hv.copy(), bits=2)
+        with pytest.raises(ValueError, match="1-bit"):
+            predicted_quality_loss(bad, queries, labels, 0.1)

@@ -1,0 +1,120 @@
+"""Tests for the SAMME AdaBoost baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.adaboost import AdaBoostClassifier, DecisionStump
+from repro.datasets.synthetic import make_prototype_classification
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_prototype_classification(
+        "toy", num_features=20, num_classes=3, num_train=300, num_test=150,
+        boundary_fraction=0.2, boundary_depth=(0.25, 0.4), seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(task):
+    return AdaBoostClassifier(
+        task.num_features, task.num_classes, num_stumps=40, seed=0
+    ).fit(task.train_x, task.train_y)
+
+
+class TestDecisionStump:
+    def test_predict(self):
+        stump = DecisionStump(feature=1, threshold=0.5, class_left=0,
+                              class_right=2)
+        x = np.array([[0.0, 0.3], [0.0, 0.7]])
+        assert list(stump.predict(x)) == [0, 2]
+
+
+class TestTraining:
+    def test_learns(self, task, fitted):
+        assert fitted.score(task.test_x, task.test_y) > 0.8
+
+    def test_more_stumps_not_worse(self, task):
+        small = AdaBoostClassifier(task.num_features, task.num_classes,
+                                   num_stumps=3, seed=0).fit(
+            task.train_x, task.train_y
+        )
+        assert fittedness(small, task) <= fittedness(
+            AdaBoostClassifier(task.num_features, task.num_classes,
+                               num_stumps=40, seed=0).fit(
+                task.train_x, task.train_y
+            ),
+            task,
+        ) + 0.05
+
+    def test_alphas_positive(self, fitted):
+        assert (fitted.alphas > 0).all()
+
+    def test_stump_count_bounded(self, fitted):
+        assert 1 <= len(fitted.stumps) <= 40
+        assert fitted.alphas.shape[0] == len(fitted.stumps)
+
+    def test_max_features_subsampling(self, task):
+        clf = AdaBoostClassifier(task.num_features, task.num_classes,
+                                 num_stumps=10, max_features=5, seed=0)
+        clf.fit(task.train_x, task.train_y)
+        assert clf.score(task.test_x, task.test_y) > 0.5
+
+    def test_sample_mismatch(self, task):
+        clf = AdaBoostClassifier(task.num_features, task.num_classes)
+        with pytest.raises(ValueError, match="sample count"):
+            clf.fit(task.train_x, task.train_y[:-1])
+
+
+def fittedness(clf, task):
+    return clf.score(task.test_x, task.test_y)
+
+
+class TestPrediction:
+    def test_unfitted_raises(self, task):
+        clf = AdaBoostClassifier(task.num_features, task.num_classes)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clf.predict(task.test_x)
+
+    def test_decision_shape(self, task, fitted):
+        votes = fitted.decision_function(task.test_x[:5])
+        assert votes.shape == (5, task.num_classes)
+
+
+class TestWeightedModelInterface:
+    def test_roundtrip(self, task, fitted):
+        clone = fitted.clone()
+        clone.set_weights(fitted.get_weights())
+        assert (clone.predict(task.test_x) == fitted.predict(task.test_x)).all()
+
+    def test_clone_keeps_structure(self, fitted):
+        clone = fitted.clone()
+        assert [s.feature for s in clone.stumps] == [
+            s.feature for s in fitted.stumps
+        ]
+        # Deep copies: mutating the clone leaves the original alone.
+        clone.stumps[0].threshold = -99.0
+        assert fitted.stumps[0].threshold != -99.0
+
+    def test_weights_are_thresholds_and_alphas(self, fitted):
+        thresholds, alphas = fitted.get_weights()
+        assert thresholds.shape[0] == len(fitted.stumps)
+        assert alphas.shape[0] == len(fitted.stumps)
+
+    def test_set_weights_validated(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.clone().set_weights([np.zeros(1), np.zeros(1)])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_features=0, num_classes=2),
+            dict(num_features=3, num_classes=1),
+            dict(num_features=3, num_classes=2, num_stumps=0),
+        ],
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(**kwargs)

@@ -1,0 +1,93 @@
+"""Tests for the attackable quantised deployment wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deploy import QuantizedDeployment
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.quantization import FixedPointTensor, FloatTensor
+from repro.datasets.synthetic import make_prototype_classification
+
+
+@pytest.fixture(scope="module")
+def setup():
+    task = make_prototype_classification(
+        "toy", num_features=20, num_classes=3, num_train=250, num_test=120,
+        boundary_fraction=0.2, boundary_depth=(0.25, 0.4), seed=12,
+    )
+    mlp = MLPClassifier(task.num_features, task.num_classes, hidden=(24,),
+                        epochs=20, seed=0).fit(task.train_x, task.train_y)
+    return task, mlp
+
+
+class TestQuantizedDeployment:
+    def test_quantisation_loss_small(self, setup):
+        task, mlp = setup
+        deployment = QuantizedDeployment(mlp, width=8)
+        float_acc = mlp.score(task.test_x, task.test_y)
+        fixed_acc = deployment.score(task.test_x, task.test_y)
+        assert abs(float_acc - fixed_acc) < 0.05
+
+    def test_tensor_types(self, setup):
+        _, mlp = setup
+        fixed = QuantizedDeployment(mlp, width=8)
+        assert all(isinstance(t, FixedPointTensor) for t in fixed.tensors)
+        fp32 = QuantizedDeployment(mlp, storage="float32")
+        assert all(isinstance(t, FloatTensor) for t in fp32.tensors)
+        assert fp32.width == 32
+
+    def test_total_bits(self, setup):
+        _, mlp = setup
+        deployment = QuantizedDeployment(mlp, width=8)
+        params = sum(w.size for w in mlp.get_weights())
+        assert deployment.total_bits == params * 8
+
+    def test_float32_storage_faithful(self, setup):
+        task, mlp = setup
+        deployment = QuantizedDeployment(mlp, storage="float32")
+        assert (
+            deployment.predict(task.test_x) == mlp.predict(task.test_x)
+        ).mean() > 0.99
+
+    def test_attacked_returns_new_deployment(self, setup):
+        task, mlp = setup
+        deployment = QuantizedDeployment(mlp, width=8)
+        attacked = deployment.attacked(0.1, "random", np.random.default_rng(0))
+        assert attacked is not deployment
+        # Original bits untouched.
+        clean_again = deployment.score(task.test_x, task.test_y)
+        assert clean_again == deployment.score(task.test_x, task.test_y)
+        changed = sum(
+            int(np.count_nonzero(a.raw != b.raw))
+            for a, b in zip(deployment.tensors, attacked.tensors)
+        )
+        assert changed > 0
+
+    def test_zero_rate_attack_is_identity(self, setup):
+        task, mlp = setup
+        deployment = QuantizedDeployment(mlp, width=8)
+        attacked = deployment.attacked(0.0, "random", np.random.default_rng(0))
+        assert (
+            attacked.predict(task.test_x) == deployment.predict(task.test_x)
+        ).all()
+
+    def test_targeted_hurts_more_than_random(self, setup):
+        task, mlp = setup
+        deployment = QuantizedDeployment(mlp, width=8)
+        clean = deployment.score(task.test_x, task.test_y)
+        rand = np.mean([
+            deployment.attacked(0.06, "random", np.random.default_rng(s))
+            .score(task.test_x, task.test_y)
+            for s in range(5)
+        ])
+        targ = np.mean([
+            deployment.attacked(0.06, "targeted", np.random.default_rng(s))
+            .score(task.test_x, task.test_y)
+            for s in range(5)
+        ])
+        assert clean - targ >= clean - rand - 0.02
+
+    def test_bad_storage(self, setup):
+        _, mlp = setup
+        with pytest.raises(ValueError, match="storage"):
+            QuantizedDeployment(mlp, storage="int4")

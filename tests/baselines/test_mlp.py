@@ -1,0 +1,119 @@
+"""Tests for the numpy MLP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPClassifier
+from repro.datasets.synthetic import make_prototype_classification
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_prototype_classification(
+        "toy", num_features=30, num_classes=3, num_train=300, num_test=150,
+        boundary_fraction=0.3, boundary_depth=(0.25, 0.45), seed=9,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(task):
+    return MLPClassifier(
+        task.num_features, task.num_classes, hidden=(32,), epochs=25, seed=0
+    ).fit(task.train_x, task.train_y)
+
+
+class TestTraining:
+    def test_learns(self, task, fitted):
+        assert fitted.score(task.test_x, task.test_y) > 0.85
+
+    def test_beats_untrained(self, task, fitted):
+        fresh = MLPClassifier(
+            task.num_features, task.num_classes, hidden=(32,), epochs=0, seed=0
+        ).fit(task.train_x, task.train_y)
+        assert fitted.score(task.test_x, task.test_y) > fresh.score(
+            task.test_x, task.test_y
+        )
+
+    def test_deterministic(self, task):
+        a = MLPClassifier(task.num_features, task.num_classes, hidden=(16,),
+                          epochs=3, seed=5).fit(task.train_x, task.train_y)
+        b = MLPClassifier(task.num_features, task.num_classes, hidden=(16,),
+                          epochs=3, seed=5).fit(task.train_x, task.train_y)
+        for wa, wb in zip(a.get_weights(), b.get_weights()):
+            assert np.allclose(wa, wb)
+
+    def test_two_hidden_layers(self, task):
+        clf = MLPClassifier(task.num_features, task.num_classes,
+                            hidden=(24, 16), epochs=15, seed=0)
+        clf.fit(task.train_x, task.train_y)
+        assert clf.score(task.test_x, task.test_y) > 0.8
+
+    def test_sample_mismatch(self, task):
+        clf = MLPClassifier(task.num_features, task.num_classes)
+        with pytest.raises(ValueError, match="sample count"):
+            clf.fit(task.train_x, task.train_y[:-1])
+
+
+class TestPrediction:
+    def test_proba_sums_to_one(self, task, fitted):
+        p = fitted.predict_proba(task.test_x[:10])
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_predict_single_sample(self, task, fitted):
+        pred = fitted.predict(task.test_x[0])
+        assert pred.shape == (1,)
+
+    def test_nonfinite_weights_do_not_crash(self, task, fitted):
+        """Corrupted deployments produce inf weights; prediction must
+        stay defined (the hardware would emit garbage, not crash)."""
+        broken = fitted.clone()
+        weights = fitted.get_weights()
+        weights[0] = weights[0].copy()
+        weights[0][0, 0] = np.inf
+        broken.set_weights(weights)
+        preds = broken.predict(task.test_x[:5])
+        assert preds.shape == (5,)
+
+
+class TestWeightedModelInterface:
+    def test_roundtrip(self, task, fitted):
+        clone = fitted.clone()
+        clone.set_weights(fitted.get_weights())
+        assert (clone.predict(task.test_x) == fitted.predict(task.test_x)).all()
+
+    def test_get_weights_is_copy(self, fitted):
+        w = fitted.get_weights()
+        w[0][:] = 0.0
+        assert fitted.weights[0].any()
+
+    def test_set_weights_shape_checked(self, fitted):
+        weights = fitted.get_weights()
+        weights[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            fitted.clone().set_weights(weights)
+
+    def test_set_weights_count_checked(self, fitted):
+        with pytest.raises(ValueError, match="expected"):
+            fitted.clone().set_weights(fitted.get_weights()[:-1])
+
+    def test_clone_is_unfitted_copy(self, fitted, task):
+        clone = fitted.clone()
+        assert clone.hidden == fitted.hidden
+        # Fresh init, not the trained weights.
+        assert not np.allclose(clone.weights[0], fitted.weights[0])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_features=0, num_classes=3),
+            dict(num_features=4, num_classes=1),
+            dict(num_features=4, num_classes=3, hidden=(0,)),
+            dict(num_features=4, num_classes=3, epochs=-1),
+            dict(num_features=4, num_classes=3, batch_size=0),
+        ],
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            MLPClassifier(**kwargs)

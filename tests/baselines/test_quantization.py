@@ -1,0 +1,134 @@
+"""Tests for the bit-addressable fixed-point and float32 tensors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.quantization import FixedPointTensor, FloatTensor
+
+
+float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=16),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestFixedPointTensor:
+    @given(float_arrays)
+    def test_roundtrip_error_bounded(self, values):
+        fp = FixedPointTensor.from_float(values, width=8)
+        restored = fp.to_float()
+        assert restored.shape == values.shape
+        # Quantisation error is at most half a step.
+        assert np.abs(restored - values).max() <= fp.scale / 2 + 1e-12
+
+    def test_signed_representation(self):
+        fp = FixedPointTensor.from_float(np.array([-1.0, 0.0, 1.0]), width=8)
+        out = fp.to_float()
+        assert out[0] < 0 < out[2]
+        assert out[1] == 0.0
+
+    def test_total_bits(self):
+        fp = FixedPointTensor.from_float(np.zeros((3, 4)), width=8)
+        assert fp.total_bits == 96
+
+    def test_msb_flip_is_catastrophic(self):
+        """Flipping the sign bit moves a weight by the full scale — the
+        paper's motivation for the targeted attack."""
+        fp = FixedPointTensor.from_float(np.array([0.5]), width=8, scale=0.01)
+        before = fp.to_float()[0]
+        fp.flip_bits(np.array([7]))  # MSB of element 0
+        after = fp.to_float()[0]
+        assert abs(after - before) > 1.0  # 128 * scale
+
+    def test_lsb_flip_is_tiny(self):
+        fp = FixedPointTensor.from_float(np.array([0.5]), width=8, scale=0.01)
+        before = fp.to_float()[0]
+        fp.flip_bits(np.array([0]))
+        assert abs(fp.to_float()[0] - before) == pytest.approx(0.01)
+
+    def test_double_flip_restores(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=10)
+        fp = FixedPointTensor.from_float(values)
+        snapshot = fp.raw.copy()
+        fp.flip_bits(np.array([5, 17, 33]))
+        fp.flip_bits(np.array([5, 17, 33]))
+        assert (fp.raw == snapshot).all()
+
+    def test_duplicate_flips_in_one_call_cancel(self):
+        fp = FixedPointTensor.from_float(np.zeros(2))
+        snapshot = fp.raw.copy()
+        fp.flip_bits(np.array([3, 3]))
+        assert (fp.raw == snapshot).all()
+
+    def test_msb_first_order(self):
+        fp = FixedPointTensor.from_float(np.zeros(3), width=4)
+        order = fp.msb_first_bit_order()
+        # First plane: bit 3 of every element.
+        assert list(order[:3] % 4) == [3, 3, 3]
+        assert list(order[-3:] % 4) == [0, 0, 0]
+        assert len(set(order.tolist())) == fp.total_bits
+
+    def test_flip_out_of_range(self):
+        fp = FixedPointTensor.from_float(np.zeros(2), width=8)
+        with pytest.raises(IndexError):
+            fp.flip_bits(np.array([16]))
+
+    def test_copy_independent(self):
+        fp = FixedPointTensor.from_float(np.ones(4))
+        c = fp.copy()
+        c.flip_bits(np.array([0]))
+        assert (fp.raw != c.raw).any()
+
+    def test_saturation_clips(self):
+        fp = FixedPointTensor.from_float(
+            np.array([10.0, -10.0]), width=8, scale=0.01
+        )
+        out = fp.to_float()
+        assert out[0] == pytest.approx(1.27)
+        assert out[1] == pytest.approx(-1.28)
+
+    @pytest.mark.parametrize("width", [1, 33])
+    def test_bad_width(self, width):
+        with pytest.raises(ValueError):
+            FixedPointTensor.from_float(np.zeros(2), width=width)
+
+
+class TestFloatTensor:
+    @given(float_arrays)
+    def test_roundtrip_exact_at_float32(self, values):
+        ft = FloatTensor.from_float(values)
+        assert np.allclose(ft.to_float(), values.astype(np.float32))
+
+    def test_exponent_flip_explodes_value(self):
+        """Flipping a high exponent bit changes the value by orders of
+        magnitude — the paper's 'value explosion' scenario."""
+        ft = FloatTensor.from_float(np.array([1.0]))
+        ft.flip_bits(np.array([30]))  # top exponent bit
+        assert abs(ft.to_float()[0]) > 1e30
+
+    def test_msb_order_targets_exponent_first(self):
+        ft = FloatTensor.from_float(np.zeros(2))
+        order = ft.msb_first_bit_order()
+        assert set((order[:2] % 32).tolist()) == {30}
+        assert len(set(order.tolist())) == ft.total_bits == 64
+
+    def test_total_bits(self):
+        ft = FloatTensor.from_float(np.zeros((2, 2)))
+        assert ft.total_bits == 128
+
+    def test_double_flip_restores(self):
+        ft = FloatTensor.from_float(np.array([3.14]))
+        snapshot = ft.raw.copy()
+        ft.flip_bits(np.array([22]))
+        ft.flip_bits(np.array([22]))
+        assert (ft.raw == snapshot).all()
+
+    def test_flip_out_of_range(self):
+        ft = FloatTensor.from_float(np.zeros(1))
+        with pytest.raises(IndexError):
+            ft.flip_bits(np.array([32]))

@@ -1,0 +1,87 @@
+"""Tests for the linear SVM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.svm import LinearSVM
+from repro.datasets.synthetic import make_prototype_classification
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_prototype_classification(
+        "toy", num_features=25, num_classes=3, num_train=300, num_test=150,
+        boundary_fraction=0.2, boundary_depth=(0.25, 0.4), seed=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(task):
+    return LinearSVM(task.num_features, task.num_classes, epochs=10,
+                     seed=0).fit(task.train_x, task.train_y)
+
+
+class TestTraining:
+    def test_learns(self, task, fitted):
+        assert fitted.score(task.test_x, task.test_y) > 0.85
+
+    def test_deterministic(self, task):
+        a = LinearSVM(task.num_features, task.num_classes, epochs=3,
+                      seed=4).fit(task.train_x, task.train_y)
+        b = LinearSVM(task.num_features, task.num_classes, epochs=3,
+                      seed=4).fit(task.train_x, task.train_y)
+        assert np.allclose(a.weights, b.weights)
+        assert np.allclose(a.bias, b.bias)
+
+    def test_sample_mismatch(self, task):
+        clf = LinearSVM(task.num_features, task.num_classes)
+        with pytest.raises(ValueError, match="sample count"):
+            clf.fit(task.train_x, task.train_y[:-1])
+
+
+class TestPrediction:
+    def test_decision_shape(self, task, fitted):
+        scores = fitted.decision_function(task.test_x[:7])
+        assert scores.shape == (7, task.num_classes)
+
+    def test_nonfinite_scores_sanitised(self, task, fitted):
+        broken = fitted.clone()
+        w = fitted.get_weights()
+        w[0] = w[0].copy()
+        w[0][0, 0] = np.inf
+        broken.set_weights(w)
+        preds = broken.predict(task.test_x[:5])
+        assert preds.shape == (5,)
+
+
+class TestWeightedModelInterface:
+    def test_roundtrip(self, task, fitted):
+        clone = fitted.clone()
+        clone.set_weights(fitted.get_weights())
+        assert (clone.predict(task.test_x) == fitted.predict(task.test_x)).all()
+
+    def test_get_weights_is_copy(self, fitted):
+        w = fitted.get_weights()
+        w[0][:] = 0.0
+        assert fitted.weights.any()
+
+    def test_set_weights_validated(self, fitted):
+        with pytest.raises(ValueError, match="expected 2"):
+            fitted.clone().set_weights([np.zeros(3)])
+        with pytest.raises(ValueError, match="shape"):
+            fitted.clone().set_weights([np.zeros((1, 1)), np.zeros(1)])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_features=0, num_classes=2),
+            dict(num_features=3, num_classes=1),
+            dict(num_features=3, num_classes=2, reg=0.0),
+            dict(num_features=3, num_classes=2, epochs=-1),
+        ],
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            LinearSVM(**kwargs)

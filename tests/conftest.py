@@ -1,0 +1,13 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests run numpy-heavy bodies whose first call pays JIT-ish
+# warmup (BLAS thread pools); disable the wall-clock deadline so CI
+# machines under load don't produce flaky DeadlineExceeded failures.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,109 @@
+"""Tests for softmax/margin prediction confidence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.confidence import confident_mask, prediction_confidence, softmax
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        p = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_stable_for_large_inputs(self):
+        p = softmax(np.array([1e6, 1e6 + 1]))
+        assert np.isfinite(p).all()
+
+    def test_order_preserving(self):
+        x = np.array([3.0, 1.0, 2.0])
+        assert (np.argsort(softmax(x)) == np.argsort(x)).all()
+
+
+class TestPredictionConfidence:
+    def test_clear_winner_high_confidence(self):
+        sims = np.array([[100.0, 10.0, 12.0, 11.0]])
+        preds, conf = prediction_confidence(sims)
+        assert preds[0] == 0
+        assert conf[0] > 0.8
+
+    def test_near_tie_low_confidence(self):
+        sims = np.array([[50.0, 49.9, 10.0, 10.0]])
+        _, conf = prediction_confidence(sims)
+        assert conf[0] < 0.6
+
+    def test_margin_method_range(self):
+        rng = np.random.default_rng(0)
+        sims = rng.normal(size=(50, 8))
+        _, conf = prediction_confidence(sims, method="margin")
+        assert (conf > 0.5).all() or np.allclose(conf[conf <= 0.5], 0.5)
+        assert (conf <= 1.0).all()
+
+    def test_softmax_method_range(self):
+        rng = np.random.default_rng(1)
+        sims = rng.normal(size=(50, 8))
+        _, conf = prediction_confidence(sims, method="softmax")
+        assert (conf > 1 / 8).all()
+        assert (conf <= 1.0).all()
+
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    def test_scale_invariance(self, scale):
+        """Z-scoring makes the confidence invariant to affine rescaling
+        of the similarity values — Hamming counts vs dot products."""
+        sims = np.array([[5.0, 3.0, 1.0]])
+        _, base = prediction_confidence(sims)
+        _, scaled = prediction_confidence(sims * scale + 7.0)
+        assert np.allclose(base, scaled)
+
+    def test_temperature_sharpens(self):
+        sims = np.array([[5.0, 4.0, 1.0]])
+        _, sharp = prediction_confidence(sims, temperature=0.1)
+        _, soft = prediction_confidence(sims, temperature=5.0)
+        assert sharp[0] > soft[0]
+
+    def test_one_dim_input(self):
+        preds, conf = prediction_confidence(np.array([1.0, 9.0]))
+        assert preds.shape == (1,)
+        assert preds[0] == 1
+
+    def test_constant_row_no_nan(self):
+        _, conf = prediction_confidence(np.array([[2.0, 2.0, 2.0]]))
+        assert np.isfinite(conf).all()
+
+    def test_bad_temperature(self):
+        with pytest.raises(ValueError, match="temperature"):
+            prediction_confidence(np.zeros((1, 3)), temperature=0.0)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            prediction_confidence(np.zeros((1, 3)), method="magic")
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            prediction_confidence(np.zeros((1, 1)))
+
+
+class TestConfidentMask:
+    def test_mask_thresholding(self):
+        sims = np.array([[100.0, 0.0, 0.0, 0.0], [1.0, 1.4, 0.2, 1.5]])
+        preds, conf, mask = confident_mask(sims, threshold=0.9)
+        assert mask[0] and not mask[1]
+        assert preds[0] == 0 and preds[1] == 3
+
+    def test_margin_confidence_ceiling(self):
+        """The margin confidence saturates at sigmoid(k / sqrt(k - 1)) —
+        a one-hot winner cannot exceed it, so thresholds must be chosen
+        below the ceiling for the class count in play."""
+        for k in (2, 3, 8):
+            sims = np.zeros((1, k))
+            sims[0, 0] = 100.0
+            _, conf = prediction_confidence(sims)
+            ceiling = 1.0 / (1.0 + np.exp(-k / np.sqrt(k - 1)))
+            assert conf[0] == pytest.approx(ceiling, abs=1e-9)
+
+    def test_zero_threshold_trusts_all(self):
+        sims = np.random.default_rng(2).normal(size=(10, 4))
+        _, _, mask = confident_mask(sims, threshold=0.0)
+        assert mask.all()

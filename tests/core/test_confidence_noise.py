@@ -1,0 +1,77 @@
+"""Tests for the noise-normalised confidence (the 2-class path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import prediction_confidence
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import make_prototype_classification
+
+
+class TestNoiseMethod:
+    def test_discriminates_at_two_classes(self):
+        """The whole point: margin/softmax are constant at k=2, the
+        noise method is not."""
+        wide = np.array([[100.0, 0.0]])
+        narrow = np.array([[51.0, 49.0]])
+        _, conf_margin_wide = prediction_confidence(wide, method="margin")
+        _, conf_margin_narrow = prediction_confidence(narrow, method="margin")
+        assert conf_margin_wide[0] == pytest.approx(conf_margin_narrow[0])
+
+        _, conf_wide = prediction_confidence(wide, method="noise", scale=10.0)
+        _, conf_narrow = prediction_confidence(narrow, method="noise",
+                                               scale=10.0)
+        assert conf_wide[0] > conf_narrow[0]
+
+    def test_monotone_in_gap(self):
+        sims = np.array([[10.0, 0.0], [5.0, 0.0], [1.0, 0.0]])
+        _, conf = prediction_confidence(sims, method="noise", scale=2.0)
+        assert conf[0] > conf[1] > conf[2]
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        sims = rng.normal(size=(50, 2))
+        _, conf = prediction_confidence(sims, method="noise", scale=1.0)
+        assert (conf > 0.5).all() or np.allclose(conf[conf <= 0.5], 0.5)
+        assert (conf <= 1.0).all()
+
+    def test_scale_required(self):
+        with pytest.raises(ValueError, match="scale"):
+            prediction_confidence(np.zeros((1, 2)), method="noise")
+        with pytest.raises(ValueError, match="scale"):
+            prediction_confidence(np.zeros((1, 2)), method="noise", scale=0.0)
+
+    def test_works_for_many_classes_too(self):
+        sims = np.array([[5.0, 1.0, 0.0, 2.0]])
+        preds, conf = prediction_confidence(sims, method="noise", scale=1.0)
+        assert preds[0] == 0
+        assert 0.5 < conf[0] <= 1.0
+
+
+class TestTwoClassRecoveryGate:
+    def test_gate_discriminates_on_real_two_class_task(self):
+        """On a FACE-like task the recovery gate must separate confident
+        core queries from ambiguous boundary queries — the property the
+        z-score methods cannot provide at k=2."""
+        task = make_prototype_classification(
+            "face-like", num_features=30, num_classes=2, num_train=200,
+            num_test=200, boundary_fraction=0.5,
+            boundary_depth=(0.40, 0.50), seed=25,
+        )
+        encoder = Encoder(num_features=30, dim=4_000, seed=9)
+        clf = HDCClassifier(encoder, num_classes=2, epochs=0).fit(
+            task.train_x, task.train_y
+        )
+        queries = encoder.encode_batch(task.test_x)
+        sims = clf.model.similarities(queries)
+        scale = float(np.sqrt(clf.model.dim / 2.0))
+        _, conf = prediction_confidence(sims, method="noise", scale=scale)
+        # The confidence distribution must actually spread (not constant).
+        assert conf.std() > 0.01
+        # And high-confidence predictions are more accurate than
+        # low-confidence ones.
+        preds = clf.model.predict(queries)
+        correct = preds == np.asarray(task.test_y)
+        high = conf >= np.median(conf)
+        assert correct[high].mean() >= correct[~high].mean()

@@ -1,0 +1,121 @@
+"""Tests for the ID-level encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoder import Encoder, quantize_features
+from repro.core.hypervector import hamming_distance
+
+
+class TestQuantizeFeatures:
+    def test_range_mapping(self):
+        idx = quantize_features(np.array([0.0, 0.5, 1.0]), 4, 0.0, 1.0)
+        assert list(idx) == [0, 2, 3]
+
+    def test_clipping_saturates(self):
+        idx = quantize_features(np.array([-5.0, 5.0]), 8, 0.0, 1.0)
+        assert list(idx) == [0, 7]
+
+    def test_full_range_covered(self):
+        values = np.linspace(0, 1, 1000)
+        idx = quantize_features(values, 16, 0.0, 1.0)
+        assert set(idx) == set(range(16))
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=2, max_value=64))
+    def test_always_in_range(self, value, levels):
+        idx = quantize_features(np.array([value]), levels, 0.0, 1.0)
+        assert 0 <= idx[0] < levels
+
+    def test_monotone(self):
+        values = np.sort(np.random.default_rng(0).random(100))
+        idx = quantize_features(values, 10, 0.0, 1.0)
+        assert (np.diff(idx) >= 0).all()
+
+    def test_bad_levels(self):
+        with pytest.raises(ValueError, match="levels"):
+            quantize_features(np.zeros(3), 1, 0.0, 1.0)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError, match="high > low"):
+            quantize_features(np.zeros(3), 4, 1.0, 1.0)
+
+
+class TestEncoder:
+    def test_shapes(self):
+        enc = Encoder(num_features=10, dim=256, seed=0)
+        assert enc.base.shape == (10, 256)
+        assert enc.level.shape == (32, 256)
+        out = enc.encode(np.random.default_rng(0).random(10))
+        assert out.shape == (256,)
+        assert out.dtype == np.uint8
+
+    def test_batch_matches_single(self):
+        enc = Encoder(num_features=8, dim=128, seed=1)
+        rng = np.random.default_rng(2)
+        batch = rng.random((5, 8))
+        encoded = enc.encode_batch(batch)
+        for i in range(5):
+            assert (encoded[i] == enc.encode(batch[i])).all()
+
+    def test_deterministic_across_instances(self):
+        """Same parameters + seed => identical codebooks and encodings."""
+        x = np.random.default_rng(3).random(6)
+        a = Encoder(num_features=6, dim=128, seed=9).encode(x)
+        b = Encoder(num_features=6, dim=128, seed=9).encode(x)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        x = np.random.default_rng(3).random(6)
+        a = Encoder(num_features=6, dim=512, seed=1).encode(x)
+        b = Encoder(num_features=6, dim=512, seed=2).encode(x)
+        assert (a != b).any()
+
+    def test_locality(self):
+        """Closer inputs encode to closer hypervectors."""
+        enc = Encoder(num_features=20, dim=4_096, seed=4)
+        rng = np.random.default_rng(5)
+        x = rng.random(20)
+        near = np.clip(x + 0.02, 0, 1)
+        far = rng.random(20)
+        d_near = hamming_distance(enc.encode(x), enc.encode(near))
+        d_far = hamming_distance(enc.encode(x), enc.encode(far))
+        assert d_near < d_far
+
+    def test_identical_inputs_identical_codes(self):
+        enc = Encoder(num_features=5, dim=128, seed=6)
+        x = np.full(5, 0.3)
+        assert (enc.encode(x) == enc.encode(x.copy())).all()
+
+    def test_encode_rejects_matrix(self):
+        enc = Encoder(num_features=5, dim=64, seed=0)
+        with pytest.raises(ValueError, match="1-D"):
+            enc.encode(np.zeros((2, 5)))
+
+    def test_encode_batch_rejects_vector(self):
+        enc = Encoder(num_features=5, dim=64, seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            enc.encode_batch(np.zeros(5))
+
+    def test_feature_count_mismatch(self):
+        enc = Encoder(num_features=5, dim=64, seed=0)
+        with pytest.raises(ValueError, match="expected 5 features"):
+            enc.encode_batch(np.zeros((2, 6)))
+
+    def test_large_batch_block_split(self):
+        """Batches larger than the internal working-set block agree with
+        per-row encoding (covers the block loop)."""
+        enc = Encoder(num_features=400, dim=2_000, seed=7)
+        rng = np.random.default_rng(8)
+        batch = rng.random((90, 400))  # forces multiple blocks
+        encoded = enc.encode_batch(batch)
+        assert (encoded[77] == enc.encode(batch[77])).all()
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(num_features=0, dim=64), dict(num_features=3, dim=1)]
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            Encoder(seed=0, **kwargs)

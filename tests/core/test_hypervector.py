@@ -1,0 +1,316 @@
+"""Unit + property tests for the binary hypervector algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import (
+    as_chunks,
+    bind,
+    binarize_counts,
+    bundle,
+    bundle_counts,
+    flip_bits,
+    from_chunks,
+    hamming_distance,
+    hamming_similarity,
+    level_hypervectors,
+    normalized_hamming_similarity,
+    permute,
+    random_hypervector,
+    random_hypervectors,
+    validate_hypervector,
+)
+
+
+@st.composite
+def hv_pair(draw, max_dim=256):
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 2, dim, dtype=np.uint8),
+        rng.integers(0, 2, dim, dtype=np.uint8),
+    )
+
+
+class TestRandomHypervectors:
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        hv = random_hypervector(100, rng)
+        assert hv.shape == (100,)
+        assert hv.dtype == np.uint8
+        assert set(np.unique(hv)) <= {0, 1}
+
+    def test_batch_shape(self):
+        rng = np.random.default_rng(0)
+        hvs = random_hypervectors(5, 64, rng)
+        assert hvs.shape == (5, 64)
+
+    def test_quasi_orthogonality(self):
+        """Any two random hypervectors sit near D/2 apart."""
+        rng = np.random.default_rng(1)
+        a = random_hypervector(10_000, rng)
+        b = random_hypervector(10_000, rng)
+        assert abs(hamming_distance(a, b) - 5_000) < 300
+
+    def test_determinism(self):
+        a = random_hypervector(64, np.random.default_rng(42))
+        b = random_hypervector(64, np.random.default_rng(42))
+        assert (a == b).all()
+
+    @pytest.mark.parametrize("dim", [0, -3])
+    def test_bad_dim_rejected(self, dim):
+        with pytest.raises(ValueError):
+            random_hypervector(dim, np.random.default_rng(0))
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_hypervectors(0, 10, np.random.default_rng(0))
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        validate_hypervector(np.array([0, 1, 1], dtype=np.uint8))
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ValueError, match="numpy array"):
+            validate_hypervector([0, 1])
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError, match="integer or bool"):
+            validate_hypervector(np.array([0.0, 1.0]))
+
+    def test_rejects_values(self):
+        with pytest.raises(ValueError, match="binary"):
+            validate_hypervector(np.array([0, 2], dtype=np.uint8))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            validate_hypervector(np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_hypervector(np.zeros(0, dtype=np.uint8))
+
+
+class TestBind:
+    @given(hv_pair())
+    def test_self_inverse(self, pair):
+        a, b = pair
+        assert (bind(bind(a, b), b) == a).all()
+
+    @given(hv_pair())
+    def test_commutative(self, pair):
+        a, b = pair
+        assert (bind(a, b) == bind(b, a)).all()
+
+    @given(hv_pair())
+    def test_distance_preserving(self, pair):
+        """d(a^c, b^c) == d(a, b) for any c."""
+        a, b = pair
+        rng = np.random.default_rng(7)
+        c = rng.integers(0, 2, a.shape[0], dtype=np.uint8)
+        assert hamming_distance(bind(a, c), bind(b, c)) == hamming_distance(a, b)
+
+    def test_identity(self):
+        a = np.array([1, 0, 1], dtype=np.uint8)
+        assert (bind(a, np.zeros(3, dtype=np.uint8)) == a).all()
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            bind(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestHamming:
+    @given(hv_pair())
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(hv_pair())
+    def test_identity_of_indiscernibles(self, pair):
+        a, _ = pair
+        assert hamming_distance(a, a) == 0
+
+    @given(hv_pair())
+    def test_triangle_inequality(self, pair):
+        a, b = pair
+        rng = np.random.default_rng(11)
+        c = rng.integers(0, 2, a.shape[0], dtype=np.uint8)
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c)
+        )
+
+    @given(hv_pair())
+    def test_similarity_complement(self, pair):
+        a, b = pair
+        dim = a.shape[0]
+        assert hamming_similarity(a, b) == dim - hamming_distance(a, b)
+
+    def test_broadcast_over_model(self):
+        rng = np.random.default_rng(3)
+        q = rng.integers(0, 2, 32, dtype=np.uint8)
+        model = rng.integers(0, 2, (5, 32), dtype=np.uint8)
+        d = hamming_distance(q, model)
+        assert d.shape == (5,)
+        for i in range(5):
+            assert d[i] == hamming_distance(q, model[i])
+
+    def test_normalized_range(self):
+        a = np.zeros(10, dtype=np.uint8)
+        b = np.ones(10, dtype=np.uint8)
+        assert normalized_hamming_similarity(a, a) == 1.0
+        assert normalized_hamming_similarity(a, b) == 0.0
+
+
+class TestBundle:
+    def test_majority(self):
+        hvs = np.array(
+            [[1, 1, 0, 0], [1, 0, 0, 0], [1, 1, 1, 0]], dtype=np.uint8
+        )
+        out = bundle(hvs)
+        assert (out == np.array([1, 1, 0, 0], dtype=np.uint8)).all()
+
+    def test_similar_to_all_inputs(self):
+        """Bundle of few random vectors stays < D/2 from each input."""
+        rng = np.random.default_rng(4)
+        hvs = random_hypervectors(5, 2_000, rng)
+        out = bundle(hvs, rng)
+        for hv in hvs:
+            assert hamming_distance(out, hv) < 1_000
+
+    def test_tie_break_deterministic_without_rng(self):
+        hvs = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        assert (bundle(hvs) == 0).all()
+
+    def test_tie_break_random_with_rng(self):
+        hvs = np.array([[1], [0]], dtype=np.uint8)
+        seen = {int(bundle(hvs, np.random.default_rng(s))[0]) for s in range(40)}
+        assert seen == {0, 1}
+
+    def test_counts_roundtrip(self):
+        rng = np.random.default_rng(5)
+        hvs = random_hypervectors(9, 50, rng)
+        counts = bundle_counts(hvs)
+        assert (binarize_counts(counts, 9) == bundle(hvs)).all()
+
+    def test_counts_requires_batch(self):
+        with pytest.raises(ValueError, match="2-D"):
+            bundle_counts(np.zeros(4, dtype=np.uint8))
+
+    def test_binarize_bad_total(self):
+        with pytest.raises(ValueError, match="total"):
+            binarize_counts(np.zeros(4, dtype=np.int64), 0)
+
+
+class TestLevelHypervectors:
+    def test_shape(self):
+        lv = level_hypervectors(8, 512, np.random.default_rng(0))
+        assert lv.shape == (8, 512)
+
+    def test_distance_monotone_in_level_gap(self):
+        lv = level_hypervectors(16, 4_096, np.random.default_rng(1))
+        d_adjacent = hamming_distance(lv[0], lv[1])
+        d_mid = hamming_distance(lv[0], lv[8])
+        d_far = hamming_distance(lv[0], lv[15])
+        assert d_adjacent < d_mid < d_far
+
+    def test_extremes_quasi_orthogonal(self):
+        lv = level_hypervectors(16, 10_000, np.random.default_rng(2))
+        assert abs(hamming_distance(lv[0], lv[15]) - 5_000) < 500
+
+    def test_exact_flip_budget(self):
+        """Total flips from first to last level equal ~dim/2 exactly."""
+        lv = level_hypervectors(5, 1_000, np.random.default_rng(3))
+        assert hamming_distance(lv[0], lv[4]) == 500
+
+    def test_too_few_levels(self):
+        with pytest.raises(ValueError, match="levels"):
+            level_hypervectors(1, 100, np.random.default_rng(0))
+
+    def test_dim_smaller_than_levels(self):
+        with pytest.raises(ValueError, match="dim"):
+            level_hypervectors(10, 5, np.random.default_rng(0))
+
+
+class TestPermute:
+    @given(hv_pair())
+    def test_inverse(self, pair):
+        a, _ = pair
+        assert (permute(permute(a, 3), -3) == a).all()
+
+    @given(hv_pair())
+    def test_distance_preserving(self, pair):
+        a, b = pair
+        assert hamming_distance(permute(a, 5), permute(b, 5)) == (
+            hamming_distance(a, b)
+        )
+
+    def test_quasi_orthogonal_to_input(self):
+        rng = np.random.default_rng(9)
+        a = random_hypervector(10_000, rng)
+        assert abs(hamming_distance(a, permute(a)) - 5_000) < 300
+
+    def test_noncommutative_with_bind(self):
+        """permute(bind(a,b)) != bind(permute(a), b) — order is encoded."""
+        rng = np.random.default_rng(10)
+        a = random_hypervector(512, rng)
+        b = random_hypervector(512, rng)
+        assert (permute(bind(a, b)) != bind(permute(a), b)).any()
+
+    def test_batch_axis(self):
+        hv = np.arange(6, dtype=np.uint8).reshape(2, 3) % 2
+        out = permute(hv, 1)
+        assert out.shape == (2, 3)
+        assert (out[0] == np.roll(hv[0], 1)).all()
+
+
+class TestFlipBits:
+    def test_flips_exactly(self):
+        hv = np.zeros(10, dtype=np.uint8)
+        out = flip_bits(hv, [0, 3, 9])
+        assert out.sum() == 3
+        assert out[0] == out[3] == out[9] == 1
+        assert hv.sum() == 0  # original untouched
+
+    def test_double_flip_restores(self):
+        rng = np.random.default_rng(6)
+        hv = rng.integers(0, 2, 50, dtype=np.uint8)
+        out = flip_bits(flip_bits(hv, [7]), [7])
+        assert (out == hv).all()
+
+    def test_flat_indexing_on_matrix(self):
+        hv = np.zeros((2, 4), dtype=np.uint8)
+        out = flip_bits(hv, [5])  # row 1, col 1
+        assert out[1, 1] == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            flip_bits(np.zeros(4, dtype=np.uint8), [4])
+
+
+class TestChunks:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(8)
+        hv = rng.integers(0, 2, 24, dtype=np.uint8)
+        assert (from_chunks(as_chunks(hv, 4)) == hv).all()
+
+    def test_view_writes_propagate(self):
+        hv = np.zeros(12, dtype=np.uint8)
+        chunks = as_chunks(hv, 3)
+        chunks[1, :] = 1
+        assert hv[4:8].sum() == 4
+
+    def test_batch_chunking(self):
+        hv = np.zeros((5, 12), dtype=np.uint8)
+        assert as_chunks(hv, 4).shape == (5, 4, 3)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            as_chunks(np.zeros(10, dtype=np.uint8), 3)
+
+    def test_from_chunks_needs_2d(self):
+        with pytest.raises(ValueError):
+            from_chunks(np.zeros(6, dtype=np.uint8))

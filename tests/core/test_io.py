@@ -1,0 +1,74 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.io import load_classifier, save_classifier
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import make_prototype_classification
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    task = make_prototype_classification(
+        "toy", num_features=20, num_classes=3, num_train=150, num_test=60,
+        seed=14,
+    )
+    encoder = Encoder(num_features=20, dim=512, levels=16, seed=5)
+    clf = HDCClassifier(encoder, num_classes=3, epochs=1, seed=2).fit(
+        task.train_x, task.train_y
+    )
+    return task, clf
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, fitted, tmp_path):
+        task, clf = fitted
+        path = tmp_path / "model.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        assert (loaded.predict(task.test_x) == clf.predict(task.test_x)).all()
+
+    def test_roundtrip_model_bits_identical(self, fitted, tmp_path):
+        _, clf = fitted
+        path = tmp_path / "model.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        assert (loaded.model.class_hv == clf.model.class_hv).all()
+        assert loaded.model.bits == clf.model.bits
+
+    def test_encoder_regenerated_identically(self, fitted, tmp_path):
+        task, clf = fitted
+        path = tmp_path / "model.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        x = task.test_x[:3]
+        assert (
+            loaded.encoder.encode_batch(x) == clf.encoder.encode_batch(x)
+        ).all()
+
+    def test_hyperparameters_preserved(self, fitted, tmp_path):
+        _, clf = fitted
+        path = tmp_path / "model.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        assert loaded.num_classes == clf.num_classes
+        assert loaded.epochs == clf.epochs
+        assert loaded.encoder.levels == clf.encoder.levels
+
+    def test_unfitted_rejected(self, tmp_path):
+        encoder = Encoder(num_features=4, dim=64, seed=0)
+        clf = HDCClassifier(encoder, num_classes=2)
+        with pytest.raises(ValueError, match="not fitted"):
+            save_classifier(tmp_path / "m.npz", clf)
+
+    def test_version_check(self, fitted, tmp_path):
+        _, clf = fitted
+        path = tmp_path / "model.npz"
+        save_classifier(path, clf)
+        data = dict(np.load(path))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_classifier(path)

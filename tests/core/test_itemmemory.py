@@ -1,0 +1,96 @@
+"""Tests for the associative cleanup item memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import bind, flip_bits, random_hypervectors
+from repro.core.itemmemory import ItemMemory
+
+
+@pytest.fixture()
+def memory():
+    rng = np.random.default_rng(0)
+    mem = ItemMemory(dim=4_096)
+    items = random_hypervectors(20, 4_096, rng)
+    for i, hv in enumerate(items):
+        mem.add(f"item{i}", hv)
+    return mem, items
+
+
+class TestStore:
+    def test_add_get(self, memory):
+        mem, items = memory
+        assert len(mem) == 20
+        assert "item3" in mem
+        assert (mem.get("item3") == items[3]).all()
+
+    def test_get_returns_copy(self, memory):
+        mem, items = memory
+        got = mem.get("item0")
+        got[:] = 0
+        assert (mem.get("item0") == items[0]).all()
+
+    def test_duplicate_name_rejected(self, memory):
+        mem, items = memory
+        with pytest.raises(KeyError, match="already"):
+            mem.add("item0", items[0])
+
+    def test_missing_name(self, memory):
+        mem, _ = memory
+        with pytest.raises(KeyError, match="no item"):
+            mem.get("nope")
+
+    def test_dim_checked(self, memory):
+        mem, _ = memory
+        with pytest.raises(ValueError, match="length"):
+            mem.add("bad", np.zeros(10, dtype=np.uint8))
+
+    def test_binary_checked(self, memory):
+        mem, _ = memory
+        with pytest.raises(ValueError, match="binary"):
+            mem.add("bad", np.full(4_096, 2, dtype=np.uint8))
+
+
+class TestCleanup:
+    def test_exact_match(self, memory):
+        mem, items = memory
+        name, clean, dist = mem.cleanup(items[7])
+        assert name == "item7"
+        assert dist == 0
+        assert (clean == items[7]).all()
+
+    def test_noise_tolerance(self, memory):
+        """A third of the dimensions flipped still resolves correctly —
+        the associative-recall form of HDC's redundancy."""
+        mem, items = memory
+        rng = np.random.default_rng(1)
+        noisy = flip_bits(
+            items[5], rng.choice(4_096, size=4_096 // 3, replace=False)
+        )
+        name, _, dist = mem.cleanup(noisy)
+        assert name == "item5"
+        assert dist == 4_096 // 3
+
+    def test_unbind_then_cleanup(self, memory):
+        """Decoding a bound pair: unbind with one operand, clean up the
+        other — the canonical HDC data-structure read."""
+        mem, items = memory
+        composite = bind(items[2], items[9])
+        recovered = bind(composite, items[9])
+        name, _, dist = mem.cleanup(recovered)
+        assert name == "item2" and dist == 0
+
+    def test_batch(self, memory):
+        mem, items = memory
+        names = mem.cleanup_batch(items[[4, 1, 4]])
+        assert names == ["item4", "item1", "item4"]
+
+    def test_empty_memory(self):
+        mem = ItemMemory(dim=64)
+        with pytest.raises(RuntimeError, match="empty"):
+            mem.cleanup(np.zeros(64, dtype=np.uint8))
+
+    def test_query_shape_checked(self, memory):
+        mem, _ = memory
+        with pytest.raises(ValueError, match="length"):
+            mem.cleanup(np.zeros(8, dtype=np.uint8))

@@ -1,0 +1,165 @@
+"""Tests for the HDC classifier and quantised model."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.hypervector import hamming_similarity
+from repro.core.model import HDCClassifier, HDCModel, quantize_accumulator
+from repro.datasets.synthetic import make_prototype_classification
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_prototype_classification(
+        "toy", num_features=40, num_classes=4, num_train=240, num_test=120,
+        boundary_fraction=0.3, boundary_depth=(0.25, 0.45), seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def encoder(task):
+    return Encoder(num_features=task.num_features, dim=1_024, seed=1)
+
+
+class TestQuantizeAccumulator:
+    def test_one_bit_is_sign(self):
+        acc = np.array([[-3, 0, 2, -1, 5]])
+        out = quantize_accumulator(acc, 1)
+        assert out.dtype == np.uint8
+        assert list(out[0]) == [0, 0, 1, 0, 1]
+
+    def test_two_bit_range(self):
+        acc = np.array([[-10, -3, 3, 10]])
+        out = quantize_accumulator(acc, 2)
+        assert out.min() == 0 and out.max() == 3
+        assert out[0, 0] == 0 and out[0, 3] == 3
+
+    def test_per_class_scaling(self):
+        """Each row scales by its own peak."""
+        acc = np.array([[-1, 1], [-100, 100]])
+        out = quantize_accumulator(acc, 2)
+        assert (out[0] == out[1]).all()
+
+    def test_zero_row_stable(self):
+        out = quantize_accumulator(np.zeros((2, 4)), 2)
+        assert out.shape == (2, 4)
+
+    @pytest.mark.parametrize("bits", [0, 9])
+    def test_bad_bits(self, bits):
+        with pytest.raises(ValueError):
+            quantize_accumulator(np.zeros((1, 4)), bits)
+
+    def test_needs_2d(self):
+        with pytest.raises(ValueError, match="k, D"):
+            quantize_accumulator(np.zeros(4), 1)
+
+
+class TestHDCModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="uint8"):
+            HDCModel(class_hv=np.zeros((2, 8), dtype=np.int64), bits=1)
+        with pytest.raises(ValueError, match="levels above"):
+            HDCModel(class_hv=np.full((2, 8), 2, dtype=np.uint8), bits=1)
+        with pytest.raises(ValueError, match="num_classes, dim"):
+            HDCModel(class_hv=np.zeros(8, dtype=np.uint8), bits=1)
+
+    def test_properties(self):
+        m = HDCModel(class_hv=np.zeros((3, 16), dtype=np.uint8), bits=2)
+        assert m.num_classes == 3
+        assert m.dim == 16
+        assert m.total_bits == 3 * 16 * 2
+
+    def test_copy_is_deep(self):
+        m = HDCModel(class_hv=np.zeros((2, 8), dtype=np.uint8), bits=1)
+        c = m.copy()
+        c.class_hv[0, 0] = 1
+        assert m.class_hv[0, 0] == 0
+
+    def test_one_bit_similarity_equals_hamming(self):
+        """Argmax under the centred dot product matches Hamming argmax."""
+        rng = np.random.default_rng(2)
+        hv = rng.integers(0, 2, (4, 256), dtype=np.uint8)
+        m = HDCModel(class_hv=hv, bits=1)
+        q = rng.integers(0, 2, 256, dtype=np.uint8)
+        sims = m.similarities(q[None, :])[0]
+        hams = np.array([hamming_similarity(q, hv[c]) for c in range(4)])
+        assert np.argmax(sims) == np.argmax(hams)
+        # And the ordering of all classes agrees, not just the winner.
+        assert (np.argsort(sims) == np.argsort(hams)).all()
+
+    def test_query_dim_mismatch(self):
+        m = HDCModel(class_hv=np.zeros((2, 8), dtype=np.uint8), bits=1)
+        with pytest.raises(ValueError, match="dim"):
+            m.predict(np.zeros((1, 9), dtype=np.uint8))
+
+    def test_predict_packed_matches_predict(self):
+        rng = np.random.default_rng(6)
+        m = HDCModel(
+            class_hv=rng.integers(0, 2, (5, 300), dtype=np.uint8), bits=1
+        )
+        queries = rng.integers(0, 2, (40, 300), dtype=np.uint8)
+        assert (m.predict_packed(queries) == m.predict(queries)).all()
+
+    def test_predict_packed_rejects_multibit(self):
+        m = HDCModel(class_hv=np.zeros((2, 64), dtype=np.uint8), bits=2)
+        with pytest.raises(ValueError, match="1-bit"):
+            m.predict_packed(np.zeros((1, 64), dtype=np.uint8))
+
+
+class TestHDCClassifier:
+    def test_learns_task(self, task, encoder):
+        clf = HDCClassifier(encoder, num_classes=task.num_classes, epochs=0)
+        clf.fit(task.train_x, task.train_y)
+        assert clf.score(task.test_x, task.test_y) > 0.8
+
+    def test_retraining_not_worse(self, task, encoder):
+        encoded_train = encoder.encode_batch(task.train_x)
+        encoded_test = encoder.encode_batch(task.test_x)
+        base = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=0
+        ).fit_encoded(encoded_train, task.train_y)
+        tuned = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=3
+        ).fit_encoded(encoded_train, task.train_y)
+        acc0 = base.score_encoded(encoded_test, task.test_y)
+        acc3 = tuned.score_encoded(encoded_test, task.test_y)
+        assert acc3 >= acc0 - 0.05
+
+    def test_two_bit_model_trains(self, task, encoder):
+        clf = HDCClassifier(encoder, num_classes=task.num_classes, bits=2,
+                            epochs=0)
+        clf.fit(task.train_x, task.train_y)
+        assert clf.model.bits == 2
+        assert clf.score(task.test_x, task.test_y) > 0.7
+
+    def test_deterministic(self, task, encoder):
+        a = HDCClassifier(encoder, num_classes=task.num_classes, epochs=1,
+                          seed=3).fit(task.train_x, task.train_y)
+        b = HDCClassifier(encoder, num_classes=task.num_classes, epochs=1,
+                          seed=3).fit(task.train_x, task.train_y)
+        assert (a.model.class_hv == b.model.class_hv).all()
+
+    def test_unfitted_predict_raises(self, encoder, task):
+        clf = HDCClassifier(encoder, num_classes=task.num_classes)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clf.predict(task.test_x)
+
+    def test_label_validation(self, encoder):
+        clf = HDCClassifier(encoder, num_classes=3)
+        encoded = np.zeros((2, 1_024), dtype=np.uint8)
+        with pytest.raises(ValueError, match="labels must lie"):
+            clf.fit_encoded(encoded, np.array([0, 3]))
+
+    def test_sample_count_mismatch(self, encoder):
+        clf = HDCClassifier(encoder, num_classes=3)
+        with pytest.raises(ValueError, match="samples but"):
+            clf.fit_encoded(
+                np.zeros((2, 1_024), dtype=np.uint8), np.array([0])
+            )
+
+    def test_bad_construction(self, encoder):
+        with pytest.raises(ValueError, match="num_classes"):
+            HDCClassifier(encoder, num_classes=1)
+        with pytest.raises(ValueError, match="epochs"):
+            HDCClassifier(encoder, num_classes=3, epochs=-1)

@@ -1,0 +1,140 @@
+"""Equivalence tests: packed backend vs the uint8 reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hypervector import bind, hamming_distance
+from repro.core.packed import (
+    PackedHypervectors,
+    pack,
+    packed_bind,
+    packed_hamming_distance,
+    packed_popcount,
+    unpack,
+)
+
+
+@st.composite
+def hv_batch(draw):
+    dim = draw(st.integers(min_value=1, max_value=300))
+    batch = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, (batch, dim), dtype=np.uint8)
+
+
+class TestRoundtrip:
+    @given(hv_batch())
+    def test_pack_unpack_identity(self, hvs):
+        assert (unpack(pack(hvs)) == hvs).all()
+
+    def test_single_vector_roundtrip(self):
+        rng = np.random.default_rng(0)
+        hv = rng.integers(0, 2, 130, dtype=np.uint8)
+        packed = pack(hv)
+        assert packed.single
+        out = unpack(packed)
+        assert out.ndim == 1
+        assert (out == hv).all()
+
+    def test_non_multiple_of_64_padded(self):
+        hvs = np.ones((2, 65), dtype=np.uint8)
+        packed = pack(hvs)
+        assert packed.words.shape == (2, 2)
+        assert (unpack(packed) == hvs).all()
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError, match="binary"):
+            pack(np.array([0, 2], dtype=np.uint8))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            pack(np.zeros((2, 2, 2), dtype=np.uint8))
+
+
+class TestEquivalence:
+    @given(hv_batch())
+    def test_hamming_matches_reference(self, hvs):
+        packed = pack(hvs)
+        for i in range(hvs.shape[0]):
+            for j in range(hvs.shape[0]):
+                ref = hamming_distance(hvs[i], hvs[j])
+                got = packed_hamming_distance(
+                    packed.words[i], packed.words[j]
+                )
+                assert int(got) == int(ref)
+
+    @given(hv_batch())
+    def test_bind_matches_reference(self, hvs):
+        packed = pack(hvs)
+        bound_ref = bind(hvs, hvs[::-1].copy())
+        bound_packed = packed_bind(packed.words, pack(hvs[::-1].copy()).words)
+        assert (
+            unpack(PackedHypervectors(bound_packed, packed.dim)) == bound_ref
+        ).all()
+
+    def test_query_vs_model_broadcast(self):
+        rng = np.random.default_rng(1)
+        model = rng.integers(0, 2, (5, 200), dtype=np.uint8)
+        query = rng.integers(0, 2, 200, dtype=np.uint8)
+        pm, pq = pack(model), pack(query)
+        got = packed_hamming_distance(pq.words[0], pm.words)
+        ref = hamming_distance(query, model)
+        assert (got == ref).all()
+
+    def test_hamming_to_pairwise(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, (3, 100), dtype=np.uint8)
+        b = rng.integers(0, 2, (4, 100), dtype=np.uint8)
+        table = pack(a).hamming_to(pack(b))
+        assert table.shape == (3, 4)
+        for i in range(3):
+            for j in range(4):
+                assert table[i, j] == hamming_distance(a[i], b[j])
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert packed_popcount(words) == 0 + 1 + 2 + 64
+
+    def test_axis_semantics(self):
+        words = np.array(
+            [[1, 1], [0xFF, 0]], dtype=np.uint64
+        )
+        out = packed_popcount(words)
+        assert list(out) == [2, 8]
+
+    def test_dtype_checked(self):
+        with pytest.raises(ValueError, match="uint64"):
+            packed_popcount(np.zeros(2, dtype=np.int64))
+
+
+class TestStorage:
+    def test_eight_x_compression(self):
+        hvs = np.zeros((1, 10_240), dtype=np.uint8)
+        packed = pack(hvs)
+        assert packed.bytes_per_vector == 10_240 // 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="uint64"):
+            PackedHypervectors(np.zeros((1, 2), dtype=np.int64), dim=128)
+        with pytest.raises(ValueError, match="words per vector"):
+            PackedHypervectors(np.zeros((1, 3), dtype=np.uint64), dim=128)
+        with pytest.raises(ValueError, match="dim"):
+            PackedHypervectors(np.zeros((1, 1), dtype=np.uint64), dim=0)
+
+    def test_bind_method(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 2, (2, 70), dtype=np.uint8)
+        b = rng.integers(0, 2, (2, 70), dtype=np.uint8)
+        out = pack(a).bind(pack(b))
+        assert (unpack(out) == (a ^ b)).all()
+
+    def test_bind_shape_checked(self):
+        a = pack(np.zeros((1, 64), dtype=np.uint8))
+        b = pack(np.zeros((2, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="equal"):
+            a.bind(b)

@@ -1,0 +1,46 @@
+"""Edge-case coverage for the dataset substrate."""
+
+import numpy as np
+
+from repro.datasets.synthetic import make_prototype_classification
+
+
+class TestPrototypeEdges:
+    def test_two_class_task(self):
+        d = make_prototype_classification(
+            "bin", num_features=16, num_classes=2, num_train=80, num_test=40,
+            seed=20,
+        )
+        assert d.num_classes == 2
+        assert set(np.unique(d.train_y)) == {0, 1}
+
+    def test_all_boundary_samples(self):
+        d = make_prototype_classification(
+            "hard", num_features=16, num_classes=3, num_train=90, num_test=30,
+            boundary_fraction=1.0, boundary_depth=(0.4, 0.45), seed=21,
+        )
+        assert d.train_x.shape == (90, 16)
+
+    def test_zero_noise_core_samples_identical(self):
+        d = make_prototype_classification(
+            "clean", num_features=10, num_classes=2, num_train=40,
+            num_test=10, boundary_fraction=0.0, within_noise=0.0, seed=22,
+        )
+        x0 = d.train_x[d.train_y == 0]
+        assert np.allclose(x0, x0[0])
+
+    def test_degenerate_boundary_depth(self):
+        """lo == hi is allowed (a fixed interpolation depth)."""
+        d = make_prototype_classification(
+            "fixed", num_features=8, num_classes=2, num_train=30,
+            num_test=10, boundary_depth=(0.4, 0.4), seed=23,
+        )
+        assert d.num_train == 30
+
+    def test_minimal_sizes(self):
+        d = make_prototype_classification(
+            "tiny", num_features=1, num_classes=2, num_train=2, num_test=1,
+            seed=24,
+        )
+        assert d.num_features == 1
+        assert d.num_test == 1

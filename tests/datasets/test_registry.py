@@ -1,0 +1,61 @@
+"""Tests for the Table 2 dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, PROFILES, load, load_all
+
+
+class TestProfiles:
+    def test_six_datasets(self):
+        assert len(PROFILES) == 6
+        assert set(DATASET_NAMES) == {
+            "mnist", "ucihar", "isolet", "face", "pamap", "pecan",
+        }
+
+    def test_table2_shapes(self):
+        """Feature/class counts match the paper's Table 2 exactly."""
+        expected = {
+            "mnist": (784, 10, 60_000, 10_000),
+            "ucihar": (561, 12, 6_213, 1_554),
+            "isolet": (617, 26, 6_238, 1_559),
+            "face": (608, 2, 522_441, 2_494),
+            "pamap": (75, 5, 611_142, 101_582),
+            "pecan": (312, 3, 22_290, 5_574),
+        }
+        for name, (n, k, train, test) in expected.items():
+            p = PROFILES[name]
+            assert (p.num_features, p.num_classes) == (n, k), name
+            assert (p.full_train, p.full_test) == (train, test), name
+
+
+class TestLoad:
+    def test_caps_respected(self):
+        d = load("ucihar", max_train=100, max_test=40)
+        assert d.num_train == 100
+        assert d.num_test == 40
+
+    def test_full_size_capped_by_published(self):
+        d = load("ucihar", max_train=10**9, max_test=10**9)
+        assert d.num_train == 6_213
+        assert d.num_test == 1_554
+
+    def test_shape_matches_profile(self):
+        d = load("pamap", max_train=60, max_test=20)
+        assert d.num_features == 75
+        assert d.num_classes == 5
+
+    def test_case_insensitive(self):
+        assert load("MNIST", max_train=50, max_test=20).name == "mnist"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("cifar")
+
+    def test_load_all(self):
+        datasets = load_all(max_train=50, max_test=20)
+        assert [d.name for d in datasets] == list(DATASET_NAMES)
+
+    def test_deterministic(self):
+        a = load("pecan", max_train=50, max_test=20)
+        b = load("pecan", max_train=50, max_test=20)
+        assert (a.train_x == b.train_x).all()

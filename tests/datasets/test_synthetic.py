@@ -1,0 +1,141 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    Dataset,
+    make_classification,
+    make_prototype_classification,
+)
+
+
+class TestDataset:
+    def test_properties(self):
+        d = make_prototype_classification(
+            "t", num_features=8, num_classes=3, num_train=30, num_test=10,
+            seed=0,
+        )
+        assert d.num_features == 8
+        assert d.num_classes == 3
+        assert d.num_train == 30
+        assert d.num_test == 10
+
+    def test_validation(self):
+        x = np.zeros((4, 3))
+        y = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValueError, match="sample count"):
+            Dataset("bad", x, y[:2], x, y)
+        with pytest.raises(ValueError, match="width"):
+            Dataset("bad", x, y, np.zeros((4, 2)), y)
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset("bad", np.zeros(4), y, x, y)
+
+
+class TestPrototypeGenerator:
+    def test_values_in_unit_interval(self):
+        d = make_prototype_classification(
+            "t", num_features=20, num_classes=4, num_train=100, num_test=50,
+            seed=1,
+        )
+        for arr in (d.train_x, d.test_x):
+            assert arr.min() >= 0.0 and arr.max() <= 1.0
+
+    def test_all_classes_present(self):
+        d = make_prototype_classification(
+            "t", num_features=10, num_classes=5, num_train=200, num_test=100,
+            seed=2,
+        )
+        assert set(np.unique(d.train_y)) == set(range(5))
+
+    def test_seeded_determinism(self):
+        kwargs = dict(num_features=12, num_classes=3, num_train=50,
+                      num_test=20, seed=3)
+        a = make_prototype_classification("t", **kwargs)
+        b = make_prototype_classification("t", **kwargs)
+        assert np.allclose(a.train_x, b.train_x)
+        assert (a.test_y == b.test_y).all()
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(num_features=12, num_classes=3, num_train=50,
+                      num_test=20)
+        a = make_prototype_classification("t", seed=1, **kwargs)
+        b = make_prototype_classification("t", seed=2, **kwargs)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_core_samples_tight(self):
+        """With no boundary mixing and tiny noise, same-class samples are
+        nearly identical — the compactness recovery relies on."""
+        d = make_prototype_classification(
+            "t", num_features=30, num_classes=3, num_train=120, num_test=30,
+            boundary_fraction=0.0, within_noise=0.005, seed=4,
+        )
+        x0 = d.train_x[d.train_y == 0]
+        spread = x0.std(axis=0).mean()
+        assert spread < 0.02
+
+    def test_boundary_samples_increase_difficulty(self):
+        """Deep boundary mixing lowers nearest-prototype separability."""
+        def spread_ratio(bfrac):
+            d = make_prototype_classification(
+                "t", num_features=30, num_classes=3, num_train=200,
+                num_test=30, boundary_fraction=bfrac,
+                boundary_depth=(0.4, 0.5), within_noise=0.005, seed=5,
+            )
+            # within-class variance as a proxy for mixing depth
+            return np.mean([
+                d.train_x[d.train_y == c].std(axis=0).mean()
+                for c in range(3)
+            ])
+
+        assert spread_ratio(0.6) > spread_ratio(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_features=0, num_classes=2, num_train=10, num_test=5),
+            dict(num_features=4, num_classes=1, num_train=10, num_test=5),
+            dict(num_features=4, num_classes=2, num_train=1, num_test=5),
+            dict(num_features=4, num_classes=2, num_train=10, num_test=5,
+                 prototype_spread=0.0),
+            dict(num_features=4, num_classes=2, num_train=10, num_test=5,
+                 within_noise=-0.1),
+            dict(num_features=4, num_classes=2, num_train=10, num_test=5,
+                 boundary_fraction=1.5),
+            dict(num_features=4, num_classes=2, num_train=10, num_test=5,
+                 boundary_depth=(0.6, 0.4)),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make_prototype_classification("t", seed=0, **kwargs)
+
+
+class TestGaussianGenerator:
+    def test_basic_generation(self):
+        d = make_classification(
+            "g", num_features=16, num_classes=3, num_train=90, num_test=30,
+            seed=6,
+        )
+        assert d.train_x.shape == (90, 16)
+        assert d.train_x.min() >= 0.0 and d.train_x.max() <= 1.0
+
+    def test_separation_controls_difficulty(self):
+        """Wider separation should make nearest-centroid easier."""
+        def centroid_accuracy(sep):
+            d = make_classification(
+                "g", num_features=16, num_classes=3, num_train=300,
+                num_test=150, separation=sep, seed=7,
+            )
+            centroids = np.stack([
+                d.train_x[d.train_y == c].mean(axis=0) for c in range(3)
+            ])
+            dists = ((d.test_x[:, None, :] - centroids[None]) ** 2).sum(-1)
+            return float(np.mean(np.argmin(dists, axis=1) == d.test_y))
+
+        assert centroid_accuracy(3.0) > centroid_accuracy(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_classification("g", num_features=4, num_classes=2,
+                                num_train=10, num_test=5, nonlinearity=2.0)

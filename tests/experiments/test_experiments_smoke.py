@@ -1,0 +1,130 @@
+"""Smoke tests: every experiment module runs end to end at smoke scale.
+
+These exercise the full code path of each table/figure regeneration —
+training, attacking, recovering, cost modelling, rendering — with tiny
+models so the suite stays fast.  Numeric assertions here are structural
+(shapes, monotonicities that hold even at small scale), not the paper
+comparisons; those live in the benchmark suite at default scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4a,
+    figure4b,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.config import SCALES, get_scale
+
+
+class TestConfig:
+    def test_presets(self):
+        assert set(SCALES) == {"smoke", "default", "full"}
+        assert get_scale("smoke").dim < get_scale("default").dim
+
+    def test_passthrough(self):
+        scale = SCALES["smoke"]
+        assert get_scale(scale) is scale
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+
+class TestTable1:
+    def test_runs_and_renders(self):
+        result = table1.run("smoke")
+        assert len(result.rows) == 5
+        assert len(result.rows[0].losses) == len(result.error_rates)
+        text = table1.render(result)
+        assert "Table 1" in text
+        assert "DNN" in text
+
+
+class TestTable3:
+    def test_runs_and_renders(self):
+        result = table3.run("smoke", datasets=("pamap",))
+        assert len(result.rows) == 8  # 4 learners x 2 modes
+        text = table3.render(result)
+        assert "HDC" in text and "targeted" in text
+
+
+class TestTable4:
+    def test_runs_and_renders(self):
+        result = table4.run("smoke", datasets=("pamap", "pecan"))
+        assert len(result.cells) == 6
+        cell = result.cell("pecan", 0.06)
+        assert cell.dataset == "pecan"
+        text = table4.render(result)
+        assert "Without Recovery" in text and "With Recovery" in text
+
+    def test_missing_cell(self):
+        result = table4.run("smoke", datasets=("pamap",))
+        with pytest.raises(KeyError):
+            result.cell("mnist", 0.06)
+
+
+class TestFigure2:
+    def test_runs_and_renders(self):
+        result = figure2.run()
+        assert {e.label for e in result.entries} == {
+            "DNN-GPU", "HDC-GPU", "DNN-PIM", "HDC-PIM",
+        }
+        base = result.entry("DNN-GPU")
+        assert base.relative_speedup == pytest.approx(1.0)
+        assert "Figure 2" in figure2.render(result)
+
+    def test_paper_shape(self):
+        """HDC-PIM dominates DNN-PIM which dominates DNN-GPU."""
+        result = figure2.run()
+        assert (
+            result.entry("HDC-PIM").relative_speedup
+            > result.entry("DNN-PIM").relative_speedup
+            > 1.0
+        )
+
+
+class TestFigure3:
+    def test_runs_and_renders(self):
+        result = figure3.run(
+            "smoke", confidence_sweep=(0.7, 0.9), substitution_sweep=(0.1,)
+        )
+        assert len(result.points) == 3
+        t_c = result.series("T_C")
+        assert len(t_c) == 2
+        # Higher threshold cannot trust more samples.
+        assert t_c[0].trusted_samples >= t_c[1].trusted_samples
+        assert "Figure 3" in figure3.render(result)
+
+
+class TestFigure4a:
+    def test_runs_and_renders(self):
+        result = figure4a.run("smoke")
+        assert len(result.series) == 4  # 2 HDC dims + 2 DNN precisions
+        for series in result.series:
+            assert len(series.quality_loss) == len(series.times_years)
+            assert series.lifetime_years > 0
+        assert "Figure 4a" in figure4a.render(result)
+
+    def test_loss_monotone_over_time(self):
+        result = figure4a.run("smoke")
+        for series in result.series:
+            losses = list(series.quality_loss)
+            assert losses == sorted(losses)
+
+
+class TestFigure4b:
+    def test_runs_and_renders(self):
+        result = figure4b.run("smoke")
+        assert len(result.points) == 5
+        baseline = result.at_rate(0.0)
+        assert baseline.efficiency_improvement == 0.0
+        assert baseline.refresh_interval_ms == pytest.approx(64.0)
+        # Relaxation monotone: more errors, more energy gain.
+        gains = [p.efficiency_improvement for p in result.points]
+        assert gains == sorted(gains)
+        assert "Figure 4b" in figure4b.render(result)

@@ -1,0 +1,89 @@
+"""Smoke tests for the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import continuous, ecc_comparison
+from repro.pim.ecc import SECDED
+
+
+class TestContinuous:
+    def test_runs_and_renders(self):
+        result = continuous.run(
+            "smoke", per_pass_rate=0.01, num_passes=3
+        )
+        assert len(result.accuracy_none) == 3
+        assert len(result.accuracy_default) == 3
+        assert len(result.accuracy_conservative) == 3
+        text = continuous.render(result)
+        assert "Conservative" in text
+        assert isinstance(result.conservative_gap, float)
+        assert isinstance(result.default_gap, float)
+
+
+class TestRowhammer:
+    def test_runs_and_renders(self):
+        from repro.experiments import rowhammer
+
+        result = rowhammer.run("smoke")
+        assert len(result.clustered_loss) == len(result.error_rates)
+        text = rowhammer.render(result)
+        assert "Row-Hammer" in text
+        # Locality concentrates damage: clustered >= uniform on average
+        # (holds even at smoke scale because the budget hits one class).
+        assert sum(result.clustered_loss) >= sum(result.uniform_loss) - 0.02
+
+
+class TestInformed:
+    def test_runs_and_renders(self):
+        from repro.experiments import informed
+
+        result = informed.run("smoke")
+        assert len(result.informed_loss) == len(result.error_rates)
+        text = informed.render(result)
+        assert "white-box" in text
+        # Even at smoke scale the informed attack beats random at the
+        # top of the sweep.
+        assert result.informed_loss[-1] > result.random_loss[-1]
+
+
+class TestECCComparison:
+    def test_residual_rate_zero_noise(self):
+        code = SECDED(16)
+        assert ecc_comparison.residual_error_rate(
+            code, 0.0, np.random.default_rng(0), num_words=20
+        ) == 0.0
+
+    def test_residual_below_raw_at_low_rates(self):
+        code = SECDED(64)
+        raw = 0.003
+        residual = ecc_comparison.residual_error_rate(
+            code, raw, np.random.default_rng(1), num_words=300
+        )
+        assert residual < raw
+
+    def test_residual_saturates_at_high_rates(self):
+        """Past a flip or two per codeword the decoder stops helping."""
+        code = SECDED(64)
+        residual = ecc_comparison.residual_error_rate(
+            code, 0.10, np.random.default_rng(2), num_words=200
+        )
+        assert residual > 0.05
+
+    def test_residual_validation(self):
+        code = SECDED(16)
+        with pytest.raises(ValueError):
+            ecc_comparison.residual_error_rate(
+                code, 1.5, np.random.default_rng(0)
+            )
+        with pytest.raises(ValueError):
+            ecc_comparison.residual_error_rate(
+                code, 0.1, np.random.default_rng(0), num_words=0
+            )
+
+    def test_runs_and_renders(self):
+        result = ecc_comparison.run("smoke")
+        assert len(result.dnn_raw_loss) == len(result.error_rates)
+        assert result.ecc_storage_overhead == pytest.approx(0.125)
+        text = ecc_comparison.render(result)
+        assert "SECDED" in text

@@ -1,0 +1,93 @@
+"""Rendering-format tests: every experiment's text output is well formed.
+
+The rendered tables are the artifacts EXPERIMENTS.md cites; these tests
+pin their structure (title, header, separator, row counts) without
+re-running the heavy computations — results are constructed directly.
+"""
+
+from repro.core.recovery import RecoveryConfig
+from repro.experiments.config import SCALES
+from repro.experiments.figure2 import DEFAULT_WORKLOAD, Figure2Entry, Figure2Result
+from repro.experiments.figure2 import render as render_fig2
+from repro.experiments.figure3 import Figure3Point, Figure3Result
+from repro.experiments.figure3 import render as render_fig3
+from repro.experiments.figure4b import Figure4bPoint, Figure4bResult
+from repro.experiments.figure4b import render as render_fig4b
+from repro.experiments.table1 import Table1Result, Table1Row
+from repro.experiments.table1 import render as render_t1
+from repro.experiments.table4 import Table4Cell, Table4Result
+from repro.experiments.table4 import render as render_t4
+
+
+class TestTableRenders:
+    def test_table1_layout(self):
+        result = Table1Result(
+            rows=(
+                Table1Row("DNN (8-bit)", (0.01, 0.02)),
+                Table1Row("D=10k 1-bit", (0.001, 0.002)),
+            ),
+            error_rates=(0.01, 0.05),
+            dataset="ucihar",
+            scale="smoke",
+        )
+        text = render_t1(result)
+        lines = text.splitlines()
+        assert lines[0].startswith("Table 1")
+        assert "1%" in lines[1] and "5%" in lines[1]
+        assert len(lines) == 2 + 2 + 1  # title + header + rule + 2 rows
+
+    def test_table4_layout(self):
+        cells = tuple(
+            Table4Cell(d, r, 0.01, 0.005)
+            for d in ("a", "b")
+            for r in (0.02, 0.10)
+        )
+        result = Table4Result(
+            cells=cells, error_rates=(0.02, 0.10), datasets=("a", "b"),
+            scale="smoke",
+        )
+        text = render_t4(result)
+        assert "Without Recovery 2%" in text
+        assert "With Recovery 10%" in text
+        assert text.count("1.00%") == 4  # the loss_without entries
+
+    def test_figure2_layout(self):
+        entries = tuple(
+            Figure2Entry(label, 1e6, 1e-6, 2.0, 3.0)
+            for label in ("DNN-GPU", "HDC-PIM")
+        )
+        result = Figure2Result(entries=entries, workload=DEFAULT_WORKLOAD)
+        text = render_fig2(result)
+        assert "2.0x" in text and "3.0x" in text
+
+    def test_figure3_layout(self):
+        points = (
+            Figure3Point("T_C", 0.8, 0.01, 120, (0.9, 0.91)),
+            Figure3Point("S", 0.1, 0.02, 120, (0.9, 0.89)),
+        )
+        result = Figure3Result(
+            points=points, error_rate=0.1, dataset="ucihar", scale="smoke",
+            base_config=RecoveryConfig(),
+        )
+        text = render_fig3(result)
+        assert "T_C" in text and "Fluctuation" in text
+        assert result.series("T_C")[0].fluctuation >= 0
+
+    def test_figure4b_layout(self):
+        points = (
+            Figure4bPoint(0.0, 64.0, 0.0, 0.0, 0.0),
+            Figure4bPoint(0.04, 126.0, 0.14, 0.07, 0.004),
+        )
+        result = Figure4bResult(points=points, dataset="ucihar",
+                                scale="smoke")
+        text = render_fig4b(result)
+        assert "126 ms" in text
+        assert "14.0%" in text
+
+    def test_scales_all_render_in_titles(self):
+        for name in SCALES:
+            result = Table1Result(
+                rows=(Table1Row("x", (0.0,)),), error_rates=(0.01,),
+                dataset="d", scale=name,
+            )
+            assert f"scale={name}" in render_t1(result)

@@ -1,0 +1,172 @@
+"""Tests for the bit-flip attack primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.quantization import FixedPointTensor
+from repro.core.model import HDCModel
+from repro.faults.bitflip import (
+    attack_hdc_model,
+    attack_tensor,
+    attack_tensors,
+    flip_hdc_bits,
+    hdc_msb_first_bit_order,
+    num_bits_to_flip,
+    sample_random_bits,
+    sample_targeted_bits,
+)
+
+
+def make_model(k=3, dim=64, bits=1, seed=0):
+    rng = np.random.default_rng(seed)
+    hv = rng.integers(0, 1 << bits, (k, dim)).astype(np.uint8)
+    return HDCModel(class_hv=hv, bits=bits)
+
+
+class TestBudgets:
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_num_bits_exact(self, total, rate):
+        n = num_bits_to_flip(total, rate)
+        assert 0 <= n <= total
+        assert n == int(round(rate * total))
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            num_bits_to_flip(10, 1.5)
+
+    def test_bad_total(self):
+        with pytest.raises(ValueError, match="total_bits"):
+            num_bits_to_flip(0, 0.5)
+
+
+class TestSampling:
+    def test_random_bits_distinct(self):
+        bits = sample_random_bits(1_000, 0.5, np.random.default_rng(0))
+        assert len(bits) == 500
+        assert len(set(bits.tolist())) == 500
+
+    def test_targeted_takes_msb_planes_first(self):
+        fp = FixedPointTensor.from_float(np.zeros(10), width=8)
+        order = fp.msb_first_bit_order()
+        # Budget = exactly one plane (10 bits of 80): all must be MSBs.
+        bits = sample_targeted_bits(order, 10 / 80, np.random.default_rng(0))
+        assert len(bits) == 10
+        assert set((bits % 8).tolist()) == {7}
+
+    def test_targeted_shuffles_within_plane(self):
+        fp = FixedPointTensor.from_float(np.zeros(100), width=8)
+        order = fp.msb_first_bit_order()
+        a = sample_targeted_bits(order, 0.05, np.random.default_rng(1))
+        b = sample_targeted_bits(order, 0.05, np.random.default_rng(2))
+        assert set(a.tolist()) != set(b.tolist())
+
+    def test_targeted_zero_budget(self):
+        fp = FixedPointTensor.from_float(np.zeros(4), width=8)
+        bits = sample_targeted_bits(
+            fp.msb_first_bit_order(), 0.0, np.random.default_rng(0)
+        )
+        assert bits.size == 0
+
+
+class TestAttackTensor:
+    def test_exact_flip_count(self):
+        fp = FixedPointTensor.from_float(np.zeros(50), width=8)
+        attacked = attack_tensor(fp, 0.1, "random", np.random.default_rng(0))
+        diff = attacked.raw ^ fp.raw
+        flipped = sum(bin(int(x)).count("1") for x in diff)
+        assert flipped == 40  # 10% of 400 bits
+
+    def test_victim_untouched(self):
+        fp = FixedPointTensor.from_float(np.ones(10), width=8)
+        snapshot = fp.raw.copy()
+        attack_tensor(fp, 0.5, "random", np.random.default_rng(0))
+        assert (fp.raw == snapshot).all()
+
+    def test_bad_mode(self):
+        fp = FixedPointTensor.from_float(np.zeros(4))
+        with pytest.raises(ValueError, match="mode"):
+            attack_tensor(fp, 0.1, "sideways", np.random.default_rng(0))
+
+
+class TestAttackTensors:
+    def test_global_budget_split(self):
+        tensors = [
+            FixedPointTensor.from_float(np.zeros(100), width=8),
+            FixedPointTensor.from_float(np.zeros(300), width=8),
+        ]
+        attacked = attack_tensors(tensors, 0.1, "random",
+                                  np.random.default_rng(0))
+        flips = [
+            sum(bin(int(x)).count("1") for x in (a.raw ^ t.raw))
+            for a, t in zip(attacked, tensors)
+        ]
+        assert sum(flips) == 320  # 10% of 3200 bits total
+        # Larger tensor absorbs roughly proportional damage.
+        assert flips[1] > flips[0]
+
+    def test_targeted_budget_exact(self):
+        tensors = [
+            FixedPointTensor.from_float(np.zeros(64), width=8),
+            FixedPointTensor.from_float(np.zeros(96), width=8),
+        ]
+        attacked = attack_tensors(tensors, 0.05, "targeted",
+                                  np.random.default_rng(1))
+        flips = [
+            sum(bin(int(x)).count("1") for x in (a.raw ^ t.raw))
+            for a, t in zip(attacked, tensors)
+        ]
+        assert sum(flips) == num_bits_to_flip(64 * 8 + 96 * 8, 0.05)
+
+    def test_zero_budget(self):
+        tensors = [FixedPointTensor.from_float(np.zeros(4), width=8)]
+        out = attack_tensors(tensors, 0.0, "random", np.random.default_rng(0))
+        assert (out[0].raw == tensors[0].raw).all()
+
+
+class TestAttackHDC:
+    def test_one_bit_flip_count(self):
+        model = make_model(k=4, dim=250, bits=1)
+        attacked = attack_hdc_model(model, 0.1, "random",
+                                    np.random.default_rng(0))
+        changed = int(np.count_nonzero(attacked.class_hv != model.class_hv))
+        assert changed == 100  # 10% of 1000 bits
+
+    def test_two_bit_flips_respect_levels(self):
+        model = make_model(k=2, dim=100, bits=2)
+        attacked = attack_hdc_model(model, 0.2, "random",
+                                    np.random.default_rng(1))
+        assert attacked.class_hv.max() <= 3
+
+    def test_random_equals_targeted_for_binary(self):
+        """For a 1-bit model every bit is an MSB: targeted and random
+        damage have identical statistics — the paper's Table 3 point."""
+        model = make_model(k=4, dim=2_000, bits=1, seed=2)
+        rng = np.random.default_rng(3)
+        rand = attack_hdc_model(model, 0.1, "random", rng)
+        targ = attack_hdc_model(model, 0.1, "targeted", rng)
+        n_rand = int(np.count_nonzero(rand.class_hv != model.class_hv))
+        n_targ = int(np.count_nonzero(targ.class_hv != model.class_hv))
+        assert n_rand == n_targ == 800
+
+    def test_msb_order_covers_all_bits(self):
+        model = make_model(k=2, dim=10, bits=2)
+        order = hdc_msb_first_bit_order(model)
+        assert len(set(order.tolist())) == model.total_bits
+        # First plane is the high bit (bit 1) of every element.
+        assert set((order[:20] % 2).tolist()) == {1}
+
+    def test_flip_hdc_bits_in_place_and_reversible(self):
+        model = make_model(k=2, dim=20, bits=1)
+        snapshot = model.class_hv.copy()
+        flip_hdc_bits(model, np.array([0, 39]))
+        assert (model.class_hv != snapshot).sum() == 2
+        flip_hdc_bits(model, np.array([0, 39]))
+        assert (model.class_hv == snapshot).all()
+
+    def test_flip_out_of_range(self):
+        model = make_model(k=2, dim=4, bits=1)
+        with pytest.raises(IndexError):
+            flip_hdc_bits(model, np.array([8]))

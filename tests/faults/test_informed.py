@@ -1,0 +1,105 @@
+"""Tests for the margin-aware white-box attack."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+from repro.datasets.synthetic import make_prototype_classification
+from repro.faults.bitflip import attack_hdc_model, num_bits_to_flip
+from repro.faults.informed import attack_hdc_informed, dimension_importance
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    task = make_prototype_classification(
+        "toy", num_features=40, num_classes=4, num_train=300, num_test=300,
+        boundary_fraction=0.3, boundary_depth=(0.25, 0.45), seed=17,
+    )
+    encoder = Encoder(num_features=40, dim=4_000, seed=7)
+    clf = HDCClassifier(encoder, num_classes=4, epochs=0).fit(
+        task.train_x, task.train_y
+    )
+    queries = encoder.encode_batch(task.test_x)
+    return clf.model, queries, np.asarray(task.test_y)
+
+
+class TestDimensionImportance:
+    def test_shape_and_range(self, fitted):
+        model, queries, _ = fitted
+        imp = dimension_importance(model, queries[:100])
+        assert imp.shape == (4, 4_000)
+        assert (imp >= 0).all()
+        assert (imp <= 1.0).all()
+
+    def test_discriminating_dims_score_higher(self):
+        """A dimension where rivals all store the opposite bit outranks
+        one where every class agrees."""
+        hv = np.zeros((3, 8), dtype=np.uint8)
+        hv[0, 0] = 1          # class 0 differs from both rivals at dim 0
+        hv[:, 1] = 1          # everyone agrees at dim 1
+        model = HDCModel(class_hv=hv, bits=1)
+        rng = np.random.default_rng(0)
+        queries = rng.integers(0, 2, (30, 8), dtype=np.uint8)
+        imp = dimension_importance(model, queries)
+        assert imp[0, 0] >= imp[0, 1]
+
+    def test_multibit_rejected(self, fitted):
+        model, queries, _ = fitted
+        bad = HDCModel(class_hv=model.class_hv.copy(), bits=2)
+        with pytest.raises(ValueError, match="1-bit"):
+            dimension_importance(bad, queries[:10])
+
+    def test_dim_mismatch(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError, match="dim"):
+            dimension_importance(model, np.zeros((2, 10), dtype=np.uint8))
+
+
+class TestInformedAttack:
+    def test_budget_matches_random_attack(self, fitted):
+        model, queries, _ = fitted
+        rate = 0.06
+        attacked = attack_hdc_informed(
+            model, rate, queries[:100], np.random.default_rng(0)
+        )
+        flips = int((attacked.class_hv != model.class_hv).sum())
+        assert flips == num_bits_to_flip(model.total_bits, rate)
+
+    def test_victim_untouched(self, fitted):
+        model, queries, _ = fitted
+        snapshot = model.class_hv.copy()
+        attack_hdc_informed(model, 0.1, queries[:50],
+                            np.random.default_rng(1))
+        assert (model.class_hv == snapshot).all()
+
+    def test_stronger_than_random(self, fitted):
+        """The security finding: margin-aware flips hurt far more than
+        the same budget of random flips."""
+        model, queries, labels = fitted
+        clean = float(np.mean(model.predict(queries) == labels))
+        rate = 0.08
+        random_acc = np.mean([
+            float(np.mean(
+                attack_hdc_model(model, rate, "random",
+                                 np.random.default_rng(s)).predict(queries)
+                == labels
+            ))
+            for s in range(3)
+        ])
+        informed_acc = np.mean([
+            float(np.mean(
+                attack_hdc_informed(model, rate, queries[:150],
+                                    np.random.default_rng(s)).predict(queries)
+                == labels
+            ))
+            for s in range(3)
+        ])
+        assert clean - informed_acc > (clean - random_acc) + 0.05
+
+    def test_zero_budget_noop(self, fitted):
+        model, queries, _ = fitted
+        attacked = attack_hdc_informed(
+            model, 0.0, queries[:10], np.random.default_rng(2)
+        )
+        assert (attacked.class_hv == model.class_hv).all()

@@ -1,0 +1,90 @@
+"""Tests for the fault-injection campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deploy import QuantizedDeployment
+from repro.baselines.mlp import MLPClassifier
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import make_prototype_classification
+from repro.faults.injector import run_deployment_campaign, run_hdc_campaign
+
+
+@pytest.fixture(scope="module")
+def setup():
+    task = make_prototype_classification(
+        "toy", num_features=30, num_classes=3, num_train=250, num_test=120,
+        boundary_fraction=0.3, boundary_depth=(0.3, 0.5), seed=13,
+    )
+    encoder = Encoder(num_features=30, dim=1_000, seed=0)
+    clf = HDCClassifier(encoder, num_classes=3, epochs=0).fit(
+        task.train_x, task.train_y
+    )
+    encoded = encoder.encode_batch(task.test_x)
+    return task, clf.model, encoded
+
+
+class TestHDCCampaign:
+    def test_structure(self, setup):
+        task, model, encoded = setup
+        result = run_hdc_campaign(
+            model, encoded, task.test_y, rates=(0.05, 0.2),
+            modes=("random", "targeted"), trials=2,
+        )
+        assert len(result.cells) == 4
+        cell = result.cell(0.05, "random")
+        assert cell.trials == 2
+        assert 0.0 <= result.clean_accuracy <= 1.0
+
+    def test_loss_consistency(self, setup):
+        task, model, encoded = setup
+        result = run_hdc_campaign(
+            model, encoded, task.test_y, rates=(0.1,), trials=2
+        )
+        cell = result.cell(0.1, "random")
+        assert cell.quality_loss_mean == pytest.approx(
+            result.clean_accuracy - cell.attacked_accuracy_mean
+        )
+
+    def test_deterministic_given_seed(self, setup):
+        task, model, encoded = setup
+        a = run_hdc_campaign(model, encoded, task.test_y, rates=(0.1,),
+                             trials=2, seed=7)
+        b = run_hdc_campaign(model, encoded, task.test_y, rates=(0.1,),
+                             trials=2, seed=7)
+        assert a.loss(0.1, "random") == b.loss(0.1, "random")
+
+    def test_heavy_attack_hurts(self, setup):
+        task, model, encoded = setup
+        result = run_hdc_campaign(
+            model, encoded, task.test_y, rates=(0.45,), trials=3
+        )
+        assert result.loss(0.45, "random") > 0.02
+
+    def test_missing_cell_raises(self, setup):
+        task, model, encoded = setup
+        result = run_hdc_campaign(model, encoded, task.test_y, rates=(0.1,))
+        with pytest.raises(KeyError):
+            result.cell(0.2, "random")
+
+    def test_bad_trials(self, setup):
+        task, model, encoded = setup
+        with pytest.raises(ValueError, match="trials"):
+            run_hdc_campaign(model, encoded, task.test_y, rates=(0.1,),
+                             trials=0)
+
+
+class TestDeploymentCampaign:
+    def test_end_to_end(self, setup):
+        task, _, _ = setup
+        mlp = MLPClassifier(task.num_features, task.num_classes, hidden=(16,),
+                            epochs=15, seed=0).fit(task.train_x, task.train_y)
+        deployment = QuantizedDeployment(mlp, width=8)
+        result = run_deployment_campaign(
+            deployment, task.test_x, task.test_y, rates=(0.02, 0.1),
+            modes=("random",), trials=2,
+        )
+        assert result.clean_accuracy > 0.7
+        # A 10% attack on 8-bit weights must hurt a lot more than 2%.
+        assert result.loss(0.1, "random") > result.loss(0.02, "random")

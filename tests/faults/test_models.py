@@ -1,0 +1,95 @@
+"""Tests for the stochastic memory error processes."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import HDCModel
+from repro.faults.models import (
+    StuckAtFaultMap,
+    TransientFlipProcess,
+    dram_error_rate_for_interval,
+)
+
+
+def make_model(k=3, dim=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return HDCModel(
+        class_hv=rng.integers(0, 2, (k, dim), dtype=np.uint8), bits=1
+    )
+
+
+class TestTransientFlipProcess:
+    def test_single_exposure_count(self):
+        model = make_model()
+        process = TransientFlipProcess(rate=0.1, seed=0)
+        flipped = process.expose(model)
+        assert flipped == 60  # 10% of 600
+
+    def test_damage_accumulates(self):
+        model = make_model(seed=1)
+        clean = model.class_hv.copy()
+        process = TransientFlipProcess(rate=0.05, seed=1)
+        distances = []
+        for _ in range(4):
+            process.expose(model)
+            distances.append(int(np.count_nonzero(model.class_hv != clean)))
+        assert distances == sorted(distances)
+        assert process.exposures == 4
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            TransientFlipProcess(rate=1.5)
+
+
+class TestStuckAtFaultMap:
+    def test_apply_forces_values(self):
+        model = make_model(seed=2)
+        faults = StuckAtFaultMap(model.class_hv.shape, rate=0.2,
+                                 rng=np.random.default_rng(0))
+        faults.apply(model)
+        flat = model.class_hv.reshape(-1)
+        assert (flat[faults.indices] == faults.values).all()
+
+    def test_writes_to_dead_cells_discarded(self):
+        """After a write pass, re-applying the map restores stuck values —
+        the semantics the recovery loop has to live with."""
+        model = make_model(seed=3)
+        faults = StuckAtFaultMap(model.class_hv.shape, rate=0.3,
+                                 rng=np.random.default_rng(1))
+        faults.apply(model)
+        model.class_hv[:] = 1 - model.class_hv  # a global (blind) write
+        changed = faults.apply(model)
+        assert changed == faults.num_stuck
+        flat = model.class_hv.reshape(-1)
+        assert (flat[faults.indices] == faults.values).all()
+
+    def test_rate_zero_is_noop(self):
+        model = make_model(seed=4)
+        snapshot = model.class_hv.copy()
+        faults = StuckAtFaultMap(model.class_hv.shape, rate=0.0,
+                                 rng=np.random.default_rng(2))
+        assert faults.apply(model) == 0
+        assert (model.class_hv == snapshot).all()
+
+    def test_shape_mismatch(self):
+        model = make_model()
+        faults = StuckAtFaultMap((2, 100), rate=0.1,
+                                 rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="shape"):
+            faults.apply(model)
+
+    def test_multibit_rejected(self):
+        hv = np.zeros((2, 10), dtype=np.uint8)
+        model = HDCModel(class_hv=hv, bits=2)
+        faults = StuckAtFaultMap((2, 10), rate=0.1,
+                                 rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="1-bit"):
+            faults.apply(model)
+
+
+class TestDRAMBridge:
+    def test_base_interval_error_free(self):
+        assert dram_error_rate_for_interval(64.0) == 0.0
+
+    def test_relaxation_produces_errors(self):
+        assert dram_error_rate_for_interval(500.0) > 0.01

@@ -1,0 +1,146 @@
+"""Functional tests of the NOR crossbar against numpy truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pim.crossbar import Crossbar, OpCost
+
+
+def loaded_crossbar(bits_a, bits_b):
+    xb = Crossbar(len(bits_a), 10)
+    xb.write_column(0, np.asarray(bits_a, dtype=np.uint8))
+    xb.write_column(1, np.asarray(bits_b, dtype=np.uint8))
+    return xb
+
+
+bit_rows = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=32
+)
+
+
+class TestGates:
+    @given(bit_rows)
+    @settings(max_examples=25)
+    def test_nor_truth(self, rows):
+        a = np.array([r[0] for r in rows], dtype=np.uint8)
+        b = np.array([r[1] for r in rows], dtype=np.uint8)
+        xb = loaded_crossbar(a, b)
+        xb.nor([0, 1], 2)
+        expected = ((a | b) ^ 1).astype(np.uint8)
+        assert (xb.data[:, 2] == expected).all()
+
+    @given(bit_rows)
+    @settings(max_examples=25)
+    def test_xor_truth(self, rows):
+        a = np.array([r[0] for r in rows], dtype=np.uint8)
+        b = np.array([r[1] for r in rows], dtype=np.uint8)
+        xb = loaded_crossbar(a, b)
+        xb.xor(0, 1, 2, (3, 4, 5))
+        assert (xb.data[:, 2] == (a ^ b)).all()
+
+    @given(bit_rows)
+    @settings(max_examples=25)
+    def test_and_truth(self, rows):
+        a = np.array([r[0] for r in rows], dtype=np.uint8)
+        b = np.array([r[1] for r in rows], dtype=np.uint8)
+        xb = loaded_crossbar(a, b)
+        xb.and_(0, 1, 2, (3, 4))
+        assert (xb.data[:, 2] == (a & b)).all()
+
+    @given(bit_rows)
+    @settings(max_examples=25)
+    def test_or_truth(self, rows):
+        a = np.array([r[0] for r in rows], dtype=np.uint8)
+        b = np.array([r[1] for r in rows], dtype=np.uint8)
+        xb = loaded_crossbar(a, b)
+        xb.or_(0, 1, 2, 3)
+        assert (xb.data[:, 2] == (a | b)).all()
+
+    def test_not_truth(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        xb = loaded_crossbar(a, a)
+        xb.not_(0, 3)
+        assert (xb.data[:, 3] == (1 - a)).all()
+
+    def test_multi_input_nor(self):
+        xb = Crossbar(4, 8)
+        for col, bits in enumerate(
+            ([0, 0, 1, 1], [0, 1, 0, 1], [0, 0, 0, 1])
+        ):
+            xb.write_column(col, np.array(bits, dtype=np.uint8))
+        xb.nor([0, 1, 2], 5)
+        assert list(xb.data[:, 5]) == [1, 0, 0, 0]
+
+
+class TestMetering:
+    def test_costs_accumulate(self):
+        xb = Crossbar(8, 8)
+        assert xb.cost.cycles == 0
+        xb.write_column(0, np.ones(8, dtype=np.uint8))
+        xb.nor([0], 1)
+        assert xb.cost.cycles >= 3
+        assert xb.cost.writes > 0
+        assert xb.cost.energy_j > 0
+        assert xb.cost.gate_evals == 8  # one NOR over 8 rows
+
+    def test_write_counts_track_switching(self):
+        xb = Crossbar(4, 4)
+        xb.write_column(0, np.ones(4, dtype=np.uint8))
+        assert xb.write_counts[:, 0].sum() == 4
+        # Rewriting the same data switches nothing.
+        xb.write_column(0, np.ones(4, dtype=np.uint8))
+        assert xb.write_counts[:, 0].sum() == 4
+
+    def test_read_column(self):
+        xb = Crossbar(4, 4)
+        bits = np.array([1, 0, 1, 0], dtype=np.uint8)
+        xb.write_column(2, bits)
+        out = xb.read_column(2)
+        assert (out == bits).all()
+        assert xb.cost.reads == 4
+
+    def test_opcost_arithmetic(self):
+        a = OpCost(cycles=2, writes=3, reads=1, gate_evals=4, energy_j=1e-12)
+        b = a + a
+        assert b.cycles == 4 and b.gate_evals == 8
+        c = a.scaled(3)
+        assert c.writes == 9
+        assert c.energy_j == pytest.approx(3e-12)
+        a += b
+        assert a.cycles == 6
+
+    def test_opcost_scaled_validation(self):
+        with pytest.raises(ValueError):
+            OpCost().scaled(-1)
+
+    def test_latency(self):
+        cost = OpCost(cycles=10)
+        assert cost.latency_s() == pytest.approx(10e-9)
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 4)
+
+    def test_output_cannot_be_input(self):
+        xb = Crossbar(2, 4)
+        with pytest.raises(ValueError, match="output column"):
+            xb.nor([0, 1], 1)
+
+    def test_column_bounds(self):
+        xb = Crossbar(2, 4)
+        with pytest.raises(IndexError):
+            xb.nor([0], 4)
+
+    def test_xor_needs_distinct_columns(self):
+        xb = Crossbar(2, 8)
+        with pytest.raises(ValueError, match="distinct"):
+            xb.xor(0, 1, 2, (3, 3, 5))
+
+    def test_write_column_shape(self):
+        xb = Crossbar(4, 4)
+        with pytest.raises(ValueError, match="expected 4 bits"):
+            xb.write_column(0, np.zeros(3, dtype=np.uint8))

@@ -1,0 +1,114 @@
+"""Tests for the analytic DPIM cost model."""
+
+import pytest
+
+from repro.pim.dpim import DPIM, DPIMConfig, NOR_PER_FULL_ADDER, NOR_PER_XOR
+
+
+@pytest.fixture(scope="module")
+def dpim():
+    return DPIM()
+
+
+class TestPrimitives:
+    def test_xor_volume(self, dpim):
+        cost = dpim.xor_vectors(1_000, num_pairs=3)
+        assert cost.gate_evals == NOR_PER_XOR * 3_000
+        assert cost.writes == int(cost.gate_evals * dpim.config.switch_activity)
+        assert cost.energy_j > 0
+
+    def test_lane_batching_raises_depth_not_volume(self):
+        small = DPIM(DPIMConfig(num_arrays=1, array_rows=64))
+        big = DPIM(DPIMConfig(num_arrays=64, array_rows=1024))
+        c_small = small.xor_vectors(10_000)
+        c_big = big.xor_vectors(10_000)
+        assert c_small.cycles > c_big.cycles
+        assert c_small.gate_evals == c_big.gate_evals
+
+    def test_popcount_scales_superlinearly(self, dpim):
+        small = dpim.popcount(256).gate_evals
+        large = dpim.popcount(4_096).gate_evals
+        assert large > 16 * small * 0.8  # ~linear x adder-width growth
+
+    def test_fixed_add_linear_in_width(self, dpim):
+        assert dpim.fixed_add(16).gate_evals == 2 * dpim.fixed_add(8).gate_evals
+
+    def test_multiply_quadratic_in_width(self, dpim):
+        """Section 5.3: PIM multiply cycles grow quadratically with
+        bit-width."""
+        c8 = dpim.fixed_multiply(8)
+        c16 = dpim.fixed_multiply(16)
+        c32 = dpim.fixed_multiply(32)
+        assert 3.0 < c16.gate_evals / c8.gate_evals < 5.0
+        assert 3.0 < c32.gate_evals / c16.gate_evals < 5.0
+
+    @pytest.mark.parametrize("method,args", [
+        ("xor_vectors", (0,)),
+        ("popcount", (0,)),
+        ("fixed_add", (0,)),
+        ("fixed_multiply", (0,)),
+    ])
+    def test_bad_sizes(self, dpim, method, args):
+        with pytest.raises(ValueError):
+            getattr(dpim, method)(*args)
+
+
+class TestKernels:
+    def test_hdc_inference_components(self, dpim):
+        encode = dpim.hdc_encode(561, 10_000)
+        classify = dpim.hdc_classify(10_000, 12)
+        full = dpim.hdc_inference(561, 10_000, 12)
+        assert full.gate_evals == encode.gate_evals + classify.gate_evals
+
+    def test_dnn_layers_required(self, dpim):
+        with pytest.raises(ValueError, match="at least"):
+            dpim.dnn_inference([64])
+
+    def test_hdc_cheaper_than_paper_band_dnn(self, dpim):
+        """The Figure 2 headline: HDC needs fewer gate evaluations than
+        the LookNN-band DNN for the same task shape."""
+        hdc = dpim.hdc_inference(561, 10_000, 12)
+        dnn = dpim.dnn_inference([561, 512, 512, 12], width=8)
+        assert dnn.gate_evals > hdc.gate_evals
+        assert dnn.energy_j > hdc.energy_j
+
+    def test_float32_dnn_much_heavier(self, dpim):
+        w8 = dpim.dnn_inference([64, 32, 8], width=8)
+        w32 = dpim.dnn_inference([64, 32, 8], width=32)
+        assert w32.gate_evals > 8 * w8.gate_evals
+
+    def test_throughput(self, dpim):
+        cost = dpim.hdc_inference(100, 2_000, 4)
+        thr = dpim.throughput_per_s(cost)
+        assert thr == pytest.approx(dpim.nor_bandwidth_per_s / cost.gate_evals)
+
+    def test_throughput_needs_gates(self, dpim):
+        from repro.pim.crossbar import OpCost
+
+        with pytest.raises(ValueError):
+            dpim.throughput_per_s(OpCost())
+
+    def test_writes_per_cell(self, dpim):
+        cost = dpim.hdc_inference(100, 2_000, 4)
+        dense = dpim.writes_per_cell(cost, active_cells=10_000)
+        spread = dpim.writes_per_cell(cost)
+        assert dense > spread
+
+    def test_writes_per_cell_validation(self, dpim):
+        cost = dpim.fixed_add(8)
+        with pytest.raises(ValueError):
+            dpim.writes_per_cell(cost, active_cells=0)
+
+
+class TestConfig:
+    def test_parallel_lanes(self):
+        cfg = DPIMConfig(array_rows=256, num_arrays=4)
+        assert cfg.parallel_lanes == 1_024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(array_rows=0), dict(switch_activity=0.0), dict(num_arrays=0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DPIMConfig(**kwargs)

@@ -1,0 +1,89 @@
+"""Tests for the DRAM refresh-relaxation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pim.dram import DEFAULT_DRAM, DRAMConfig, DRAMModel
+
+
+@pytest.fixture(scope="module")
+def dram():
+    return DRAMModel()
+
+
+class TestErrorRate:
+    def test_zero_within_guarantee(self, dram):
+        assert dram.error_rate(64.0) == 0.0
+        assert dram.error_rate(10.0) == 0.0
+
+    def test_monotone(self, dram):
+        intervals = np.linspace(64, 5_000, 50)
+        rates = dram.error_rate(intervals)
+        assert (np.diff(rates) >= 0).all()
+
+    @given(st.floats(min_value=0.005, max_value=0.5))
+    def test_inverse_consistency(self, target):
+        dram = DRAMModel()
+        interval = dram.interval_for_error_rate(target)
+        assert float(np.asarray(dram.error_rate(interval))) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    def test_bad_interval(self, dram):
+        with pytest.raises(ValueError):
+            dram.error_rate(0.0)
+
+    def test_bad_target(self, dram):
+        with pytest.raises(ValueError):
+            dram.interval_for_error_rate(0.0)
+
+
+class TestEnergy:
+    def test_baseline_energy_is_one(self, dram):
+        assert dram.relative_energy(64.0) == pytest.approx(1.0)
+        assert dram.efficiency_improvement(64.0) == pytest.approx(0.0)
+
+    def test_energy_decreases_with_interval(self, dram):
+        assert dram.relative_energy(500.0) < dram.relative_energy(100.0)
+
+    def test_asymptote(self, dram):
+        """Infinite relaxation cannot beat the non-refresh floor."""
+        gain = dram.efficiency_improvement(1e12)
+        f = DEFAULT_DRAM.refresh_energy_fraction
+        assert gain == pytest.approx(1.0 / (1.0 - f) - 1.0, rel=1e-3)
+
+    def test_below_base_interval_rejected(self, dram):
+        with pytest.raises(ValueError):
+            dram.relative_energy(10.0)
+
+
+class TestPaperCalibration:
+    """The two operating points quoted in Section 6.6."""
+
+    def test_four_percent_errors_buy_14_percent(self, dram):
+        assert dram.efficiency_at_error_rate(0.04) == pytest.approx(
+            0.14, abs=0.01
+        )
+
+    def test_six_percent_errors_buy_22_percent(self, dram):
+        assert dram.efficiency_at_error_rate(0.06) == pytest.approx(
+            0.22, abs=0.01
+        )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_interval_ms=0),
+            dict(refresh_energy_fraction=0.0),
+            dict(refresh_energy_fraction=1.0),
+            dict(weibull_shape=0),
+            dict(weibull_scale_ms=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DRAMConfig(**kwargs)

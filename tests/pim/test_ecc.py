@@ -1,0 +1,114 @@
+"""Tests for the SECDED error-correcting code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pim.ecc import ECCStats, SECDED
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SECDED(64)
+
+
+class TestCodeParameters:
+    def test_classic_72_64(self, code):
+        assert code.parity_bits == 7
+        assert code.code_bits == 72
+        assert code.overhead == pytest.approx(0.125)
+
+    def test_small_codes(self):
+        assert SECDED(4).code_bits == 8  # Hamming(7,4) + overall parity
+        assert SECDED(8).code_bits == 13
+
+    def test_overheads_monotone_down(self):
+        assert SECDED(8).overhead > SECDED(64).overhead
+
+    def test_multipliers(self, code):
+        assert code.access_energy_multiplier > 1.0
+        assert code.access_latency_multiplier > 1.0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            SECDED(0)
+
+
+class TestEncodeDecode:
+    def test_clean_roundtrip(self, code):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        result = code.decode(code.encode(data))
+        assert (result.data == data).all()
+        assert not result.corrected and not result.uncorrectable
+
+    def test_every_single_bit_error_corrected(self):
+        """Exhaustive: any one flipped codeword bit is corrected."""
+        code = SECDED(16)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, 16, dtype=np.uint8)
+        clean = code.encode(data)
+        for pos in range(code.code_bits):
+            corrupted = clean.copy()
+            corrupted[pos] ^= 1
+            result = code.decode(corrupted)
+            assert (result.data == data).all(), f"failed at position {pos}"
+            assert result.corrected
+            assert not result.uncorrectable
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30)
+    def test_double_errors_detected(self, seed):
+        code = SECDED(16)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, 16, dtype=np.uint8)
+        clean = code.encode(data)
+        i, j = rng.choice(code.code_bits, size=2, replace=False)
+        corrupted = clean.copy()
+        corrupted[i] ^= 1
+        corrupted[j] ^= 1
+        result = code.decode(corrupted)
+        assert result.uncorrectable
+
+    def test_encode_validation(self, code):
+        with pytest.raises(ValueError, match="binary"):
+            code.encode(np.full(64, 2, dtype=np.uint8))
+        with pytest.raises(ValueError, match="expected 64"):
+            code.encode(np.zeros(32, dtype=np.uint8))
+
+    def test_decode_shape(self, code):
+        with pytest.raises(ValueError, match="code bits"):
+            code.decode(np.zeros(10, dtype=np.uint8))
+
+
+class TestScrub:
+    def test_zero_error_rate_perfect(self, code):
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 2, (20, 64), dtype=np.uint8)
+        out = code.scrub(words, 0.0, rng)
+        assert (out == words).all()
+
+    def test_low_error_rate_mostly_recovered(self, code):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2, (100, 64), dtype=np.uint8)
+        stats = ECCStats()
+        out = code.scrub(words, 0.005, rng, stats)
+        bit_errors = np.count_nonzero(out != words)
+        assert bit_errors / words.size < 0.005  # better than raw
+        assert stats.words == 100
+        assert stats.corrected > 0
+
+    def test_high_error_rate_overwhelms(self, code):
+        """Past ~a couple flips per word the code collapses — the regime
+        where the paper says ECC cost dominates and HDC wins."""
+        rng = np.random.default_rng(4)
+        words = rng.integers(0, 2, (60, 64), dtype=np.uint8)
+        stats = ECCStats()
+        code.scrub(words, 0.05, rng, stats)
+        assert stats.detected_uncorrectable + stats.undetected > 0
+
+    def test_bad_rate(self, code):
+        with pytest.raises(ValueError):
+            code.scrub(np.zeros((1, 64), dtype=np.uint8), 1.5,
+                       np.random.default_rng(0))

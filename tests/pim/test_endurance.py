@@ -1,0 +1,94 @@
+"""Tests for wear tracking and lifetime projection."""
+
+import numpy as np
+import pytest
+
+from repro.pim.endurance import (
+    SECONDS_PER_YEAR,
+    LifetimePoint,
+    LifetimeProjector,
+    WearTracker,
+)
+from repro.pim.nvm import NVMDevice
+
+
+class TestWearTracker:
+    def test_leveling_spreads_uniformly(self):
+        tracker = WearTracker(num_cells=1_000, num_regions=10,
+                              wear_leveling=True)
+        tracker.add_writes(10_000, region=0)
+        per_cell = tracker.writes_per_cell()
+        assert np.allclose(per_cell, per_cell[0])
+        assert tracker.max_writes_per_cell() == pytest.approx(10.0)
+
+    def test_no_leveling_concentrates(self):
+        tracker = WearTracker(num_cells=1_000, num_regions=10,
+                              wear_leveling=False)
+        tracker.add_writes(10_000, region=3)
+        per_cell = tracker.writes_per_cell()
+        assert per_cell[3] == pytest.approx(100.0)
+        assert per_cell[0] == 0.0
+        assert tracker.max_writes_per_cell() == pytest.approx(100.0)
+
+    def test_region_none_spreads_even_without_leveling(self):
+        tracker = WearTracker(num_cells=100, num_regions=4,
+                              wear_leveling=False)
+        tracker.add_writes(400)
+        assert tracker.max_writes_per_cell() == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WearTracker(num_cells=0)
+        with pytest.raises(ValueError):
+            WearTracker(num_cells=4, num_regions=8)
+        tracker = WearTracker(num_cells=100, num_regions=4)
+        with pytest.raises(ValueError):
+            tracker.add_writes(-1)
+        tracker.wear_leveling = False
+        with pytest.raises(IndexError):
+            tracker.add_writes(1, region=9)
+
+
+class TestLifetimeProjector:
+    @staticmethod
+    def step_loss(ber: float) -> float:
+        return 0.1 if ber > 0.01 else 0.0
+
+    def test_point_structure(self):
+        projector = LifetimeProjector(10.0, self.step_loss)
+        point = projector.at(1_000.0)
+        assert isinstance(point, LifetimePoint)
+        assert point.writes_per_cell == pytest.approx(10_000.0)
+        assert point.bit_error_rate >= 0.0
+
+    def test_trajectory_monotone_loss(self):
+        projector = LifetimeProjector(50.0, lambda ber: min(1.0, 10 * ber))
+        times = np.linspace(0, 10 * SECONDS_PER_YEAR, 20)
+        losses = [p.quality_loss for p in projector.trajectory(times)]
+        assert losses == sorted(losses)
+
+    def test_lifetime_bisection(self):
+        projector = LifetimeProjector(100.0, lambda ber: min(1.0, 10 * ber))
+        lifetime = projector.lifetime_s(0.05)
+        # Loss just below the budget before, just above after.
+        assert projector.at(lifetime * 0.95).quality_loss <= 0.05
+        assert projector.at(lifetime * 1.05).quality_loss >= 0.05
+
+    def test_horizon_returned_when_never_exceeded(self):
+        projector = LifetimeProjector(1e-9, self.step_loss)
+        horizon = 5 * SECONDS_PER_YEAR
+        assert projector.lifetime_s(0.5, horizon_s=horizon) == horizon
+
+    def test_faster_wear_shorter_life(self):
+        slow = LifetimeProjector(1.0, lambda b: min(1.0, 10 * b))
+        fast = LifetimeProjector(100.0, lambda b: min(1.0, 10 * b))
+        assert fast.lifetime_s(0.05) < slow.lifetime_s(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LifetimeProjector(0.0, self.step_loss)
+        projector = LifetimeProjector(1.0, self.step_loss)
+        with pytest.raises(ValueError):
+            projector.at(-1.0)
+        with pytest.raises(ValueError):
+            projector.lifetime_s(0.0)

@@ -1,0 +1,82 @@
+"""Tests for the GPU roofline baseline model."""
+
+import pytest
+
+from repro.pim.gpu import GTX_1080, GPUConfig, GPUModel
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GPUModel()
+
+
+class TestOps:
+    def test_dnn_ops(self, gpu):
+        assert gpu.dnn_ops([10, 5, 2]) == 2 * (50 + 10)
+
+    def test_dnn_ops_validation(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.dnn_ops([10])
+
+    def test_hdc_ops(self, gpu):
+        assert gpu.hdc_ops(10, 100, 3) == 10 * 100 + 2 * 3 * 100
+
+    def test_hdc_ops_validation(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.hdc_ops(0, 100, 3)
+
+
+class TestLatencyEnergy:
+    def test_positive(self, gpu):
+        lat = gpu.inference_latency_s(1e6, 1e5)
+        assert lat > 0
+        assert gpu.inference_energy_j(1e6, 1e5) == pytest.approx(
+            lat * GTX_1080.board_power_w
+        )
+
+    def test_more_ops_slower(self, gpu):
+        assert gpu.inference_latency_s(1e8, 1e4) > gpu.inference_latency_s(
+            1e5, 1e4
+        )
+
+    def test_memory_bound_regime(self):
+        """Huge model + tiny compute: latency is set by weight streaming."""
+        cfg = GPUConfig(launch_overhead_s=0.0, batch_size=1)
+        gpu = GPUModel(cfg)
+        lat = gpu.inference_latency_s(1.0, 1e9)
+        expected = 1e9 / (cfg.memory_bandwidth_bps * cfg.bandwidth_utilization)
+        assert lat == pytest.approx(expected, rel=1e-6)
+
+    def test_compute_bound_regime(self):
+        cfg = GPUConfig(launch_overhead_s=0.0, batch_size=1)
+        gpu = GPUModel(cfg)
+        lat = gpu.inference_latency_s(1e12, 1.0)
+        expected = 1e12 / (cfg.peak_ops_per_s * cfg.compute_utilization)
+        assert lat == pytest.approx(expected, rel=1e-6)
+
+    def test_batching_amortises_overhead(self):
+        small = GPUModel(GPUConfig(batch_size=1))
+        big = GPUModel(GPUConfig(batch_size=512))
+        assert big.inference_latency_s(1e3, 1e3) < small.inference_latency_s(
+            1e3, 1e3
+        )
+
+    def test_validation(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.inference_latency_s(0, 10)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(peak_ops_per_s=0),
+            dict(compute_utilization=0),
+            dict(compute_utilization=1.5),
+            dict(bandwidth_utilization=0),
+            dict(batch_size=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GPUConfig(**kwargs)

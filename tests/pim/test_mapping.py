@@ -1,0 +1,76 @@
+"""Tests for the workload-to-crossbar mapping layer."""
+
+import pytest
+
+from repro.pim.dpim import DPIM, DPIMConfig
+from repro.pim.mapping import (
+    Placement,
+    map_dnn_model,
+    map_hdc_model,
+    wear_tracker_for,
+    writes_per_cell_per_inference,
+)
+
+
+class TestPlacement:
+    def test_hdc_footprint(self):
+        p = map_hdc_model(561, 10_000, 12)
+        assert p.operand_bits == (561 + 12) * 10_000
+        assert p.scratch_bits == p.operand_bits * 8
+        assert 0.0 < p.utilization <= 1.0
+        assert 0.0 < p.chip_fraction < 1.0
+
+    def test_dnn_footprint(self):
+        p = map_dnn_model([561, 128, 12], weight_bits=8)
+        assert p.operand_bits == (561 * 128 + 128 * 12) * 8
+
+    def test_tiles_cover_bits(self):
+        cfg = DPIMConfig()
+        p = map_hdc_model(100, 2_000, 4, config=cfg)
+        assert p.tiles_used * cfg.array_rows * cfg.array_cols >= p.total_bits
+
+    def test_too_big_rejected(self):
+        tiny = DPIMConfig(array_rows=64, array_cols=64, num_arrays=2)
+        with pytest.raises(ValueError, match="tiles"):
+            map_hdc_model(561, 10_000, 12, config=tiny)
+
+    def test_validation(self):
+        cfg = DPIMConfig()
+        with pytest.raises(ValueError):
+            Placement("x", operand_bits=0, scratch_bits=0, tiles_used=1,
+                      lanes_used=1, config=cfg)
+        with pytest.raises(ValueError):
+            map_hdc_model(0, 100, 2)
+        with pytest.raises(ValueError):
+            map_dnn_model([64])
+
+
+class TestWearIntegration:
+    def test_tracker_sized_to_rotation(self):
+        p = map_hdc_model(100, 2_000, 4)
+        tracker = wear_tracker_for(p, rotation_span=16)
+        assert tracker.num_cells == min(
+            p.total_bits * 16,
+            p.config.num_arrays * p.config.array_rows * p.config.array_cols,
+        )
+
+    def test_rotation_reduces_per_cell_writes(self):
+        p = map_hdc_model(561, 10_000, 12)
+        kernel = DPIM().hdc_inference(561, 10_000, 12)
+        tight = writes_per_cell_per_inference(p, kernel, rotation_span=1)
+        wide = writes_per_cell_per_inference(p, kernel, rotation_span=32)
+        assert wide < tight
+
+    def test_rotation_capped_by_chip(self):
+        p = map_hdc_model(561, 10_000, 12)
+        kernel = DPIM().hdc_inference(561, 10_000, 12)
+        huge = writes_per_cell_per_inference(p, kernel, rotation_span=10**6)
+        chip_cells = (
+            p.config.num_arrays * p.config.array_rows * p.config.array_cols
+        )
+        assert huge == pytest.approx(kernel.writes / chip_cells)
+
+    def test_bad_rotation(self):
+        p = map_hdc_model(10, 500, 2)
+        with pytest.raises(ValueError, match="rotation_span"):
+            wear_tracker_for(p, rotation_span=0)

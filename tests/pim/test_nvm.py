@@ -1,0 +1,94 @@
+"""Tests for the NVM device model and wear process."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice, WearModel
+
+
+class TestNVMDevice:
+    def test_default_energies_positive(self):
+        assert DEFAULT_DEVICE.set_energy_j > 0
+        assert DEFAULT_DEVICE.reset_energy_j > 0
+        assert DEFAULT_DEVICE.write_energy_j == pytest.approx(
+            0.5 * (DEFAULT_DEVICE.set_energy_j + DEFAULT_DEVICE.reset_energy_j)
+        )
+
+    def test_set_costs_more_than_reset(self):
+        """2 V SET vs 1 V RESET: quadratic in voltage."""
+        assert DEFAULT_DEVICE.set_energy_j == pytest.approx(
+            4 * DEFAULT_DEVICE.reset_energy_j
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(switching_delay_s=0),
+            dict(r_on_ohm=1e7, r_off_ohm=1e4),
+            dict(endurance_writes=0),
+            dict(endurance_sigma=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NVMDevice(**kwargs)
+
+
+class TestWearModel:
+    def test_zero_writes_zero_failures(self):
+        wear = WearModel()
+        assert wear.failure_fraction(0.0) == 0.0
+        assert wear.bit_error_rate(0.0) == 0.0
+
+    def test_monotone_in_writes(self):
+        wear = WearModel()
+        writes = np.logspace(5, 11, 30)
+        frac = wear.failure_fraction(writes)
+        assert (np.diff(frac) >= 0).all()
+
+    def test_half_dead_at_nominal(self):
+        """Lognormal median equals the nominal endurance."""
+        wear = WearModel()
+        frac = wear.failure_fraction(DEFAULT_DEVICE.endurance_writes)
+        assert frac == pytest.approx(0.5, abs=0.01)
+
+    def test_ber_is_half_failure(self):
+        wear = WearModel()
+        w = 3e8
+        assert wear.bit_error_rate(w) == pytest.approx(
+            0.5 * wear.failure_fraction(w)
+        )
+
+    def test_deterministic_sigma_zero(self):
+        device = NVMDevice(endurance_sigma=0.0)
+        wear = WearModel(device)
+        assert wear.failure_fraction(device.endurance_writes - 1) == 0.0
+        assert wear.failure_fraction(device.endurance_writes) == 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_inverse_consistency(self, fraction):
+        wear = WearModel()
+        writes = wear.writes_until_failure_fraction(fraction)
+        assert float(wear.failure_fraction(writes)) == pytest.approx(
+            fraction, abs=0.01
+        )
+
+    def test_sample_failures_matches_expectation(self):
+        wear = WearModel()
+        writes = 5e8
+        expected = float(wear.failure_fraction(writes))
+        mask = wear.sample_failures(50_000, writes, np.random.default_rng(0))
+        assert abs(mask.mean() - expected) < 0.02
+
+    def test_sample_validation(self):
+        wear = WearModel()
+        with pytest.raises(ValueError):
+            wear.sample_failures(0, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            wear.sample_failures(10, -1.0, np.random.default_rng(0))
+
+    def test_negative_writes_rejected(self):
+        with pytest.raises(ValueError):
+            WearModel().failure_fraction(-1.0)

@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_single_fast_experiment(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "finished in" in out
+
+    def test_scale_flag(self, capsys):
+        assert main(["figure2", "--scale", "smoke"]) == 0
+        assert "HDC-PIM" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--scale", "galactic"])
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table3", "table4",
+            "figure2", "figure3", "figure4a", "figure4b",
+            "continuous", "ecc_comparison", "rowhammer", "informed",
+        }

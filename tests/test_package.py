@@ -1,0 +1,48 @@
+"""Package-level surface tests: imports, version, public API integrity."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.baselines",
+            "repro.faults",
+            "repro.pim",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        """Every name a subpackage exports must actually exist on it."""
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_no_duplicate_exports(self):
+        for module in ("repro.core", "repro.pim", "repro.faults",
+                       "repro.analysis"):
+            mod = importlib.import_module(module)
+            assert len(mod.__all__) == len(set(mod.__all__)), module
+
+    def test_core_quick_tour(self):
+        """The README/package-docstring quickstart runs as written."""
+        from repro import datasets
+        from repro.core import Encoder, HDCClassifier
+
+        data = datasets.load("ucihar", max_train=200, max_test=100)
+        enc = Encoder(num_features=data.num_features, dim=1_000, seed=7)
+        clf = HDCClassifier(enc, num_classes=data.num_classes).fit(
+            data.train_x, data.train_y
+        )
+        assert clf.score(data.test_x, data.test_y) > 0.5
