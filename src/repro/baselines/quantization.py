@@ -73,6 +73,10 @@ class FixedPointTensor:
         if scale is None:
             peak = float(np.abs(values).max()) if values.size else 0.0
             scale = peak / qmax if peak > 0 else 1.0
+            if scale <= 0.0:
+                # peak / qmax underflowed to zero (subnormal inputs); any
+                # positive scale keeps the error bound |x - x'| <= scale/2.
+                scale = float(np.finfo(np.float64).tiny)
         q = np.clip(np.round(values / scale), -qmax - 1, qmax).astype(np.int64)
         mask = (1 << width) - 1
         raw = (q & mask).astype(np.uint32)

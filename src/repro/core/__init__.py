@@ -16,13 +16,23 @@ from repro.core.hypervector import (
     random_hypervectors,
 )
 from repro.core.model import HDCClassifier, HDCModel
-from repro.core.packed import PackedHypervectors, pack, unpack
+from repro.core.packed import (
+    PackedHypervectors,
+    PackedModel,
+    float_backend,
+    pack,
+    pack_model,
+    packed_backend_enabled,
+    set_packed_backend,
+    unpack,
+)
 from repro.core.sequence import SequenceEncoder, ngram_encode
 from repro.core.recovery import (
     RecoveryConfig,
     RecoveryStats,
     RobustHDRecovery,
     probabilistic_substitution,
+    recover_block,
     recover_step,
 )
 
@@ -30,6 +40,7 @@ __all__ = [
     "Encoder",
     "ItemMemory",
     "PackedHypervectors",
+    "PackedModel",
     "SequenceEncoder",
     "HDCClassifier",
     "HDCModel",
@@ -39,6 +50,7 @@ __all__ = [
     "bind",
     "bundle",
     "confident_mask",
+    "float_backend",
     "hamming_distance",
     "hamming_similarity",
     "level_hypervectors",
@@ -46,14 +58,18 @@ __all__ = [
     "ngram_encode",
     "normalized_hamming_similarity",
     "pack",
+    "pack_model",
+    "packed_backend_enabled",
     "permute",
     "prediction_confidence",
     "probabilistic_substitution",
     "quantize_features",
     "random_hypervector",
     "random_hypervectors",
+    "recover_block",
     "recover_step",
     "save_classifier",
+    "set_packed_backend",
     "unpack",
     "softmax",
 ]

@@ -11,6 +11,13 @@ it away from where the clean model would place it.
 
 Detection is purely a read-side computation; the repair itself lives in
 :mod:`repro.core.recovery`.
+
+Serving fast path: when the model is 1-bit and chunk boundaries fall on
+64-bit word boundaries (``d % 64 == 0``), per-chunk similarities run as
+word-wide XOR + popcount on the model's cached packed words — the chunk
+similarity is exactly ``d/2 - hamming`` per chunk, bit-identical to the
+float einsum (every term is a multiple of 0.5, summed exactly).  Odd
+geometries fall back to the float einsum transparently.
 """
 
 from __future__ import annotations
@@ -18,9 +25,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.hypervector import as_chunks
-from repro.core.model import HDCModel, _centered_weights
+from repro.core.model import HDCModel, _centered_weights, _is_binary
+from repro.core.packed import _pack_bits, packed_backend_enabled, packed_popcount
 
-__all__ = ["chunk_similarities", "detect_faulty_chunks", "chunk_accuracy_profile"]
+__all__ = [
+    "chunk_similarities",
+    "chunk_similarities_batch",
+    "detect_faulty_chunks",
+    "detect_faulty_chunks_batch",
+    "chunk_accuracy_profile",
+]
+
+
+def _packed_chunk_similarities(
+    model: HDCModel, queries: np.ndarray, num_chunks: int
+) -> np.ndarray | None:
+    """Per-chunk similarities ``(b, m, k)`` via XOR+popcount, or None.
+
+    Requires a 1-bit model, binary integer queries and word-aligned
+    chunks; returns None when any condition fails so callers can fall
+    back to the float einsum.
+    """
+    if model.bits != 1 or not packed_backend_enabled():
+        return None
+    model_words = model.packed().chunk_words(num_chunks)  # (k, m, w)
+    if model_words is None or not _is_binary(queries):
+        return None
+    chunk_size = model.dim // num_chunks
+    query_words = _pack_bits(queries.astype(np.uint8, copy=False)).reshape(
+        queries.shape[0], num_chunks, -1
+    )  # (b, m, w)
+    k = model_words.shape[0]
+    sims = np.empty((queries.shape[0], num_chunks, k), dtype=np.float64)
+    for c in range(k):
+        distances = packed_popcount(
+            np.bitwise_xor(query_words, model_words[c])
+        )  # (b, m)
+        sims[:, :, c] = chunk_size / 2.0 - distances
+    return sims
 
 
 def chunk_similarities(
@@ -37,11 +79,35 @@ def chunk_similarities(
         raise ValueError(f"expected a single 1-D query, got {query.ndim}-D")
     if query.shape[0] != model.dim:
         raise ValueError(f"query dim {query.shape[0]} != model dim {model.dim}")
-    q_chunks = as_chunks(query.astype(np.float64) * 2.0 - 1.0, num_chunks)
+    return chunk_similarities_batch(model, query[None, :], num_chunks)[0]
+
+
+def chunk_similarities_batch(
+    model: HDCModel, queries: np.ndarray, num_chunks: int
+) -> np.ndarray:
+    """Per-chunk similarities for a query batch, shape ``(b, m, k)``.
+
+    The batched form of :func:`chunk_similarities`; one packed
+    XOR+popcount sweep (or one einsum on the fallback path) replaces a
+    Python loop over queries.
+    """
+    queries = np.atleast_2d(queries)
+    if queries.shape[1] != model.dim:
+        raise ValueError(
+            f"query dim {queries.shape[1]} != model dim {model.dim}"
+        )
+    if model.dim % num_chunks != 0:
+        # Delegate the error to as_chunks for a consistent message.
+        as_chunks(queries[0], num_chunks)
+    fast = _packed_chunk_similarities(model, queries, num_chunks)
+    if fast is not None:
+        return fast
+    q_chunks = as_chunks(
+        queries.astype(np.float64) * 2.0 - 1.0, num_chunks
+    )  # (b, m, d)
     w = _centered_weights(model.class_hv, model.bits)  # (k, D)
     w_chunks = as_chunks(w, num_chunks)  # (k, m, d)
-    # (m, d) x (k, m, d) -> (m, k)
-    return np.einsum("md,kmd->mk", q_chunks, w_chunks)
+    return np.einsum("bmd,kmd->bmk", q_chunks, w_chunks)
 
 
 def detect_faulty_chunks(
@@ -65,16 +131,50 @@ def detect_faulty_chunks(
     ``margin=0.02`` while attacked chunks still trip the detector).
     ``margin=0`` recovers the strict mismatch rule.
     """
-    if not 0 <= predicted < model.num_classes:
+    if query.ndim != 1:
+        raise ValueError(f"expected a single 1-D query, got {query.ndim}-D")
+    return detect_faulty_chunks_batch(
+        model,
+        query[None, :],
+        np.array([predicted], dtype=np.int64),
+        num_chunks,
+        margin,
+    )[0]
+
+
+def detect_faulty_chunks_batch(
+    model: HDCModel,
+    queries: np.ndarray,
+    predicted: np.ndarray,
+    num_chunks: int,
+    margin: float = 0.02,
+) -> np.ndarray:
+    """Faulty-chunk masks ``(b, num_chunks)`` for a batch of queries.
+
+    ``predicted[i]`` is the trusted global label of ``queries[i]``; the
+    per-chunk vote of query ``i`` is compared against it exactly as in
+    :func:`detect_faulty_chunks`.
+    """
+    queries = np.atleast_2d(queries)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if predicted.ndim != 1 or predicted.shape[0] != queries.shape[0]:
         raise ValueError(
-            f"predicted class {predicted} out of range [0, {model.num_classes})"
+            f"predicted must be (b,) labels for {queries.shape[0]} queries"
+        )
+    if predicted.size and (
+        predicted.min() < 0 or predicted.max() >= model.num_classes
+    ):
+        bad = predicted[(predicted < 0) | (predicted >= model.num_classes)][0]
+        raise ValueError(
+            f"predicted class {bad} out of range [0, {model.num_classes})"
         )
     if margin < 0:
         raise ValueError(f"margin must be >= 0, got {margin}")
-    sims = chunk_similarities(model, query, num_chunks)  # (m, k)
-    best = sims.max(axis=1)
+    sims = chunk_similarities_batch(model, queries, num_chunks)  # (b, m, k)
+    best = sims.max(axis=2)  # (b, m)
+    own = sims[np.arange(queries.shape[0]), :, predicted]  # (b, m)
     chunk_size = model.dim // num_chunks
-    return (best - sims[:, predicted]) > margin * chunk_size
+    return (best - own) > margin * chunk_size
 
 
 def chunk_accuracy_profile(
@@ -88,11 +188,12 @@ def chunk_accuracy_profile(
     A diagnostic used by the ablation benchmarks: on a clean model every
     chunk should perform well above chance; after an attack the profile
     dips exactly at the chunks that absorbed flips, which is the signal
-    the detector exploits.
+    the detector exploits.  Computed as one batched sweep over all
+    queries (packed XOR+popcount when the geometry allows, a single
+    einsum otherwise).
     """
     labels = np.asarray(labels, dtype=np.int64)
-    hits = np.zeros(num_chunks, dtype=np.int64)
-    for query, label in zip(np.atleast_2d(queries), labels):
-        sims = chunk_similarities(model, query, num_chunks)
-        hits += np.argmax(sims, axis=1) == label
+    queries = np.atleast_2d(queries)
+    sims = chunk_similarities_batch(model, queries, num_chunks)  # (b, m, k)
+    hits = (np.argmax(sims, axis=2) == labels[:, None]).sum(axis=0)
     return hits / np.float64(labels.shape[0])

@@ -26,6 +26,13 @@ The algebra provides:
   inference in RobustHD.
 * chunk views — reshaping helpers used by the noisy-chunk detector.
 
+This is the *reference* representation: one dimension per ``uint8``,
+sliceable and mutable in place (the recovery loop substitutes bits
+through these views).  The *serving* representation packs 64 dimensions
+per machine word and computes the same metric as XOR + popcount — see
+:mod:`repro.core.packed`; every packed operation is property-tested
+equivalent to the functions here.
+
 All randomness flows through an explicit ``numpy.random.Generator`` so
 every experiment is reproducible bit-for-bit.
 """

@@ -25,11 +25,14 @@ product.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.encoder import Encoder
+from repro.core.packed import PackedModel, _pack_bits, packed_backend_enabled
 
 __all__ = ["HDCModel", "HDCClassifier", "quantize_accumulator"]
 
@@ -70,6 +73,27 @@ def _centered_weights(levels: np.ndarray, bits: int) -> np.ndarray:
     return levels.astype(np.float64) - offset
 
 
+def _is_binary(queries: np.ndarray) -> bool:
+    """Whether an array is exactly 0/1-valued with an integer/bool dtype.
+
+    Gate for packed dispatch: float queries (even float 0.0/1.0) keep the
+    float64 reference path so behaviour for unconventional inputs is
+    unchanged.  Uses min/max reductions rather than elementwise masks —
+    this check sits on the serving hot path.
+    """
+    if queries.dtype == np.bool_:
+        return True
+    if not np.issubdtype(queries.dtype, np.integer):
+        return False
+    if queries.size == 0:
+        return True
+    if queries.max() > 1:
+        return False
+    return bool(
+        np.issubdtype(queries.dtype, np.unsignedinteger) or queries.min() >= 0
+    )
+
+
 @dataclass
 class HDCModel:
     """A trained, quantised HDC model: the per-class hypervectors.
@@ -82,10 +106,28 @@ class HDCModel:
         an attacker sees in memory and the tensor RobustHD repairs.
     bits:
         Element precision.  ``total_bits`` is ``class_hv.size * bits``.
+
+    Serving backends
+    ----------------
+    For a 1-bit model, :meth:`similarities` / :meth:`predict`
+    transparently dispatch to the bit-packed XOR+popcount engine
+    (:mod:`repro.core.packed`) with results bit-identical to the float64
+    reference.  The packed word matrix is cached and stamped with the
+    model :attr:`version`; **every in-place write to** ``class_hv``
+    **must bump the version** — either through the :meth:`writable`
+    context manager or an explicit :meth:`bump_version` — or the cache
+    serves stale words.  All in-repo writers (the recovery loop,
+    :mod:`repro.faults`) follow this contract.
     """
 
     class_hv: np.ndarray
     bits: int = 1
+    # Cache-coherence state for the packed serving backend.  Not part of
+    # the model's identity: excluded from init/repr/eq.
+    _version: int = field(default=0, init=False, repr=False, compare=False)
+    _packed_cache: PackedModel | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.class_hv.ndim != 2:
@@ -118,18 +160,83 @@ class HDCModel:
     def copy(self) -> "HDCModel":
         return HDCModel(class_hv=self.class_hv.copy(), bits=self.bits)
 
+    # ------------------------------------------------------------------
+    # Packed-backend cache coherence
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic write counter; stamps the packed cache."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Record an in-place write to ``class_hv``; invalidates caches.
+
+        Call after *any* direct mutation of the stored tensor.  Writers
+        that hold the mutation in one lexical block should prefer
+        :meth:`writable`, which bumps automatically.
+        """
+        self._version += 1
+        return self._version
+
+    @contextmanager
+    def writable(self) -> Iterator[np.ndarray]:
+        """Context manager for in-place writes to ``class_hv``.
+
+        Yields the live tensor and bumps :attr:`version` on exit, so the
+        packed serving cache can never observe the mutation as current::
+
+            with model.writable() as hv:
+                hv[cls, victims] ^= 1
+        """
+        try:
+            yield self.class_hv
+        finally:
+            self.bump_version()
+
+    def packed(self) -> PackedModel:
+        """The packed word matrix of a 1-bit model, cached per version.
+
+        Packing a ``(k, D)`` model costs one ``np.packbits`` pass; the
+        snapshot is reused until :attr:`version` changes (i.e. until
+        someone writes to ``class_hv`` through the contract above).
+        """
+        if self.bits != 1:
+            raise ValueError("packed() requires a 1-bit model")
+        cache = self._packed_cache
+        if cache is None or cache.version != self._version:
+            cache = PackedModel(
+                words=_pack_bits(self.class_hv),
+                dim=self.dim,
+                version=self._version,
+            )
+            self._packed_cache = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
     def similarities(self, queries: np.ndarray) -> np.ndarray:
         """Similarity of binary queries ``(b, D)`` to every class: ``(b, k)``.
 
         For a 1-bit model this is an affine rescaling of Hamming
         similarity, so argmax / softmax-confidence decisions are identical
-        to the Hamming form in the paper.
+        to the Hamming form in the paper.  1-bit binary queries dispatch
+        to the packed XOR+popcount engine, which returns *exactly*
+        ``D/2 - hamming`` — bit-identical to the float64 dot product
+        (every term is a multiple of 0.5 and the sums are exact).
         """
         queries = np.atleast_2d(queries)
         if queries.shape[1] != self.dim:
             raise ValueError(
                 f"query dim {queries.shape[1]} != model dim {self.dim}"
             )
+        if self.bits == 1 and packed_backend_enabled() and _is_binary(queries):
+            distances = self.packed().distances(
+                _pack_bits(queries.astype(np.uint8, copy=False))
+            )
+            return self.dim / 2.0 - distances
         bipolar = queries.astype(np.float64) * 2.0 - 1.0  # (b, D)
         weights = _centered_weights(self.class_hv, self.bits)  # (k, D)
         return bipolar @ weights.T
@@ -141,20 +248,23 @@ class HDCModel:
     def predict_packed(self, queries: np.ndarray) -> np.ndarray:
         """Fast-path prediction via the bit-packed backend (1-bit only).
 
-        Packs the model and queries into 64-bit words and classifies by
-        minimum packed Hamming distance — identical labels to
-        :meth:`predict` (up to argmax tie order), roughly 50-80x faster
-        for query-at-a-time serving.  For repeated use, hold on to
-        ``repro.core.packed.pack(model.class_hv)`` yourself and call
-        :func:`repro.core.packed.packed_hamming_distance` directly.
+        Classifies by minimum packed Hamming distance — identical labels
+        to :meth:`predict` (including argmax tie order).  The model-side
+        words come from the version-stamped :meth:`packed` cache, so
+        repeated calls pack the model once and only the queries per call.
         """
         if self.bits != 1:
             raise ValueError("predict_packed requires a 1-bit model")
-        from repro.core.packed import pack
-
-        packed_model = pack(self.class_hv)
-        packed_queries = pack(np.atleast_2d(queries))
-        distances = packed_queries.hamming_to(packed_model)  # (b, k)
+        queries = np.atleast_2d(queries)
+        if queries.shape[1] != self.dim:
+            raise ValueError(
+                f"query dim {queries.shape[1]} != model dim {self.dim}"
+            )
+        if ((queries != 0) & (queries != 1)).any():
+            raise ValueError("queries must be binary (0/1)")
+        distances = self.packed().distances(
+            _pack_bits(queries.astype(np.uint8, copy=False))
+        )
         return np.argmin(distances, axis=1)
 
 

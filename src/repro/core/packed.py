@@ -7,38 +7,114 @@ into each ``uint64`` word, shrinking the model 8x and turning binding and
 Hamming similarity into word-wide XOR + popcount — the same operations
 the DPIM substrate executes in memory.
 
-This module provides that backend plus lossless converters, with
-equivalence to the unpacked reference guaranteed by property tests
+This module is the *serving* backend: :class:`~repro.core.model.HDCModel`
+transparently dispatches 1-bit ``similarities``/``predict`` and the
+noisy-chunk detector (:mod:`repro.core.chunks`) through it, with
+bit-identical results to the float reference (for a 1-bit model the
+centred-weight dot product is exactly ``D/2 - hamming``, and both sides
+are exact in float64).  Equivalence is guaranteed by property tests
 (``tests/core/test_packed.py``) and the speedup measured by
-``benchmarks/bench_core_ops.py``.
+``benchmarks/bench_serving.py`` (written to ``BENCH_serving.json``).
 
 Conventions: dimension ``i`` lives in word ``i // 64``, bit ``i % 64``
 (little-endian within the word).  Vectors whose dimensionality is not a
 multiple of 64 are padded with zero bits; the pad never contributes to
-distances because both operands carry identical zero pads.
+distances because both operands carry identical zero pads.  Packing is
+``np.packbits(..., bitorder="little")`` viewed as native ``uint64`` —
+on a big-endian host the words are byte-swapped so the convention above
+holds everywhere.
+
+Population counts use ``np.bitwise_count`` (NumPy >= 2) when available
+and fall back to a 16-bit lookup table otherwise.
+
+The backend can be disabled globally — e.g. to A/B the float reference
+against the packed engine in tests or benchmarks — via
+:func:`set_packed_backend` or the :func:`float_backend` context manager.
 """
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 __all__ = [
     "PackedHypervectors",
+    "PackedModel",
     "pack",
     "unpack",
     "packed_bind",
     "packed_hamming_distance",
     "packed_popcount",
+    "pack_model",
+    "packed_backend_enabled",
+    "set_packed_backend",
+    "float_backend",
 ]
 
 _WORD = 64
+_BIG_ENDIAN = sys.byteorder == "big"
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 # 16-bit popcount lookup table: popcount(w) decomposes into four table
-# lookups per 64-bit word, the fastest portable numpy formulation.
+# lookups per 64-bit word, the fastest portable formulation on NumPy 1.x
+# (NumPy >= 2 exposes the hardware popcount as ``np.bitwise_count``).
 _POP16 = np.array(
     [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
 )
+
+# Global backend switch.  True routes every 1-bit hot path (model
+# similarities, chunk detection) through the packed engine; False forces
+# the float64 reference everywhere.  Results are bit-identical either
+# way — the switch exists for benchmarking and equivalence testing.
+_PACKED_ENABLED = True
+
+
+def packed_backend_enabled() -> bool:
+    """Whether 1-bit hot paths dispatch to the packed engine."""
+    return _PACKED_ENABLED
+
+
+def set_packed_backend(enabled: bool) -> None:
+    """Globally enable/disable packed dispatch (float reference otherwise)."""
+    global _PACKED_ENABLED
+    _PACKED_ENABLED = bool(enabled)
+
+
+@contextmanager
+def float_backend() -> Iterator[None]:
+    """Temporarily force the float64 reference path on all hot paths."""
+    previous = _PACKED_ENABLED
+    set_packed_backend(False)
+    try:
+        yield
+    finally:
+        set_packed_backend(previous)
+
+
+def _pack_bits(batch: np.ndarray) -> np.ndarray:
+    """Pack a validated 0/1 ``(b, D)`` batch into ``(b, W)`` uint64 words.
+
+    Internal: assumes binary values (callers validate).  The heavy
+    lifting is ``np.packbits``'s C loop; any zero-padding up to the word
+    boundary happens on the packed *bytes* (``D/8`` of the input size),
+    never on the unpacked bits.
+    """
+    dim = batch.shape[1]
+    packed_bytes = np.packbits(
+        np.ascontiguousarray(batch, dtype=np.uint8), axis=1, bitorder="little"
+    )  # (b, ceil(dim / 8)); packbits zero-fills a trailing partial byte
+    word_bytes = (-(-dim // _WORD)) * (_WORD // 8)
+    if packed_bytes.shape[1] != word_bytes:
+        padded = np.zeros((batch.shape[0], word_bytes), dtype=np.uint8)
+        padded[:, : packed_bytes.shape[1]] = packed_bytes
+        packed_bytes = padded
+    words = packed_bytes.view(np.uint64)
+    if _BIG_ENDIAN:
+        words = words.byteswap()
+    return words
 
 
 def pack(hvs: np.ndarray) -> "PackedHypervectors":
@@ -53,37 +129,27 @@ def pack(hvs: np.ndarray) -> "PackedHypervectors":
         raise ValueError("hypervectors must be binary (0/1)")
     single = hvs.ndim == 1
     batch = hvs[None, :] if single else hvs
-    dim = batch.shape[1]
-    pad = (-dim) % _WORD
-    if pad:
-        batch = np.concatenate(
-            [batch, np.zeros((batch.shape[0], pad), dtype=batch.dtype)],
-            axis=1,
-        )
-    bits = batch.astype(np.uint8).reshape(batch.shape[0], -1, _WORD)
-    weights = (1 << np.arange(_WORD, dtype=np.uint64))
-    words = (bits.astype(np.uint64) * weights[None, None, :]).sum(
-        axis=2, dtype=np.uint64
-    )
-    return PackedHypervectors(words=words, dim=dim, single=single)
+    words = _pack_bits(batch.astype(np.uint8, copy=False))
+    return PackedHypervectors(words=words, dim=batch.shape[1], single=single)
 
 
 def unpack(packed: "PackedHypervectors") -> np.ndarray:
     """Inverse of :func:`pack`: back to 0/1 ``uint8`` arrays."""
-    words = packed.words
-    shifts = np.arange(_WORD, dtype=np.uint64)
-    bits = ((words[:, :, None] >> shifts[None, None, :]) & np.uint64(1)).astype(
-        np.uint8
-    )
-    flat = bits.reshape(words.shape[0], -1)[:, : packed.dim]
+    words = np.ascontiguousarray(packed.words)
+    if _BIG_ENDIAN:
+        words = words.byteswap()
+    as_bytes = words.view(np.uint8).reshape(words.shape[0], -1)
+    flat = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, : packed.dim]
     return flat[0] if packed.single else flat
 
 
 def packed_popcount(words: np.ndarray) -> np.ndarray:
-    """Population count over the last axis of a uint64 word array."""
+    """Population count summed over the last axis of a uint64 word array."""
     w = np.ascontiguousarray(words)
     if w.dtype != np.uint64:
         raise ValueError(f"expected uint64 words, got {w.dtype}")
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(w).sum(axis=-1, dtype=np.int64)
     chunks = w.view(np.uint16).reshape(*w.shape, 4)
     return _POP16[chunks].sum(axis=(-1, -2), dtype=np.int64)
 
@@ -149,10 +215,7 @@ class PackedHypervectors:
         """
         if other.dim != self.dim:
             raise ValueError(f"dim mismatch: {self.dim} vs {other.dim}")
-        xor = np.bitwise_xor(
-            self.words[:, None, :], other.words[None, :, :]
-        )
-        return packed_popcount(xor)
+        return _distance_table(self.words, other.words)
 
     def bind(self, other: "PackedHypervectors") -> "PackedHypervectors":
         """Elementwise XOR binding of two equal-shape packed batches."""
@@ -163,3 +226,91 @@ class PackedHypervectors:
             dim=self.dim,
             single=self.single and other.single,
         )
+
+
+_ROW_BLOCK = 256
+
+
+def _distance_table(queries: np.ndarray, model: np.ndarray) -> np.ndarray:
+    """Hamming distances ``(b, k)`` of query words vs model words.
+
+    Loops classes within cache-sized row blocks: the query block is read
+    from RAM once and re-XORed against every class while resident in L2,
+    instead of streaming the whole batch from memory ``k`` times.  The
+    scratch buffers are reused across blocks, so the only allocations are
+    the output table.
+    """
+    queries = np.ascontiguousarray(queries)
+    b, k = queries.shape[0], model.shape[0]
+    out = np.empty((b, k), dtype=np.int64)
+    if not _HAS_BITWISE_COUNT:
+        for c in range(k):
+            out[:, c] = packed_popcount(np.bitwise_xor(queries, model[c]))
+        return out
+    rows = min(_ROW_BLOCK, b)
+    xor_buf = np.empty((rows, queries.shape[1]), dtype=np.uint64)
+    count_buf = np.empty((rows, queries.shape[1]), dtype=np.uint8)
+    for lo in range(0, b, rows):
+        block = queries[lo : lo + rows]
+        n = block.shape[0]
+        for c in range(k):
+            np.bitwise_xor(block, model[c], out=xor_buf[:n])
+            np.bitwise_count(xor_buf[:n], out=count_buf[:n])
+            out[lo : lo + n, c] = count_buf[:n].sum(axis=-1, dtype=np.int64)
+    return out
+
+
+@dataclass(frozen=True)
+class PackedModel:
+    """An immutable packed snapshot of a 1-bit model's class hypervectors.
+
+    Produced (and cached) by :meth:`repro.core.model.HDCModel.packed`.
+    The ``version`` stamp ties the snapshot to the model state it was
+    packed from: :class:`~repro.core.model.HDCModel` bumps its version on
+    every in-place write (recovery substitutions, fault injection), which
+    invalidates this snapshot on the next ``packed()`` call.
+
+    Attributes
+    ----------
+    words:
+        ``(num_classes, ceil(dim / 64))`` uint64 word matrix.
+    dim:
+        Logical dimensionality of the model.
+    version:
+        The model version this snapshot was packed at.
+    """
+
+    words: np.ndarray
+    dim: int
+    version: int
+
+    @property
+    def num_classes(self) -> int:
+        return self.words.shape[0]
+
+    def distances(self, query_words: np.ndarray) -> np.ndarray:
+        """Hamming distances ``(b, k)`` for packed query words ``(b, W)``."""
+        return _distance_table(np.atleast_2d(query_words), self.words)
+
+    def chunk_words(self, num_chunks: int) -> np.ndarray | None:
+        """Word view ``(k, m, d/64)`` for per-chunk XOR+popcount, or None.
+
+        Chunk boundaries must fall on word boundaries — i.e.
+        ``dim % num_chunks == 0`` and the chunk size ``d = dim /
+        num_chunks`` must be a multiple of 64.  Callers fall back to the
+        float einsum when this returns None.
+        """
+        if num_chunks < 1 or self.dim % num_chunks:
+            return None
+        chunk_size = self.dim // num_chunks
+        if chunk_size % _WORD:
+            return None
+        return self.words.reshape(
+            self.words.shape[0], num_chunks, chunk_size // _WORD
+        )
+
+
+def pack_model(class_hv: np.ndarray, version: int = 0) -> PackedModel:
+    """Pack a ``(k, D)`` 0/1 class-hypervector matrix into a snapshot."""
+    packed = pack(class_hv)
+    return PackedModel(words=packed.words, dim=packed.dim, version=version)

@@ -132,6 +132,7 @@ class RecoveryExperiment:
         passes: int = 3,
         mode: str = "random",
         seed: int = 0,
+        block_size: int = 256,
         **attack_kwargs,
     ) -> RecoveryOutcome:
         """Attack the model, run the unlabeled stream, score before/after.
@@ -140,6 +141,13 @@ class RecoveryExperiment:
         ongoing inference stream; repeating the finite stand-in stream
         approximates a longer deployment window).  The accuracy trace is
         sampled after every pass for the Figure 3 dynamics.
+
+        The stream is served in blocks of ``block_size`` queries through
+        the vectorised recovery engine
+        (:func:`repro.core.recovery.recover_block`); results are
+        identical to the query-at-a-time loop for any block size, and
+        identical between the packed and float serving backends (see
+        ``repro.core.packed``).
         """
         if passes < 1:
             raise ValueError(f"passes must be >= 1, got {passes}")
@@ -148,7 +156,9 @@ class RecoveryExperiment:
             self.model, error_rate, mode, rng, **attack_kwargs
         )
         attacked_accuracy = self._score(attacked)
-        recovery = RobustHDRecovery(attacked, config, seed=seed + 1)
+        recovery = RobustHDRecovery(
+            attacked, config, seed=seed + 1, block_size=block_size
+        )
         trace = []
         order_rng = np.random.default_rng(seed + 2)
         for _ in range(passes):

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.chunks import detect_faulty_chunks
+from repro.core.chunks import detect_faulty_chunks_batch
 from repro.core.confidence import prediction_confidence
 from repro.core.hypervector import as_chunks
 from repro.core.model import HDCModel
@@ -44,6 +44,7 @@ __all__ = [
     "RecoveryStats",
     "probabilistic_substitution",
     "recover_step",
+    "recover_block",
     "RobustHDRecovery",
 ]
 
@@ -145,6 +146,50 @@ def probabilistic_substitution(
     return changed
 
 
+def _gated_predictions(
+    model: HDCModel, queries: np.ndarray, config: RecoveryConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Predictions and confidences ``(b,)`` for a block of queries.
+
+    Both ``similarities`` and ``prediction_confidence`` are row-wise
+    independent, so one batched call yields values identical to a
+    query-at-a-time loop over the same model state.
+    """
+    sims = model.similarities(queries)
+    if model.num_classes == 2:
+        # With two classes every per-query-standardised confidence is a
+        # constant (see repro.core.confidence); measure the margin in
+        # absolute similarity-noise units instead.  For a 1-bit model the
+        # per-dimension contribution to the class-score difference has
+        # variance 1/2, so the noise std is sqrt(D / 2).
+        return prediction_confidence(
+            sims, config.temperature, method="noise",
+            scale=float(np.sqrt(model.dim / 2.0)),
+        )
+    return prediction_confidence(sims, config.temperature)
+
+
+def _substitute_faulty(
+    model: HDCModel,
+    query: np.ndarray,
+    predicted: int,
+    faulty: np.ndarray,
+    config: RecoveryConfig,
+    rng: np.random.Generator,
+) -> int:
+    """Repair the flagged chunks of one class in place; returns bits changed."""
+    with model.writable() as class_hv:
+        class_chunks = as_chunks(class_hv[predicted], config.num_chunks)
+        query_chunks = as_chunks(query, config.num_chunks)
+        substituted = 0
+        for j in np.flatnonzero(faulty):
+            substituted += probabilistic_substitution(
+                class_chunks[j], query_chunks[j],
+                config.substitution_rate, rng,
+            )
+    return substituted
+
+
 def recover_step(
     model: HDCModel,
     query: np.ndarray,
@@ -159,56 +204,89 @@ def recover_step(
     probabilistic substitution.  Returns the predicted label (always,
     trusted or not), since recovery rides along with normal inference.
     """
+    if query.ndim != 1 or query.shape[0] != model.dim:
+        raise ValueError(
+            f"query must be a 1-D vector of length {model.dim}"
+        )
+    return int(recover_block(model, query[None, :], config, rng, stats)[0])
+
+
+def recover_block(
+    model: HDCModel,
+    queries: np.ndarray,
+    config: RecoveryConfig,
+    rng: np.random.Generator,
+    stats: RecoveryStats | None = None,
+) -> np.ndarray:
+    """Run RobustHD recovery over a block of queries, in place.
+
+    Semantically identical to calling :func:`recover_step` on each query
+    in order — same predictions, same stats, same random draws — but the
+    confidence gate and the chunk-vote detector run *vectorised* over the
+    whole block.  The model only changes when a trusted query has faulty
+    chunks, so all batched read-side results computed before that point
+    are exact; at the first model write the remainder of the block is
+    recomputed against the updated model.  On a healthy (or recovered)
+    model writes are rare and the whole block runs as a handful of
+    XOR+popcount sweeps.
+
+    Returns the ``(b,)`` predicted labels.
+    """
     if model.bits != 1:
         raise ValueError(
             "recovery requires a binary (1-bit) model; "
             f"got bits={model.bits}"
         )
-    if query.ndim != 1 or query.shape[0] != model.dim:
+    queries = np.atleast_2d(queries)
+    if queries.shape[1] != model.dim:
         raise ValueError(
-            f"query must be a 1-D vector of length {model.dim}"
+            f"queries must have dim {model.dim}, got {queries.shape[1]}"
         )
-    sims = model.similarities(query[None, :])
-    if model.num_classes == 2:
-        # With two classes every per-query-standardised confidence is a
-        # constant (see repro.core.confidence); measure the margin in
-        # absolute similarity-noise units instead.  For a 1-bit model the
-        # per-dimension contribution to the class-score difference has
-        # variance 1/2, so the noise std is sqrt(D / 2).
-        preds, conf = prediction_confidence(
-            sims, config.temperature, method="noise",
-            scale=float(np.sqrt(model.dim / 2.0)),
-        )
-    else:
-        preds, conf = prediction_confidence(sims, config.temperature)
-    predicted = int(preds[0])
-    confidence = float(conf[0])
-    if stats is not None:
-        stats.queries_seen += 1
-        stats.confidence_trace.append(confidence)
-    if confidence < config.confidence_threshold:
-        return predicted
-
-    faulty = detect_faulty_chunks(
-        model, query, predicted, config.num_chunks, config.detection_margin
-    )
-    if stats is not None:
-        stats.queries_trusted += 1
-        stats.chunks_checked += config.num_chunks
-        stats.chunks_repaired += int(faulty.sum())
-    if not faulty.any():
-        return predicted
-
-    class_chunks = as_chunks(model.class_hv[predicted], config.num_chunks)
-    query_chunks = as_chunks(query, config.num_chunks)
-    substituted = 0
-    for j in np.flatnonzero(faulty):
-        substituted += probabilistic_substitution(
-            class_chunks[j], query_chunks[j], config.substitution_rate, rng
-        )
-    if stats is not None:
-        stats.bits_substituted += substituted
-    return predicted
+    out = np.empty(queries.shape[0], dtype=np.int64)
+    start = 0
+    while start < queries.shape[0]:
+        block = queries[start:]
+        preds, conf = _gated_predictions(model, block, config)
+        trusted = conf >= config.confidence_threshold
+        trusted_idx = np.flatnonzero(trusted)
+        if trusted_idx.size:
+            faulty_masks = detect_faulty_chunks_batch(
+                model,
+                block[trusted_idx],
+                preds[trusted_idx],
+                config.num_chunks,
+                config.detection_margin,
+            )  # (t, m)
+        mutated = False
+        next_trusted = 0  # cursor into trusted_idx / faulty_masks
+        for j in range(block.shape[0]):
+            if stats is not None:
+                stats.queries_seen += 1
+                stats.confidence_trace.append(float(conf[j]))
+            out[start + j] = preds[j]
+            if not trusted[j]:
+                continue
+            faulty = faulty_masks[next_trusted]
+            next_trusted += 1
+            if stats is not None:
+                stats.queries_trusted += 1
+                stats.chunks_checked += config.num_chunks
+                stats.chunks_repaired += int(faulty.sum())
+            if not faulty.any():
+                continue
+            substituted = _substitute_faulty(
+                model, block[j], int(preds[j]), faulty, config, rng
+            )
+            if stats is not None:
+                stats.bits_substituted += substituted
+            # The model changed: everything batched beyond this query is
+            # stale.  Restart the sweep from the next query.
+            start += j + 1
+            mutated = True
+            break
+        if not mutated:
+            start = queries.shape[0]
+    return out
 
 
 class RobustHDRecovery:
@@ -226,6 +304,7 @@ class RobustHDRecovery:
         model: HDCModel,
         config: RecoveryConfig | None = None,
         seed: int = 0,
+        block_size: int = 256,
     ) -> None:
         self.config = config or RecoveryConfig()
         if model.dim % self.config.num_chunks != 0:
@@ -235,21 +314,30 @@ class RobustHDRecovery:
             )
         if model.bits != 1:
             raise ValueError("RobustHD recovery requires a 1-bit model")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
         self.model = model
         self.rng = np.random.default_rng(seed)
         self.stats = RecoveryStats()
+        self.block_size = block_size
 
     def process(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch of encoded queries ``(b, D)``, repairing as we go.
 
         Queries are processed sequentially — each repair changes the model
         the next query sees, which is exactly the online dynamic the paper
-        studies.
+        studies.  Internally the stream is served in blocks of
+        ``block_size`` through :func:`recover_block`, which vectorises
+        the gate and the detector while producing results identical to
+        the one-query-at-a-time loop (``block_size`` caps how much
+        batched work a model write can invalidate; it never changes the
+        results).
         """
         queries = np.atleast_2d(queries)
         preds = np.empty(queries.shape[0], dtype=np.int64)
-        for i, query in enumerate(queries):
-            preds[i] = recover_step(
-                self.model, query, self.config, self.rng, self.stats
+        for lo in range(0, queries.shape[0], self.block_size):
+            hi = lo + self.block_size
+            preds[lo:hi] = recover_block(
+                self.model, queries[lo:hi], self.config, self.rng, self.stats
             )
         return preds

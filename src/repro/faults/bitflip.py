@@ -233,16 +233,21 @@ def hdc_msb_first_bit_order(model: HDCModel) -> np.ndarray:
 
 
 def flip_hdc_bits(model: HDCModel, bit_indices: np.ndarray) -> None:
-    """Flip flat bit addresses of a stored HDC model, in place."""
+    """Flip flat bit addresses of a stored HDC model, in place.
+
+    Mutates through :meth:`~repro.core.model.HDCModel.writable` so the
+    model's packed serving cache is invalidated.
+    """
     idx = np.asarray(bit_indices, dtype=np.int64)
     if idx.size == 0:
         return
     if idx.min() < 0 or idx.max() >= model.total_bits:
         raise IndexError(f"bit index out of range [0, {model.total_bits})")
-    flat = model.class_hv.reshape(-1)
-    elements = idx // model.bits
-    positions = (idx % model.bits).astype(np.uint8)
-    np.bitwise_xor.at(flat, elements, (1 << positions).astype(np.uint8))
+    with model.writable() as class_hv:
+        flat = class_hv.reshape(-1)
+        elements = idx // model.bits
+        positions = (idx % model.bits).astype(np.uint8)
+        np.bitwise_xor.at(flat, elements, (1 << positions).astype(np.uint8))
 
 
 def attack_hdc_model(

@@ -97,10 +97,11 @@ def attack_hdc_informed(
     k, dim = model.num_classes, model.dim
     per_class = np.full(k, budget // k, dtype=np.int64)
     per_class[: budget % k] += 1
-    for c in range(k):
-        take = int(min(per_class[c], dim))
-        # Random tiebreak so equal-importance dims don't bias low indices.
-        keys = importance[c] + rng.random(dim) * 1e-9
-        victims = np.argpartition(-keys, take - 1)[:take]
-        out.class_hv[c, victims] ^= 1
+    with out.writable() as class_hv:
+        for c in range(k):
+            take = int(min(per_class[c], dim))
+            # Random tiebreak so equal-importance dims don't bias low indices.
+            keys = importance[c] + rng.random(dim) * 1e-9
+            victims = np.argpartition(-keys, take - 1)[:take]
+            class_hv[c, victims] ^= 1
     return out

@@ -102,9 +102,10 @@ class StuckAtFaultMap:
             raise ValueError(
                 f"model shape {model.class_hv.shape} != fault map {self.shape}"
             )
-        flat = model.class_hv.reshape(-1)
-        changed = int(np.count_nonzero(flat[self.indices] != self.values))
-        flat[self.indices] = self.values
+        with model.writable() as class_hv:
+            flat = class_hv.reshape(-1)
+            changed = int(np.count_nonzero(flat[self.indices] != self.values))
+            flat[self.indices] = self.values
         return changed
 
 

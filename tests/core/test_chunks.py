@@ -6,10 +6,13 @@ import pytest
 from repro.core.chunks import (
     chunk_accuracy_profile,
     chunk_similarities,
+    chunk_similarities_batch,
     detect_faulty_chunks,
+    detect_faulty_chunks_batch,
 )
 from repro.core.encoder import Encoder
-from repro.core.model import HDCClassifier
+from repro.core.model import HDCClassifier, HDCModel
+from repro.core.packed import float_backend
 from repro.datasets.synthetic import make_prototype_classification
 
 
@@ -92,7 +95,70 @@ class TestDetectFaultyChunks:
             detect_faulty_chunks(model, queries[0], 0, 10, margin=-0.1)
 
 
+class TestBatchedChunkOps:
+    """The batched sweeps must equal per-query loops on both backends."""
+
+    # dim=1280/m=20 exercises the word-aligned packed path; the fitted
+    # fixture (dim=1000/m=10) exercises the einsum fallback.
+    @pytest.fixture(scope="class")
+    def aligned(self):
+        rng = np.random.default_rng(21)
+        model = HDCModel(rng.integers(0, 2, (5, 1280), dtype=np.uint8))
+        queries = rng.integers(0, 2, (16, 1280), dtype=np.uint8)
+        return model, queries
+
+    def test_batch_equals_loop_aligned(self, aligned):
+        model, queries = aligned
+        batched = chunk_similarities_batch(model, queries, 20)
+        looped = np.stack(
+            [chunk_similarities(model, q, 20) for q in queries]
+        )
+        assert (batched == looped).all()
+
+    def test_batch_equals_loop_fallback(self, fitted):
+        model, queries, _ = fitted
+        batched = chunk_similarities_batch(model, queries[:16], 10)
+        with float_backend():
+            looped = np.stack(
+                [chunk_similarities(model, q, 10) for q in queries[:16]]
+            )
+        assert (batched == looped).all()
+
+    def test_detect_batch_equals_loop(self, aligned):
+        model, queries = aligned
+        preds = model.predict(queries)
+        batched = detect_faulty_chunks_batch(model, queries, preds, 20, 0.02)
+        looped = np.stack(
+            [
+                detect_faulty_chunks(model, q, int(p), 20, 0.02)
+                for q, p in zip(queries, preds)
+            ]
+        )
+        assert (batched == looped).all()
+
+    def test_detect_batch_validates_predicted(self, aligned):
+        model, queries = aligned
+        with pytest.raises(ValueError, match="predicted class"):
+            detect_faulty_chunks_batch(
+                model, queries, np.full(queries.shape[0], 99), 20
+            )
+        with pytest.raises(ValueError, match="predicted must be"):
+            detect_faulty_chunks_batch(model, queries, np.array([0]), 20)
+
+
 class TestChunkAccuracyProfile:
+    def test_batched_equals_loop_reference(self, fitted):
+        """The vectorised profile matches the per-query loop it replaced."""
+        model, queries, labels = fitted
+        vectorised = chunk_accuracy_profile(
+            model, queries[:40], labels[:40], 10
+        )
+        hits = np.zeros(10, dtype=np.int64)
+        for query, label in zip(queries[:40], labels[:40]):
+            sims = chunk_similarities(model, query, 10)
+            hits += np.argmax(sims, axis=1) == label
+        assert (vectorised == hits / 40.0).all()
+
     def test_profile_above_chance(self, fitted):
         model, queries, labels = fitted
         profile = chunk_accuracy_profile(model, queries[:40], labels[:40], 10)

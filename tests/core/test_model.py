@@ -107,6 +107,66 @@ class TestHDCModel:
             m.predict_packed(np.zeros((1, 64), dtype=np.uint8))
 
 
+class TestPackedModelCache:
+    def _model_and_queries(self):
+        rng = np.random.default_rng(9)
+        m = HDCModel(rng.integers(0, 2, (5, 300), dtype=np.uint8))
+        queries = rng.integers(0, 2, (12, 300), dtype=np.uint8)
+        return m, queries
+
+    def test_predict_packed_packs_model_once(self, monkeypatch):
+        """Two consecutive calls must reuse one packed snapshot."""
+        import repro.core.model as model_mod
+
+        m, queries = self._model_and_queries()
+        real = model_mod._pack_bits
+        packed_shapes = []
+
+        def counting_pack(batch):
+            packed_shapes.append(batch.shape)
+            return real(batch)
+
+        monkeypatch.setattr(model_mod, "_pack_bits", counting_pack)
+        m.predict_packed(queries)
+        m.predict_packed(queries)
+        model_packs = [s for s in packed_shapes if s == m.class_hv.shape]
+        assert len(model_packs) == 1
+
+    def test_mutation_invalidates_cache(self):
+        m, queries = self._model_and_queries()
+        before = m.packed()
+        assert m.packed() is before  # cached while untouched
+        with m.writable() as hv:
+            hv[0, :] ^= 1
+        after = m.packed()
+        assert after is not before
+        assert after.version > before.version
+        # The refreshed snapshot serves the mutated bits.
+        assert (m.predict_packed(queries) == m.predict(queries)).all()
+
+    def test_bump_version_is_explicit_contract(self):
+        m, _ = self._model_and_queries()
+        stale = m.packed()
+        m.class_hv[0, 0] ^= 1  # direct write, contract violation...
+        assert m.packed() is stale  # ...which the cache cannot see
+        m.bump_version()  # honouring the contract refreshes it
+        assert m.packed() is not stale
+
+    def test_copy_does_not_share_cache(self):
+        m, queries = self._model_and_queries()
+        m.packed()
+        c = m.copy()
+        with c.writable() as hv:
+            hv[:, :10] ^= 1
+        assert (m.predict_packed(queries) == m.predict(queries)).all()
+        assert (c.predict_packed(queries) == c.predict(queries)).all()
+
+    def test_packed_rejects_multibit(self):
+        m = HDCModel(class_hv=np.zeros((2, 64), dtype=np.uint8), bits=2)
+        with pytest.raises(ValueError, match="1-bit"):
+            m.packed()
+
+
 class TestHDCClassifier:
     def test_learns_task(self, task, encoder):
         clf = HDCClassifier(encoder, num_classes=task.num_classes, epochs=0)

@@ -2,16 +2,23 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.chunks import chunk_similarities_batch
 from repro.core.hypervector import bind, hamming_distance
+from repro.core.model import HDCModel
 from repro.core.packed import (
+    _POP16,
     PackedHypervectors,
+    float_backend,
     pack,
+    pack_model,
+    packed_backend_enabled,
     packed_bind,
     packed_hamming_distance,
     packed_popcount,
+    set_packed_backend,
     unpack,
 )
 
@@ -138,3 +145,129 @@ class TestStorage:
         b = pack(np.zeros((2, 64), dtype=np.uint8))
         with pytest.raises(ValueError, match="equal"):
             a.bind(b)
+
+
+# Odd dimensionalities deliberately straddle word and byte boundaries.
+_ODD_DIMS = st.sampled_from([1, 7, 63, 64, 65, 100, 127, 128, 129, 300, 1000])
+
+
+@st.composite
+def model_and_queries(draw):
+    """A 1-bit model plus a binary query batch at an awkward dimension."""
+    dim = draw(_ODD_DIMS)
+    k = draw(st.integers(min_value=2, max_value=6))
+    batch = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    model = HDCModel(rng.integers(0, 2, (k, dim), dtype=np.uint8))
+    queries = rng.integers(0, 2, (batch, dim), dtype=np.uint8)
+    return model, queries
+
+
+class TestBackendEquivalence:
+    """The packed engine must be bit-identical to the float64 reference."""
+
+    @given(model_and_queries())
+    @settings(deadline=None)
+    def test_similarities_bit_identical(self, mq):
+        model, queries = mq
+        packed_sims = model.similarities(queries)
+        with float_backend():
+            float_sims = model.similarities(queries)
+        assert (packed_sims == float_sims).all()
+
+    @given(model_and_queries())
+    @settings(deadline=None)
+    def test_predict_identical_including_ties(self, mq):
+        model, queries = mq
+        packed_preds = model.predict(queries)
+        with float_backend():
+            float_preds = model.predict(queries)
+        assert (packed_preds == float_preds).all()
+        assert (model.predict_packed(queries) == float_preds).all()
+
+    @given(model_and_queries(), st.integers(min_value=1, max_value=4))
+    @settings(deadline=None)
+    def test_chunk_similarities_bit_identical(self, mq, chunk_factor):
+        model, queries = mq
+        divisors = [m for m in range(1, model.dim + 1) if model.dim % m == 0]
+        num_chunks = divisors[min(chunk_factor, len(divisors) - 1)]
+        packed_sims = chunk_similarities_batch(model, queries, num_chunks)
+        with float_backend():
+            float_sims = chunk_similarities_batch(model, queries, num_chunks)
+        assert (packed_sims == float_sims).all()
+
+    @given(hv_batch())
+    def test_bind_roundtrip_odd_dims(self, hvs):
+        packed = pack(hvs).bind(pack(hvs[::-1].copy()))
+        assert (unpack(packed) == bind(hvs, hvs[::-1].copy())).all()
+
+    @given(hv_batch())
+    def test_hamming_matches_reference_vectorised(self, hvs):
+        packed = pack(hvs)
+        got = packed.hamming_to(packed)
+        ref = np.bitwise_xor(hvs[:, None, :], hvs[None, :, :]).sum(
+            axis=-1, dtype=np.int64
+        )
+        assert (got == ref).all()
+
+
+class TestBackendToggle:
+    def test_enabled_by_default(self):
+        assert packed_backend_enabled()
+
+    def test_context_manager_restores(self):
+        assert packed_backend_enabled()
+        with float_backend():
+            assert not packed_backend_enabled()
+        assert packed_backend_enabled()
+
+    def test_set_packed_backend(self):
+        try:
+            set_packed_backend(False)
+            assert not packed_backend_enabled()
+        finally:
+            set_packed_backend(True)
+
+
+class TestPopcountFastPath:
+    def test_matches_lookup_table(self):
+        """The hardware popcount and the 16-bit LUT fallback agree."""
+        rng = np.random.default_rng(11)
+        words = rng.integers(0, 2**63, (8, 5), dtype=np.uint64)
+        lut = _POP16[words.view(np.uint16).reshape(8, 5, 4)].sum(
+            axis=(-1, -2), dtype=np.int64
+        )
+        assert (packed_popcount(words) == lut).all()
+
+
+class TestPackedModel:
+    def test_pack_model_roundtrip(self):
+        rng = np.random.default_rng(12)
+        class_hv = rng.integers(0, 2, (4, 130), dtype=np.uint8)
+        pm = pack_model(class_hv, version=5)
+        assert pm.version == 5
+        assert pm.num_classes == 4
+        assert (
+            unpack(PackedHypervectors(pm.words, pm.dim)) == class_hv
+        ).all()
+
+    def test_chunk_words_alignment(self):
+        rng = np.random.default_rng(13)
+        pm = pack_model(rng.integers(0, 2, (3, 1280), dtype=np.uint8))
+        aligned = pm.chunk_words(20)  # chunk size 64
+        assert aligned is not None and aligned.shape == (3, 20, 1)
+        assert pm.chunk_words(10).shape == (3, 10, 2)
+        assert pm.chunk_words(40) is None  # chunk size 32: not word-aligned
+        assert pm.chunk_words(3) is None  # 1280 % 3 != 0
+
+    def test_distances_match_reference(self):
+        rng = np.random.default_rng(14)
+        class_hv = rng.integers(0, 2, (5, 200), dtype=np.uint8)
+        queries = rng.integers(0, 2, (9, 200), dtype=np.uint8)
+        pm = pack_model(class_hv)
+        got = pm.distances(pack(queries).words)
+        ref = np.bitwise_xor(queries[:, None, :], class_hv[None, :, :]).sum(
+            axis=-1, dtype=np.int64
+        )
+        assert (got == ref).all()

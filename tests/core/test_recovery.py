@@ -7,11 +7,13 @@ from hypothesis import strategies as st
 
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
+from repro.core.packed import float_backend
 from repro.core.recovery import (
     RecoveryConfig,
     RecoveryStats,
     RobustHDRecovery,
     probabilistic_substitution,
+    recover_block,
     recover_step,
 )
 from repro.datasets.synthetic import make_prototype_classification
@@ -163,7 +165,104 @@ class TestRecoverStep:
         assert 0.0 <= stats.trust_rate <= 1.0
 
 
+class TestRecoverBlock:
+    """Batched recovery must replay the sequential stream exactly."""
+
+    def _attacked(self, fitted, seed=20):
+        model, queries, _ = fitted
+        return (
+            attack_hdc_model(model, 0.10, "random",
+                             np.random.default_rng(seed)),
+            queries,
+        )
+
+    def _run(self, model, queries, block_size):
+        work = model.copy()
+        config = RecoveryConfig(confidence_threshold=0.5, num_chunks=20)
+        rng = np.random.default_rng(7)
+        stats = RecoveryStats()
+        preds = []
+        for lo in range(0, queries.shape[0], block_size):
+            preds.append(
+                recover_block(
+                    work, queries[lo : lo + block_size], config, rng, stats
+                )
+            )
+        return work, np.concatenate(preds), stats
+
+    def test_block_size_order_equivalent(self, fitted):
+        """Any block size gives the same predictions, model, and stats as
+        the one-query-at-a-time stream (identical RNG draw order)."""
+        attacked, queries = self._attacked(fitted)
+        ref_model, ref_preds, ref_stats = self._run(attacked, queries[:60], 1)
+        for block_size in (7, 60):
+            work, preds, stats = self._run(attacked, queries[:60], block_size)
+            assert (preds == ref_preds).all()
+            assert (work.class_hv == ref_model.class_hv).all()
+            assert stats.bits_substituted == ref_stats.bits_substituted
+            assert stats.chunks_repaired == ref_stats.chunks_repaired
+            assert stats.confidence_trace == ref_stats.confidence_trace
+
+    def test_packed_and_float_backends_identical(self, fitted):
+        attacked, queries = self._attacked(fitted)
+        packed_model, packed_preds, packed_stats = self._run(
+            attacked, queries[:60], 16
+        )
+        with float_backend():
+            float_model, float_preds, float_stats = self._run(
+                attacked, queries[:60], 16
+            )
+        assert (packed_preds == float_preds).all()
+        assert (packed_model.class_hv == float_model.class_hv).all()
+        assert packed_stats.bits_substituted == float_stats.bits_substituted
+
+    def test_recover_step_is_block_of_one(self, fitted):
+        attacked, queries = self._attacked(fitted)
+        a, b = attacked.copy(), attacked.copy()
+        config = RecoveryConfig(confidence_threshold=0.5, num_chunks=20)
+        for q in queries[:20]:
+            p_step = recover_step(a, q, config, np.random.default_rng(9))
+            p_block = recover_block(
+                b, q[None, :], config, np.random.default_rng(9)
+            )
+            assert p_step == p_block[0]
+        assert (a.class_hv == b.class_hv).all()
+
+    def test_empty_block(self, fitted):
+        model, queries, _ = fitted
+        preds = recover_block(
+            model.copy(), queries[:0], RecoveryConfig(num_chunks=20),
+            np.random.default_rng(0),
+        )
+        assert preds.shape == (0,)
+
+
 class TestRobustHDRecovery:
+    def test_block_size_equivalence(self, fitted):
+        """The streaming wrapper matches itself across block sizes."""
+        model, queries, _ = fitted
+        attacked = attack_hdc_model(model, 0.10, "random",
+                                    np.random.default_rng(12))
+        outs = []
+        for block_size in (1, 32, 256):
+            work = attacked.copy()
+            rec = RobustHDRecovery(
+                work, RecoveryConfig(confidence_threshold=0.5),
+                seed=4, block_size=block_size,
+            )
+            preds = rec.process(queries[:80])
+            outs.append((preds, work.class_hv.copy(), rec.stats))
+        for preds, class_hv, stats in outs[1:]:
+            assert (preds == outs[0][0]).all()
+            assert (class_hv == outs[0][1]).all()
+            assert stats.bits_substituted == outs[0][2].bits_substituted
+
+    def test_bad_block_size(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError, match="block_size"):
+            RobustHDRecovery(model.copy(), block_size=0)
+
+
     def test_recovery_improves_attacked_model(self, fitted):
         """The paper's core claim at unit scale: online unsupervised
         recovery wins back accuracy lost to a 10% attack."""
