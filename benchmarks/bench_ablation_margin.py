@@ -27,7 +27,7 @@ def _run():
     cfg = get_scale(bench_scale())
     data = load("ucihar", max_train=cfg.max_train, max_test=cfg.max_test)
     experiment = RecoveryExperiment(
-        data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=0
+        dataset=data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=0
     )
     without = experiment.attack_only(
         ERROR_RATE, mode="clustered", seed=1, cluster_bits=512

@@ -27,7 +27,7 @@ def _run():
     rows = []
     for epochs in EPOCH_SWEEP:
         experiment = RecoveryExperiment(
-            data, dim=cfg.dim, epochs=epochs, stream_fraction=0.6, seed=0
+            dataset=data, dim=cfg.dim, epochs=epochs, stream_fraction=0.6, seed=0
         )
         outcome = experiment.attack_and_recover(
             ERROR_RATE, passes=cfg.recovery_passes, seed=1

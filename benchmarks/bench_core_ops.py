@@ -13,7 +13,7 @@ from repro.core.encoder import Encoder
 from repro.core.hypervector import bundle, hamming_distance, random_hypervectors
 from repro.core.model import HDCClassifier, HDCModel
 from repro.core.recovery import RecoveryConfig, recover_step
-from repro.faults.bitflip import attack_hdc_model
+from repro.faults.api import attack
 
 DIM = 10_000
 NUM_FEATURES = 561
@@ -67,8 +67,9 @@ def test_hamming_distance_batch(benchmark):
 
 def test_attack_sampling(benchmark, model):
     rng = np.random.default_rng(5)
-    out = benchmark(attack_hdc_model, model, 0.10, "random", rng)
+    out, mask = benchmark(attack, model, 0.10, "random", rng)
     assert isinstance(out, HDCModel)
+    assert mask.num_faults > 0
 
 
 def test_packed_similarity_search(benchmark, model):
@@ -96,7 +97,7 @@ def test_pack_batch(benchmark):
 
 def test_recover_step(benchmark, model):
     rng = np.random.default_rng(6)
-    attacked = attack_hdc_model(model, 0.10, "random", rng)
+    attacked, _ = attack(model, 0.10, "random", rng)
     query = rng.integers(0, 2, DIM, dtype=np.uint8)
     config = RecoveryConfig(confidence_threshold=0.0)  # always repair
     pred = benchmark(recover_step, attacked, query, config, rng)

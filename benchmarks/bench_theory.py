@@ -23,7 +23,7 @@ def _run():
     cfg = get_scale(bench_scale())
     data = load("ucihar", max_train=cfg.max_train, max_test=cfg.max_test)
     experiment = RecoveryExperiment(
-        data, dim=cfg.dim, epochs=0, stream_fraction=0.5, seed=0
+        dataset=data, dim=cfg.dim, epochs=0, stream_fraction=0.5, seed=0
     )
     model = experiment.model
     campaign = run_hdc_campaign(

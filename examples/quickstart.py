@@ -15,7 +15,7 @@ import numpy as np
 from repro.baselines import MLPClassifier, QuantizedDeployment
 from repro.core import Encoder, HDCClassifier
 from repro.datasets import load
-from repro.faults import attack_hdc_model
+from repro.faults import attack
 
 ERROR_RATE = 0.10
 
@@ -42,7 +42,7 @@ def main() -> None:
 
     # --- flip 10% of each stored model's bits -----------------------------
     rng = np.random.default_rng(0)
-    attacked_hdc = attack_hdc_model(hdc.model, ERROR_RATE, "random", rng)
+    attacked_hdc, _ = attack(hdc.model, ERROR_RATE, "random", rng)
     hdc_attacked = float(
         np.mean(attacked_hdc.predict(encoded_test) == data.test_y)
     )

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core import HDCClassifier, ItemMemory, SequenceEncoder
 from repro.core.hypervector import flip_bits
-from repro.faults import attack_hdc_model
+from repro.faults import attack
 
 NUM_CLASSES, FEATURES, MOTIFS = 4, 8, 6
 
@@ -54,7 +54,7 @@ def main() -> None:
         acc = clf.score_encoded(encoded[test_idx], labels[test_idx])
         print(f"n={n} {story:32s} accuracy: {acc:.3f}")
         if n == 3:
-            attacked = attack_hdc_model(
+            attacked, _ = attack(
                 clf.model, 0.10, "random", np.random.default_rng(3)
             )
             attacked_acc = float(np.mean(

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.hypervector import as_chunks
 from repro.core.model import HDCModel, _centered_weights, _is_binary
 from repro.core.packed import _pack_bits, packed_backend_enabled, packed_popcount
+from repro.obs.metrics import current as _metrics
 
 __all__ = [
     "chunk_similarities",
@@ -99,9 +100,14 @@ def chunk_similarities_batch(
     if model.dim % num_chunks != 0:
         # Delegate the error to as_chunks for a consistent message.
         as_chunks(queries[0], num_chunks)
+    metrics = _metrics()
     fast = _packed_chunk_similarities(model, queries, num_chunks)
     if fast is not None:
+        if metrics.enabled:
+            metrics.inc("chunks.detect_batches_packed")
         return fast
+    if metrics.enabled:
+        metrics.inc("chunks.detect_batches_float")
     q_chunks = as_chunks(
         queries.astype(np.float64) * 2.0 - 1.0, num_chunks
     )  # (b, m, d)
@@ -174,7 +180,12 @@ def detect_faulty_chunks_batch(
     best = sims.max(axis=2)  # (b, m)
     own = sims[np.arange(queries.shape[0]), :, predicted]  # (b, m)
     chunk_size = model.dim // num_chunks
-    return (best - own) > margin * chunk_size
+    faulty = (best - own) > margin * chunk_size
+    metrics = _metrics()
+    if metrics.enabled:
+        metrics.inc("chunks.queries_checked", queries.shape[0])
+        metrics.inc("chunks.flagged", int(np.count_nonzero(faulty)))
+    return faulty
 
 
 def chunk_accuracy_profile(

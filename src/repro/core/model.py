@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.encoder import Encoder
 from repro.core.packed import PackedModel, _pack_bits, packed_backend_enabled
+from repro.obs.metrics import current as _metrics
 
 __all__ = ["HDCModel", "HDCClassifier", "quantize_accumulator"]
 
@@ -211,6 +212,7 @@ class HDCModel:
                 version=self._version,
             )
             self._packed_cache = cache
+            _metrics().inc("model.pack_rebuilds")
         return cache
 
     # ------------------------------------------------------------------
@@ -232,11 +234,18 @@ class HDCModel:
             raise ValueError(
                 f"query dim {queries.shape[1]} != model dim {self.dim}"
             )
+        metrics = _metrics()
         if self.bits == 1 and packed_backend_enabled() and _is_binary(queries):
+            if metrics.enabled:
+                metrics.inc("model.similarity_batches_packed")
+                metrics.inc("model.queries_served", queries.shape[0])
             distances = self.packed().distances(
                 _pack_bits(queries.astype(np.uint8, copy=False))
             )
             return self.dim / 2.0 - distances
+        if metrics.enabled:
+            metrics.inc("model.similarity_batches_float")
+            metrics.inc("model.queries_served", queries.shape[0])
         bipolar = queries.astype(np.float64) * 2.0 - 1.0  # (b, D)
         weights = _centered_weights(self.class_hv, self.bits)  # (k, D)
         return bipolar @ weights.T
@@ -262,6 +271,10 @@ class HDCModel:
             )
         if ((queries != 0) & (queries != 1)).any():
             raise ValueError("queries must be binary (0/1)")
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("model.similarity_batches_packed")
+            metrics.inc("model.queries_served", queries.shape[0])
         distances = self.packed().distances(
             _pack_bits(queries.astype(np.uint8, copy=False))
         )

@@ -25,20 +25,33 @@ from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
 from repro.core.recovery import RecoveryConfig, RecoveryStats, RobustHDRecovery
 from repro.datasets.synthetic import Dataset
-from repro.faults.bitflip import attack_hdc_model
+from repro.faults.api import FaultMask, attack
+from repro.obs.metrics import current as _metrics
+from repro.obs.scorecard import FaultScorecard, fault_scorecard
+from repro.obs.trace import RecoveryTrace
 
 __all__ = ["RecoveryOutcome", "RecoveryExperiment"]
 
 
 @dataclass(frozen=True)
 class RecoveryOutcome:
-    """Result of one attack-then-recover run."""
+    """Result of one attack-then-recover run.
+
+    Beyond the before/after accuracies, the outcome carries the full
+    observability record of the run: the structured per-block
+    :attr:`trace` (JSONL-exportable), the injected ground-truth
+    :attr:`fault_mask`, and the :attr:`scorecard` joining the two
+    (chunk-detection precision/recall/F1, bit-level repair efficacy).
+    """
 
     clean_accuracy: float
     attacked_accuracy: float
     recovered_accuracy: float
     stats: RecoveryStats
     accuracy_trace: tuple[float, ...]
+    trace: RecoveryTrace | None = None
+    fault_mask: FaultMask | None = None
+    scorecard: FaultScorecard | None = None
 
     @property
     def loss_without_recovery(self) -> float:
@@ -64,10 +77,14 @@ class RecoveryExperiment:
         Fraction of the test split used as the unlabeled stream.
     seed:
         Seed for the encoder and training shuffles.
+
+    All parameters are keyword-only — the hyper-parameter list has grown
+    and positional construction invited silent transpositions.
     """
 
     def __init__(
         self,
+        *,
         dataset: Dataset,
         dim: int = 10_000,
         bits: int = 1,
@@ -120,9 +137,7 @@ class RecoveryExperiment:
     ) -> float:
         """Quality loss without recovery at one error rate."""
         rng = np.random.default_rng(seed)
-        attacked = attack_hdc_model(
-            self.model, error_rate, mode, rng, **attack_kwargs
-        )
+        attacked, _ = attack(self.model, error_rate, mode, rng, **attack_kwargs)
         return self.clean_accuracy - self._score(attacked)
 
     def attack_and_recover(
@@ -132,7 +147,7 @@ class RecoveryExperiment:
         passes: int = 3,
         mode: str = "random",
         seed: int = 0,
-        block_size: int = 256,
+        block_size: int | None = None,
         **attack_kwargs,
     ) -> RecoveryOutcome:
         """Attack the model, run the unlabeled stream, score before/after.
@@ -144,31 +159,53 @@ class RecoveryExperiment:
 
         The stream is served in blocks of ``block_size`` queries through
         the vectorised recovery engine
-        (:func:`repro.core.recovery.recover_block`); results are
+        (:func:`repro.core.recovery.recover_block`); ``None`` falls back
+        to ``config.block_size``, mirroring
+        :class:`~repro.core.recovery.RobustHDRecovery`.  Results are
         identical to the query-at-a-time loop for any block size, and
         identical between the packed and float serving backends (see
         ``repro.core.packed``).
+
+        The returned outcome carries the injected
+        :class:`~repro.faults.api.FaultMask`, the structured
+        :class:`~repro.obs.trace.RecoveryTrace`, and the ground-truth
+        :class:`~repro.obs.scorecard.FaultScorecard` joining them.
         """
         if passes < 1:
             raise ValueError(f"passes must be >= 1, got {passes}")
+        metrics = _metrics()
         rng = np.random.default_rng(seed)
-        attacked = attack_hdc_model(
-            self.model, error_rate, mode, rng, **attack_kwargs
+        with metrics.timer("pipeline.attack_and_recover"):
+            attacked, mask = attack(
+                self.model, error_rate, mode, rng, **attack_kwargs
+            )
+            attacked_accuracy = self._score(attacked)
+            recovery = RobustHDRecovery(
+                attacked, config, seed=seed + 1, block_size=block_size
+            )
+            accuracy_trace = []
+            order_rng = np.random.default_rng(seed + 2)
+            for _ in range(passes):
+                order = order_rng.permutation(self.stream_queries.shape[0])
+                recovery.process(self.stream_queries[order])
+                accuracy_trace.append(self._score(attacked))
+        scorecard = fault_scorecard(
+            recovery.trace,
+            mask,
+            clean_model=self.model,
+            recovered_model=attacked,
         )
-        attacked_accuracy = self._score(attacked)
-        recovery = RobustHDRecovery(
-            attacked, config, seed=seed + 1, block_size=block_size
-        )
-        trace = []
-        order_rng = np.random.default_rng(seed + 2)
-        for _ in range(passes):
-            order = order_rng.permutation(self.stream_queries.shape[0])
-            recovery.process(self.stream_queries[order])
-            trace.append(self._score(attacked))
+        if metrics.enabled:
+            metrics.inc("pipeline.attack_recover_runs")
+            metrics.gauge("pipeline.recovered_accuracy", accuracy_trace[-1])
+            metrics.gauge("pipeline.attacked_accuracy", attacked_accuracy)
         return RecoveryOutcome(
             clean_accuracy=self.clean_accuracy,
             attacked_accuracy=attacked_accuracy,
-            recovered_accuracy=trace[-1],
+            recovered_accuracy=accuracy_trace[-1],
             stats=recovery.stats,
-            accuracy_trace=tuple(trace),
+            accuracy_trace=tuple(accuracy_trace),
+            trace=recovery.trace,
+            fault_mask=mask,
+            scorecard=scorecard,
         )

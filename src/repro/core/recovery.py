@@ -38,6 +38,8 @@ from repro.core.chunks import detect_faulty_chunks_batch
 from repro.core.confidence import prediction_confidence
 from repro.core.hypervector import as_chunks
 from repro.core.model import HDCModel
+from repro.obs.metrics import current as _metrics
+from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace, _as_nested_tuple
 
 __all__ = [
     "RecoveryConfig",
@@ -49,9 +51,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class RecoveryConfig:
     """Hyper-parameters of the recovery loop.
+
+    All fields are keyword-only: positional construction silently swapped
+    meanings as fields were added, so ``RecoveryConfig(0.9, 0.2)`` is now
+    a ``TypeError`` instead of a latent bug.
 
     Attributes
     ----------
@@ -73,6 +79,12 @@ class RecoveryConfig:
         :func:`repro.core.chunks.detect_faulty_chunks`).
     temperature:
         Temperature for the confidence computation.
+    block_size:
+        Default serving block size for :class:`RobustHDRecovery` and the
+        pipeline's ``attack_and_recover`` — how many queries the batched
+        engine sweeps per :func:`recover_block` call.  Never changes the
+        results (the block engine exactly replays the sequential loop);
+        it only caps how much batched work one model write invalidates.
     """
 
     confidence_threshold: float = 0.85
@@ -80,6 +92,7 @@ class RecoveryConfig:
     num_chunks: int = 20
     detection_margin: float = 0.03
     temperature: float = 1.0
+    block_size: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.confidence_threshold <= 1.0:
@@ -100,6 +113,10 @@ class RecoveryConfig:
             )
         if self.temperature <= 0:
             raise ValueError(f"temperature must be > 0, got {self.temperature}")
+        if self.block_size < 1:
+            raise ValueError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
 
 
 @dataclass
@@ -176,18 +193,24 @@ def _substitute_faulty(
     faulty: np.ndarray,
     config: RecoveryConfig,
     rng: np.random.Generator,
-) -> int:
-    """Repair the flagged chunks of one class in place; returns bits changed."""
+) -> np.ndarray:
+    """Repair the flagged chunks of one class in place.
+
+    Returns the bits actually changed per flagged chunk, aligned with
+    ``np.flatnonzero(faulty)`` (callers sum for the total and scatter
+    into per-chunk trace cells).
+    """
     with model.writable() as class_hv:
         class_chunks = as_chunks(class_hv[predicted], config.num_chunks)
         query_chunks = as_chunks(query, config.num_chunks)
-        substituted = 0
-        for j in np.flatnonzero(faulty):
-            substituted += probabilistic_substitution(
+        changed = np.array([
+            probabilistic_substitution(
                 class_chunks[j], query_chunks[j],
                 config.substitution_rate, rng,
             )
-    return substituted
+            for j in np.flatnonzero(faulty)
+        ], dtype=np.int64)
+    return changed
 
 
 def recover_step(
@@ -196,6 +219,7 @@ def recover_step(
     config: RecoveryConfig,
     rng: np.random.Generator,
     stats: RecoveryStats | None = None,
+    trace: RecoveryTrace | None = None,
 ) -> int:
     """Run one RobustHD recovery step on a single query, in place.
 
@@ -208,7 +232,9 @@ def recover_step(
         raise ValueError(
             f"query must be a 1-D vector of length {model.dim}"
         )
-    return int(recover_block(model, query[None, :], config, rng, stats)[0])
+    return int(
+        recover_block(model, query[None, :], config, rng, stats, trace)[0]
+    )
 
 
 def recover_block(
@@ -217,6 +243,7 @@ def recover_block(
     config: RecoveryConfig,
     rng: np.random.Generator,
     stats: RecoveryStats | None = None,
+    trace: RecoveryTrace | None = None,
 ) -> np.ndarray:
     """Run RobustHD recovery over a block of queries, in place.
 
@@ -230,6 +257,11 @@ def recover_block(
     model writes are rare and the whole block runs as a handful of
     XOR+popcount sweeps.
 
+    If a ``trace`` is supplied, one
+    :class:`~repro.obs.trace.RecoveryBlockEvent` is appended per call.
+    Neither stats, trace, nor metrics recording ever draws from ``rng``,
+    so observed and unobserved runs are bit-identical.
+
     Returns the ``(b,)`` predicted labels.
     """
     if model.bits != 1:
@@ -242,50 +274,100 @@ def recover_block(
         raise ValueError(
             f"queries must have dim {model.dim}, got {queries.shape[1]}"
         )
+    metrics = _metrics()
+    version_before = model.version
+    total_trusted = 0
+    total_flagged = 0
+    total_bits = 0
+    if trace is not None:
+        ev_confidences: list[float] = []
+        ev_trusted_per_class = np.zeros(model.num_classes, dtype=np.int64)
+        ev_chunk_flags = np.zeros(
+            (model.num_classes, config.num_chunks), dtype=np.int64
+        )
+        ev_chunk_repair_bits = np.zeros_like(ev_chunk_flags)
     out = np.empty(queries.shape[0], dtype=np.int64)
-    start = 0
-    while start < queries.shape[0]:
-        block = queries[start:]
-        preds, conf = _gated_predictions(model, block, config)
-        trusted = conf >= config.confidence_threshold
-        trusted_idx = np.flatnonzero(trusted)
-        if trusted_idx.size:
-            faulty_masks = detect_faulty_chunks_batch(
-                model,
-                block[trusted_idx],
-                preds[trusted_idx],
-                config.num_chunks,
-                config.detection_margin,
-            )  # (t, m)
-        mutated = False
-        next_trusted = 0  # cursor into trusted_idx / faulty_masks
-        for j in range(block.shape[0]):
-            if stats is not None:
-                stats.queries_seen += 1
-                stats.confidence_trace.append(float(conf[j]))
-            out[start + j] = preds[j]
-            if not trusted[j]:
-                continue
-            faulty = faulty_masks[next_trusted]
-            next_trusted += 1
-            if stats is not None:
-                stats.queries_trusted += 1
-                stats.chunks_checked += config.num_chunks
-                stats.chunks_repaired += int(faulty.sum())
-            if not faulty.any():
-                continue
-            substituted = _substitute_faulty(
-                model, block[j], int(preds[j]), faulty, config, rng
-            )
-            if stats is not None:
-                stats.bits_substituted += substituted
-            # The model changed: everything batched beyond this query is
-            # stale.  Restart the sweep from the next query.
-            start += j + 1
-            mutated = True
-            break
-        if not mutated:
-            start = queries.shape[0]
+    with metrics.timer("recovery.recover_block"):
+        start = 0
+        while start < queries.shape[0]:
+            block = queries[start:]
+            preds, conf = _gated_predictions(model, block, config)
+            trusted = conf >= config.confidence_threshold
+            trusted_idx = np.flatnonzero(trusted)
+            if trusted_idx.size:
+                faulty_masks = detect_faulty_chunks_batch(
+                    model,
+                    block[trusted_idx],
+                    preds[trusted_idx],
+                    config.num_chunks,
+                    config.detection_margin,
+                )  # (t, m)
+            mutated = False
+            next_trusted = 0  # cursor into trusted_idx / faulty_masks
+            for j in range(block.shape[0]):
+                if stats is not None:
+                    stats.queries_seen += 1
+                    stats.confidence_trace.append(float(conf[j]))
+                if trace is not None:
+                    ev_confidences.append(float(conf[j]))
+                out[start + j] = preds[j]
+                if not trusted[j]:
+                    continue
+                faulty = faulty_masks[next_trusted]
+                next_trusted += 1
+                total_trusted += 1
+                flagged = int(faulty.sum())
+                total_flagged += flagged
+                if stats is not None:
+                    stats.queries_trusted += 1
+                    stats.chunks_checked += config.num_chunks
+                    stats.chunks_repaired += flagged
+                if trace is not None:
+                    ev_trusted_per_class[preds[j]] += 1
+                    ev_chunk_flags[preds[j]] += faulty
+                if not flagged:
+                    continue
+                per_chunk = _substitute_faulty(
+                    model, block[j], int(preds[j]), faulty, config, rng
+                )
+                substituted = int(per_chunk.sum())
+                total_bits += substituted
+                if stats is not None:
+                    stats.bits_substituted += substituted
+                if trace is not None:
+                    ev_chunk_repair_bits[preds[j], np.flatnonzero(faulty)] += (
+                        per_chunk
+                    )
+                # The model changed: everything batched beyond this query
+                # is stale.  Restart the sweep from the next query.
+                start += j + 1
+                mutated = True
+                break
+            if not mutated:
+                start = queries.shape[0]
+    if trace is not None:
+        trace.record(RecoveryBlockEvent(
+            block_index=trace.next_block_index(),
+            queries=int(queries.shape[0]),
+            trusted=total_trusted,
+            confidences=tuple(ev_confidences),
+            trusted_per_class=tuple(int(t) for t in ev_trusted_per_class),
+            num_chunks=config.num_chunks,
+            chunk_flags=_as_nested_tuple(ev_chunk_flags),
+            chunk_repair_bits=_as_nested_tuple(ev_chunk_repair_bits),
+            bits_substituted=total_bits,
+            model_version_before=version_before,
+            model_version_after=model.version,
+        ))
+    if metrics.enabled:
+        metrics.inc("recovery.blocks")
+        metrics.inc("recovery.queries", int(queries.shape[0]))
+        metrics.inc("recovery.queries_trusted", total_trusted)
+        metrics.inc("recovery.chunks_flagged", total_flagged)
+        metrics.inc("recovery.bits_substituted", total_bits)
+        metrics.inc("recovery.model_writes", model.version - version_before)
+        metrics.observe("recovery.block_trust_rate",
+                        total_trusted / max(1, queries.shape[0]))
     return out
 
 
@@ -294,9 +376,11 @@ class RobustHDRecovery:
 
     Feed it the (unlabeled, already encoded) inference stream via
     :meth:`process`; it returns normal predictions while transparently
-    repairing the model in place.  The wrapper keeps cumulative
-    :class:`RecoveryStats` for the Figure 3 analyses (samples needed to
-    recover, trust rate, repair volume).
+    repairing the model in place.  Every processed block appends a
+    :class:`~repro.obs.trace.RecoveryBlockEvent` to :attr:`trace` — the
+    single source of observability truth: :attr:`stats` (the cumulative
+    :class:`RecoveryStats` for the Figure 3 analyses) and
+    :attr:`last_trace` are both derived views of it.
     """
 
     def __init__(
@@ -304,7 +388,7 @@ class RobustHDRecovery:
         model: HDCModel,
         config: RecoveryConfig | None = None,
         seed: int = 0,
-        block_size: int = 256,
+        block_size: int | None = None,
     ) -> None:
         self.config = config or RecoveryConfig()
         if model.dim % self.config.num_chunks != 0:
@@ -314,12 +398,32 @@ class RobustHDRecovery:
             )
         if model.bits != 1:
             raise ValueError("RobustHD recovery requires a 1-bit model")
+        if block_size is None:
+            block_size = self.config.block_size
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         self.model = model
         self.rng = np.random.default_rng(seed)
-        self.stats = RecoveryStats()
+        self.trace = RecoveryTrace()
         self.block_size = block_size
+
+    @property
+    def stats(self) -> RecoveryStats:
+        """Cumulative counters, derived from :attr:`trace` on access."""
+        trace = self.trace
+        return RecoveryStats(
+            queries_seen=trace.queries_seen,
+            queries_trusted=trace.queries_trusted,
+            chunks_checked=trace.chunks_checked,
+            chunks_repaired=trace.chunks_flagged,
+            bits_substituted=trace.bits_substituted,
+            confidence_trace=trace.confidence_trace(),
+        )
+
+    @property
+    def last_trace(self) -> RecoveryBlockEvent | None:
+        """The most recent block event (``None`` before any block)."""
+        return self.trace.last
 
     def process(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch of encoded queries ``(b, D)``, repairing as we go.
@@ -338,6 +442,7 @@ class RobustHDRecovery:
         for lo in range(0, queries.shape[0], self.block_size):
             hi = lo + self.block_size
             preds[lo:hi] = recover_block(
-                self.model, queries[lo:hi], self.config, self.rng, self.stats
+                self.model, queries[lo:hi], self.config, self.rng,
+                trace=self.trace,
             )
         return preds

@@ -76,7 +76,7 @@ def run(
     base = RecoveryConfig()
     data = load(DATASET, max_train=cfg.max_train, max_test=cfg.max_test)
     experiment = RecoveryExperiment(
-        data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
+        dataset=data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
     )
     points: list[Figure3Point] = []
 

@@ -35,7 +35,7 @@ from repro.core.pipeline import RecoveryExperiment
 from repro.core.recovery import RecoveryConfig, RobustHDRecovery
 from repro.datasets import load
 from repro.experiments.config import ExperimentScale, get_scale
-from repro.faults.informed import attack_hdc_informed
+from repro.faults.api import attack
 
 __all__ = ["InformedResult", "run", "render", "main"]
 
@@ -62,7 +62,7 @@ def run(
     config = config or RecoveryConfig()
     data = load(DATASET, max_train=cfg.max_train, max_test=cfg.max_test)
     experiment = RecoveryExperiment(
-        data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
+        dataset=data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
     )
     stream = experiment.stream_queries
 
@@ -74,9 +74,9 @@ def run(
         ])))
         inf_trials, rec_trials = [], []
         for t in range(cfg.trials):
-            attacked = attack_hdc_informed(
-                experiment.model, rate, stream,
-                np.random.default_rng(seed + t),
+            attacked, _ = attack(
+                experiment.model, rate, "informed",
+                np.random.default_rng(seed + t), reference_queries=stream,
             )
             inf_trials.append(
                 experiment.clean_accuracy - float(np.mean(

@@ -60,7 +60,7 @@ def run(
     config = config or RecoveryConfig()
     data = load(DATASET, max_train=cfg.max_train, max_test=cfg.max_test)
     experiment = RecoveryExperiment(
-        data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
+        dataset=data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
     )
     uniform, clustered, recovered = [], [], []
     for rate in ERROR_RATES:

@@ -71,7 +71,7 @@ def run(
     for name in datasets:
         data = load(name, max_train=cfg.max_train, max_test=cfg.max_test)
         experiment = RecoveryExperiment(
-            data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
+            dataset=data, dim=cfg.dim, epochs=0, stream_fraction=0.6, seed=seed
         )
         for rate in ERROR_RATES:
             without = float(

@@ -1,5 +1,23 @@
-"""Fault models: bit-flip attacks, error campaigns, memory error processes."""
+"""Fault models: unified injector API, campaigns, memory error processes.
 
+The canonical entry points live in :mod:`repro.faults.api` —
+:func:`attack` / :func:`inject` return a ground-truth
+:class:`FaultMask` alongside (or instead of) the corrupted model.  The
+legacy per-module entry points (``attack_hdc_model``,
+``attack_hdc_informed``) are deprecated shims over the same injectors.
+"""
+
+from repro.faults.api import (
+    ClusteredBitflipInjector,
+    FaultInjector,
+    FaultMask,
+    InformedBitflipInjector,
+    RandomBitflipInjector,
+    TargetedBitflipInjector,
+    attack,
+    inject,
+    make_injector,
+)
 from repro.faults.injector import (
     CampaignCell,
     CampaignResult,
@@ -26,12 +44,21 @@ from repro.faults.bitflip import (
 __all__ = [
     "CampaignCell",
     "CampaignResult",
+    "ClusteredBitflipInjector",
+    "FaultInjector",
+    "FaultMask",
+    "InformedBitflipInjector",
+    "RandomBitflipInjector",
     "StuckAtFaultMap",
+    "TargetedBitflipInjector",
     "TransientFlipProcess",
+    "attack",
     "attack_hdc_informed",
     "attack_hdc_model",
     "dimension_importance",
     "dram_error_rate_for_interval",
+    "inject",
+    "make_injector",
     "run_deployment_campaign",
     "run_hdc_campaign",
     "attack_tensor",

@@ -19,6 +19,7 @@ modified (the experiments need both to measure quality loss).
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -257,18 +258,22 @@ def attack_hdc_model(
     rng: np.random.Generator,
     cluster_bits: int = DEFAULT_CLUSTER_BITS,
 ) -> HDCModel:
-    """Return a corrupted copy of a stored HDC model.
+    """Deprecated: use :func:`repro.faults.api.attack` instead.
 
-    ``cluster_bits`` sets the victim-span size for the clustered mode
-    (ignored by the other modes).
+    Returns a corrupted copy of a stored HDC model, exactly as the
+    unified API's ``attack(model, rate, mode, rng)[0]`` — same seeded
+    flips — but discards the :class:`~repro.faults.api.FaultMask` the
+    observability layer needs.  ``cluster_bits`` sets the victim-span
+    size for the clustered mode (ignored by the other modes).
     """
+    warnings.warn(
+        "attack_hdc_model is deprecated; use repro.faults.attack(), which "
+        "also returns the ground-truth FaultMask",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.faults.api import attack
+
     _check_mode(mode)
-    out = model.copy()
-    if mode == "random":
-        bits = sample_random_bits(model.total_bits, rate, rng)
-    elif mode == "clustered":
-        bits = sample_clustered_bits(model.total_bits, rate, rng, cluster_bits)
-    else:
-        bits = sample_targeted_bits(hdc_msb_first_bit_order(model), rate, rng)
-    flip_hdc_bits(out, bits)
-    return out
+    kwargs = {"cluster_bits": cluster_bits} if mode == "clustered" else {}
+    return attack(model, rate, mode, rng, **kwargs)[0]

@@ -28,10 +28,11 @@ wins back.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.model import HDCModel
-from repro.faults.bitflip import num_bits_to_flip
 
 __all__ = ["dimension_importance", "attack_hdc_informed"]
 
@@ -81,27 +82,25 @@ def attack_hdc_informed(
     reference_queries: np.ndarray,
     rng: np.random.Generator,
 ) -> HDCModel:
-    """Flip the ``rate`` most load-bearing model bits (white-box attack).
+    """Deprecated: use :func:`repro.faults.api.attack` with
+    ``mode="informed"`` (or an
+    :class:`~repro.faults.api.InformedBitflipInjector`) instead.
 
+    Flips the ``rate`` most load-bearing model bits (white-box attack).
     The total budget matches the random attack (``rate * total_bits``
     flips), split equally across classes; within each class the
     highest-importance dimensions are flipped, ties broken randomly.
+    Seeded results are identical to the unified API's.
     """
-    if model.bits != 1:
-        raise ValueError("informed attack is defined for 1-bit models")
-    budget = num_bits_to_flip(model.total_bits, rate)
-    out = model.copy()
-    if budget == 0:
-        return out
-    importance = dimension_importance(model, reference_queries)
-    k, dim = model.num_classes, model.dim
-    per_class = np.full(k, budget // k, dtype=np.int64)
-    per_class[: budget % k] += 1
-    with out.writable() as class_hv:
-        for c in range(k):
-            take = int(min(per_class[c], dim))
-            # Random tiebreak so equal-importance dims don't bias low indices.
-            keys = importance[c] + rng.random(dim) * 1e-9
-            victims = np.argpartition(-keys, take - 1)[:take]
-            class_hv[c, victims] ^= 1
-    return out
+    warnings.warn(
+        "attack_hdc_informed is deprecated; use repro.faults.attack(model, "
+        "rate, 'informed', rng, reference_queries=...), which also returns "
+        "the ground-truth FaultMask",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.faults.api import attack
+
+    return attack(
+        model, rate, "informed", rng, reference_queries=reference_queries
+    )[0]

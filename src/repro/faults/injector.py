@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.baselines.deploy import QuantizedDeployment
 from repro.core.model import HDCModel
-from repro.faults.bitflip import attack_hdc_model
+from repro.faults.api import attack
 
 __all__ = ["CampaignCell", "CampaignResult", "run_hdc_campaign", "run_deployment_campaign"]
 
@@ -92,7 +92,7 @@ def run_hdc_campaign(
                 rng = np.random.default_rng(
                     hash((seed, mode, round(rate * 1e9), trial)) % (2**32)
                 )
-                attacked = attack_hdc_model(model, rate, mode, rng)
+                attacked, _ = attack(model, rate, mode, rng)
                 accs.append(
                     float(np.mean(attacked.predict(encoded_queries) == labels))
                 )

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.model import HDCModel
+from repro.faults.api import FaultInjector, FaultMask, RandomBitflipInjector
 from repro.faults.bitflip import flip_hdc_bits, sample_random_bits
 from repro.pim.dram import DEFAULT_DRAM, DRAMConfig, DRAMModel
 
@@ -41,21 +42,36 @@ class TransientFlipProcess:
     model's stored bits, in place — the model accumulates damage across
     exposures exactly as a relaxed-refresh DRAM accumulates retention
     errors between scrubs.
+
+    The process is a stateful wrapper over the unified
+    :class:`~repro.faults.api.FaultInjector` protocol: ``injector``
+    samples each exposure's :class:`~repro.faults.api.FaultMask` (kept
+    as :attr:`last_mask` for ground-truth observability) and the process
+    applies it.  Pass a different protocol implementation to model
+    non-uniform noise with the same exposure loop.
     """
 
-    def __init__(self, rate: float, seed: int = 0) -> None:
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        injector: FaultInjector | None = None,
+    ) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
         self.rate = rate
         self.rng = np.random.default_rng(seed)
         self.exposures = 0
+        self.injector: FaultInjector = injector or RandomBitflipInjector()
+        self.last_mask: FaultMask | None = None
 
     def expose(self, model: HDCModel) -> int:
         """Apply one exposure; returns the number of bits flipped."""
-        bits = sample_random_bits(model.total_bits, self.rate, self.rng)
-        flip_hdc_bits(model, bits)
+        mask = self.injector.inject(model, self.rate, self.rng)
+        mask.apply(model)
         self.exposures += 1
-        return bits.shape[0]
+        self.last_mask = mask
+        return mask.num_faults
 
 
 class StuckAtFaultMap:

@@ -1,0 +1,47 @@
+"""Recovery observability layer: metrics, tracing, fault scorecards.
+
+Three zero-dependency components:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, histograms and monotonic timers, with a no-op default so
+  un-instrumented callers pay ~nothing;
+* :mod:`repro.obs.trace` — a structured :class:`RecoveryTrace` event
+  log (one record per recovery block) with JSONL export and a rendered
+  summary;
+* :mod:`repro.obs.scorecard` — joins a trace against the injected
+  :class:`~repro.faults.api.FaultMask` to report chunk-detection
+  precision/recall/F1 and bit-level repair efficacy.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    current,
+    disable_metrics,
+    enable_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.scorecard import (
+    ChunkDetectionScore,
+    FaultScorecard,
+    fault_scorecard,
+)
+from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace
+
+__all__ = [
+    "ChunkDetectionScore",
+    "FaultScorecard",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "RecoveryBlockEvent",
+    "RecoveryTrace",
+    "current",
+    "disable_metrics",
+    "enable_metrics",
+    "fault_scorecard",
+    "set_metrics",
+    "use_metrics",
+]

@@ -1,0 +1,200 @@
+"""Ground-truth fault scorecard: detector quality against injected faults.
+
+A recovery run's trace says which (class, chunk) cells the noisy-chunk
+detector *flagged*; the :class:`~repro.faults.api.FaultMask` returned by
+the unified injector API says which cells actually *absorbed* injected
+bit flips.  Joining the two turns the unsupervised detector into a
+measurable classifier: per-class and overall precision / recall / F1
+over chunk cells, plus — when the clean and recovered models are
+supplied — bit-level *repair efficacy* (what fraction of the injected
+flips the substitution loop actually flipped back).
+
+HDXplore-style automated introspection is the point: a recovery run that
+"worked" by end-to-end accuracy can still hide a detector that fired on
+the wrong chunks and a representation that merely absorbed the damage.
+
+This module is deliberately dependency-light (numpy + the table
+renderer); the trace and mask arguments are duck-typed so it can score
+any objects exposing ``flagged_chunks()`` / ``faulty_chunks(m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.model import HDCModel
+    from repro.faults.api import FaultMask
+    from repro.obs.trace import RecoveryTrace
+
+__all__ = ["ChunkDetectionScore", "FaultScorecard", "fault_scorecard"]
+
+
+def _prf(tp: int, fp: int, fn: int) -> tuple[float, float, float]:
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+@dataclass(frozen=True)
+class ChunkDetectionScore:
+    """Chunk-level detection quality for one class (or the micro total).
+
+    ``label`` is the class index, or ``"overall"`` for the micro-average
+    across every (class, chunk) cell.
+    """
+
+    label: str
+    faulty_chunks: int
+    flagged_chunks: int
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    precision: float
+    recall: float
+    f1: float
+
+
+@dataclass(frozen=True)
+class FaultScorecard:
+    """Detection P/R/F1 per class + optional bit-level repair efficacy."""
+
+    per_class: tuple[ChunkDetectionScore, ...]
+    overall: ChunkDetectionScore
+    injected_bits: int
+    repaired_bits: int | None = None
+    residual_bits: int | None = None
+
+    @property
+    def repair_efficacy(self) -> float | None:
+        """Fraction of injected flips restored to their clean value."""
+        if self.repaired_bits is None or self.injected_bits == 0:
+            return None
+        return self.repaired_bits / self.injected_bits
+
+    def render(self) -> str:
+        # Deferred: repro.analysis pulls in repro.core, which imports
+        # repro.obs for its instrumentation hooks.
+        from repro.analysis.tables import render_table
+
+        rows = [
+            [
+                s.label, s.faulty_chunks, s.flagged_chunks,
+                s.true_positives, s.false_positives, s.false_negatives,
+                f"{s.precision:.3f}", f"{s.recall:.3f}", f"{s.f1:.3f}",
+            ]
+            for s in (*self.per_class, self.overall)
+        ]
+        table = render_table(
+            ["class", "faulty", "flagged", "tp", "fp", "fn",
+             "precision", "recall", "f1"],
+            rows,
+            title="Fault scorecard (chunk detection vs injected mask)",
+        )
+        if self.repaired_bits is not None:
+            efficacy = self.repair_efficacy
+            rate = f"{efficacy:.1%}" if efficacy is not None else "n/a"
+            table += (
+                f"\n\ninjected bits: {self.injected_bits}  "
+                f"repaired: {self.repaired_bits}  "
+                f"residual: {self.residual_bits}  "
+                f"repair efficacy: {rate}"
+            )
+        return table
+
+
+def fault_scorecard(
+    trace: "RecoveryTrace",
+    mask: "FaultMask",
+    *,
+    num_chunks: int | None = None,
+    clean_model: "HDCModel | None" = None,
+    recovered_model: "HDCModel | None" = None,
+) -> FaultScorecard:
+    """Score a recovery trace against the fault mask that was injected.
+
+    Parameters
+    ----------
+    trace:
+        The :class:`~repro.obs.trace.RecoveryTrace` of the recovery run.
+    mask:
+        The :class:`~repro.faults.api.FaultMask` describing the injected
+        flips (ground truth).
+    num_chunks:
+        Detector geometry ``m``.  Defaults to the geometry recorded in
+        the trace events; must divide the model dimension.
+    clean_model, recovered_model:
+        Supply both to also measure bit-level repair efficacy — the
+        injected positions of ``recovered_model`` are compared against
+        ``clean_model``.  1-bit models only (matching the recovery loop).
+
+    A chunk cell counts *faulty* when at least one injected bit landed in
+    it, and *flagged* when the detector marked it at least once during
+    the run.  Note the detector only ever inspects the chunks of the
+    *predicted* class of a trusted query, so classes that never won a
+    trusted prediction contribute false negatives — that is the honest
+    accounting, not an artefact.
+    """
+    if num_chunks is None:
+        num_chunks = trace.events[0].num_chunks if len(trace) else None
+    if num_chunks is None:
+        raise ValueError("num_chunks is required for an empty trace")
+    truth = np.asarray(mask.faulty_chunks(num_chunks))  # (k, m) bool
+    k, m = truth.shape
+    if len(trace):
+        detected = np.asarray(trace.flagged_chunks())
+        if detected.shape != truth.shape:
+            raise ValueError(
+                f"trace geometry {detected.shape} != mask geometry "
+                f"{truth.shape}"
+            )
+    else:
+        detected = np.zeros_like(truth)
+
+    def score(label: str, t: np.ndarray, d: np.ndarray) -> ChunkDetectionScore:
+        tp = int(np.count_nonzero(t & d))
+        fp = int(np.count_nonzero(~t & d))
+        fn = int(np.count_nonzero(t & ~d))
+        precision, recall, f1 = _prf(tp, fp, fn)
+        return ChunkDetectionScore(
+            label=label,
+            faulty_chunks=int(np.count_nonzero(t)),
+            flagged_chunks=int(np.count_nonzero(d)),
+            true_positives=tp,
+            false_positives=fp,
+            false_negatives=fn,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+        )
+
+    per_class = tuple(
+        score(str(c), truth[c], detected[c]) for c in range(k)
+    )
+    overall = score("overall", truth, detected)
+
+    repaired = residual = None
+    if clean_model is not None and recovered_model is not None:
+        if clean_model.bits != 1 or recovered_model.bits != 1:
+            raise ValueError("repair efficacy is defined for 1-bit models")
+        classes, dims = mask.element_indices()
+        clean_bits = clean_model.class_hv[classes, dims]
+        recovered_bits = recovered_model.class_hv[classes, dims]
+        repaired = int(np.count_nonzero(recovered_bits == clean_bits))
+        residual = int(classes.shape[0]) - repaired
+
+    return FaultScorecard(
+        per_class=per_class,
+        overall=overall,
+        injected_bits=int(mask.num_faults),
+        repaired_bits=repaired,
+        residual_bits=residual,
+    )

@@ -1,0 +1,266 @@
+"""Structured recovery tracing: one event per processed recovery block.
+
+End-to-end accuracy says *whether* a recovery run worked;
+:class:`RecoveryTrace` records *why*.  Every call into the batched
+recovery engine (:func:`repro.core.recovery.recover_block`) appends one
+:class:`RecoveryBlockEvent` capturing the confidence distribution the
+gate saw, how many queries were trusted (and for which classes), the
+per-class chunk votes of the noisy-chunk detector, how many bits the
+probabilistic substitution actually flipped back per chunk, and the
+model version before/after — enough to reconstruct the full
+:class:`~repro.core.recovery.RecoveryStats` and to join against the
+injected :class:`~repro.faults.api.FaultMask` for the ground-truth
+scorecard (:mod:`repro.obs.scorecard`).
+
+Events are plain data: JSONL in, JSONL out, with exact float round-trip
+(``json`` serialises Python floats via ``repr``).  Recording never draws
+from any RNG, so traced and untraced runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["RecoveryBlockEvent", "RecoveryTrace"]
+
+
+@dataclass(frozen=True)
+class RecoveryBlockEvent:
+    """Everything the recovery engine observed over one query block.
+
+    Attributes
+    ----------
+    block_index:
+        0-based position of the block within its trace.
+    queries / trusted:
+        Block size and how many predictions cleared the confidence gate.
+    confidences:
+        Per-query gate confidence, in stream order (the concatenation
+        across events reproduces ``RecoveryStats.confidence_trace``).
+    trusted_per_class:
+        ``(k,)`` — trusted pseudo-labels that landed on each class.
+    num_chunks:
+        Detector geometry ``m`` used for this block.
+    chunk_flags:
+        ``(k, m)`` nested lists — how often the detector flagged chunk
+        ``j`` of class ``c`` faulty (the per-class chunk votes).
+    chunk_repair_bits:
+        ``(k, m)`` — bits actually flipped back by substitution, per
+        chunk.  A flagged chunk with zero repaired bits was already in
+        agreement with the trusted query wherever the clone mask landed.
+    bits_substituted:
+        Total bits changed over the block (``sum(chunk_repair_bits)``).
+    model_version_before / model_version_after:
+        :attr:`repro.core.model.HDCModel.version` around the block;
+        ``after - before`` counts in-place model writes.
+    """
+
+    block_index: int
+    queries: int
+    trusted: int
+    confidences: tuple[float, ...]
+    trusted_per_class: tuple[int, ...]
+    num_chunks: int
+    chunk_flags: tuple[tuple[int, ...], ...]
+    chunk_repair_bits: tuple[tuple[int, ...], ...]
+    bits_substituted: int
+    model_version_before: int
+    model_version_after: int
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.trusted_per_class)
+
+    @property
+    def chunks_flagged(self) -> int:
+        return int(sum(sum(row) for row in self.chunk_flags))
+
+    @property
+    def model_writes(self) -> int:
+        return self.model_version_after - self.model_version_before
+
+    def confidence_summary(self) -> dict:
+        """min/mean/max of the block's gate confidences."""
+        if not self.confidences:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0}
+        arr = np.asarray(self.confidences)
+        return {
+            "min": float(arr.min()),
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+        }
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecoveryBlockEvent":
+        return cls(
+            block_index=int(data["block_index"]),
+            queries=int(data["queries"]),
+            trusted=int(data["trusted"]),
+            confidences=tuple(float(c) for c in data["confidences"]),
+            trusted_per_class=tuple(int(t) for t in data["trusted_per_class"]),
+            num_chunks=int(data["num_chunks"]),
+            chunk_flags=tuple(
+                tuple(int(v) for v in row) for row in data["chunk_flags"]
+            ),
+            chunk_repair_bits=tuple(
+                tuple(int(v) for v in row) for row in data["chunk_repair_bits"]
+            ),
+            bits_substituted=int(data["bits_substituted"]),
+            model_version_before=int(data["model_version_before"]),
+            model_version_after=int(data["model_version_after"]),
+        )
+
+
+@dataclass
+class RecoveryTrace:
+    """An append-only log of :class:`RecoveryBlockEvent` records."""
+
+    events: list[RecoveryBlockEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def last(self) -> RecoveryBlockEvent | None:
+        return self.events[-1] if self.events else None
+
+    def record(self, event: RecoveryBlockEvent) -> None:
+        self.events.append(event)
+
+    def next_block_index(self) -> int:
+        return len(self.events)
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def queries_seen(self) -> int:
+        return sum(e.queries for e in self.events)
+
+    @property
+    def queries_trusted(self) -> int:
+        return sum(e.trusted for e in self.events)
+
+    @property
+    def chunks_checked(self) -> int:
+        return sum(e.trusted * e.num_chunks for e in self.events)
+
+    @property
+    def chunks_flagged(self) -> int:
+        return sum(e.chunks_flagged for e in self.events)
+
+    @property
+    def bits_substituted(self) -> int:
+        return sum(e.bits_substituted for e in self.events)
+
+    def confidence_trace(self) -> list[float]:
+        """Per-query confidences across all events, in stream order."""
+        out: list[float] = []
+        for e in self.events:
+            out.extend(e.confidences)
+        return out
+
+    def _geometry(self) -> tuple[int, int]:
+        if not self.events:
+            raise ValueError("trace has no events")
+        first = self.events[0]
+        return first.num_classes, first.num_chunks
+
+    def flag_counts(self) -> np.ndarray:
+        """``(k, m)`` — total detector flags per (class, chunk)."""
+        k, m = self._geometry()
+        out = np.zeros((k, m), dtype=np.int64)
+        for e in self.events:
+            out += np.asarray(e.chunk_flags, dtype=np.int64)
+        return out
+
+    def repair_bit_counts(self) -> np.ndarray:
+        """``(k, m)`` — total bits substituted per (class, chunk)."""
+        k, m = self._geometry()
+        out = np.zeros((k, m), dtype=np.int64)
+        for e in self.events:
+            out += np.asarray(e.chunk_repair_bits, dtype=np.int64)
+        return out
+
+    def flagged_chunks(self) -> np.ndarray:
+        """``(k, m)`` bool — chunks the detector flagged at least once."""
+        return self.flag_counts() > 0
+
+    # -- serialisation -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line, one line per event."""
+        return "\n".join(
+            json.dumps(e.to_dict(), separators=(",", ":"))
+            for e in self.events
+        )
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RecoveryTrace":
+        events = [
+            RecoveryBlockEvent.from_dict(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return cls(events=events)
+
+    @classmethod
+    def read_jsonl(cls, path: str | Path) -> "RecoveryTrace":
+        return cls.from_jsonl(Path(path).read_text())
+
+    # -- rendering -----------------------------------------------------
+
+    def summary_table(self) -> str:
+        """Per-block summary rendered via :mod:`repro.analysis.tables`."""
+        # Deferred: repro.analysis pulls in repro.core, which imports
+        # repro.obs for its instrumentation hooks.
+        from repro.analysis.tables import render_table
+
+        rows: list[Sequence[object]] = []
+        for e in self.events:
+            conf = e.confidence_summary()
+            rows.append([
+                e.block_index,
+                e.queries,
+                e.trusted,
+                f"{conf['mean']:.3f}",
+                e.chunks_flagged,
+                e.bits_substituted,
+                e.model_writes,
+            ])
+        rows.append([
+            "total",
+            self.queries_seen,
+            self.queries_trusted,
+            "",
+            self.chunks_flagged,
+            self.bits_substituted,
+            sum(e.model_writes for e in self.events),
+        ])
+        return render_table(
+            ["block", "queries", "trusted", "mean conf", "chunks flagged",
+             "bits substituted", "model writes"],
+            rows,
+            title="Recovery trace",
+        )
+
+
+def _as_nested_tuple(array: Iterable[Iterable[int]]) -> tuple[tuple[int, ...], ...]:
+    """Helper for builders converting (k, m) arrays into event fields."""
+    return tuple(tuple(int(v) for v in row) for row in array)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.model import HDCModel
+from repro.obs.metrics import current as _metrics
 from repro.pim.crossbar import Crossbar, OpCost
 from repro.pim.nvm import DEFAULT_DEVICE, NVMDevice
 
@@ -114,12 +115,21 @@ class HDCExecutor:
                     self._SCRATCH,
                 )
                 distances[c] += int(tile.read_column(self._COL_XOR).sum())
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("pim.classifications")
+            metrics.inc(
+                "pim.folds_executed", self.model.num_classes * self.folds
+            )
         return int(np.argmin(distances))
 
     def classify_batch(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch ``(b, D)``; returns int64 labels."""
         queries = np.atleast_2d(queries)
-        return np.array([self.classify(q) for q in queries], dtype=np.int64)
+        with _metrics().timer("pim.classify_batch"):
+            return np.array(
+                [self.classify(q) for q in queries], dtype=np.int64
+            )
 
     @property
     def cost(self) -> OpCost:

@@ -15,7 +15,7 @@ def experiment():
         "toy", num_features=50, num_classes=4, num_train=260, num_test=200,
         boundary_fraction=0.4, boundary_depth=(0.25, 0.45), seed=8,
     )
-    return RecoveryExperiment(task, dim=2_000, epochs=0, stream_fraction=0.5,
+    return RecoveryExperiment(dataset=task, dim=2_000, epochs=0, stream_fraction=0.5,
                               seed=0)
 
 
@@ -34,7 +34,7 @@ class TestConstruction:
             seed=1,
         )
         with pytest.raises(ValueError, match="stream_fraction"):
-            RecoveryExperiment(task, dim=500, stream_fraction=1.0)
+            RecoveryExperiment(dataset=task, dim=500, stream_fraction=1.0)
 
 
 class TestAttackOnly:

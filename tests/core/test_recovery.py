@@ -17,7 +17,7 @@ from repro.core.recovery import (
     recover_step,
 )
 from repro.datasets.synthetic import make_prototype_classification
-from repro.faults.bitflip import attack_hdc_model
+from repro.faults.api import attack
 
 
 @pytest.fixture(scope="module")
@@ -151,8 +151,8 @@ class TestRecoverStep:
 
     def test_stats_accumulate(self, fitted):
         model, queries, _ = fitted
-        attacked = attack_hdc_model(model, 0.10, "random",
-                                    np.random.default_rng(2))
+        attacked, _ = attack(model, 0.10, "random",
+                             np.random.default_rng(2))
         config = RecoveryConfig(confidence_threshold=0.5, num_chunks=20)
         stats = RecoveryStats()
         rng = np.random.default_rng(3)
@@ -171,8 +171,8 @@ class TestRecoverBlock:
     def _attacked(self, fitted, seed=20):
         model, queries, _ = fitted
         return (
-            attack_hdc_model(model, 0.10, "random",
-                             np.random.default_rng(seed)),
+            attack(model, 0.10, "random",
+                   np.random.default_rng(seed))[0],
             queries,
         )
 
@@ -241,8 +241,8 @@ class TestRobustHDRecovery:
     def test_block_size_equivalence(self, fitted):
         """The streaming wrapper matches itself across block sizes."""
         model, queries, _ = fitted
-        attacked = attack_hdc_model(model, 0.10, "random",
-                                    np.random.default_rng(12))
+        attacked, _ = attack(model, 0.10, "random",
+                             np.random.default_rng(12))
         outs = []
         for block_size in (1, 32, 256):
             work = attacked.copy()
@@ -268,8 +268,8 @@ class TestRobustHDRecovery:
         recovery wins back accuracy lost to a 10% attack."""
         model, queries, labels = fitted
         clean_acc = float(np.mean(model.predict(queries) == labels))
-        attacked = attack_hdc_model(model, 0.10, "random",
-                                    np.random.default_rng(4))
+        attacked, _ = attack(model, 0.10, "random",
+                             np.random.default_rng(4))
         attacked_acc = float(np.mean(attacked.predict(queries) == labels))
         recovery = RobustHDRecovery(attacked, RecoveryConfig(), seed=5)
         stream, evalq = queries[:120], queries[120:]
@@ -279,8 +279,8 @@ class TestRobustHDRecovery:
         recovered_acc = float(np.mean(attacked.predict(evalq) == eval_labels))
         eval_attacked = float(
             np.mean(
-                attack_hdc_model(model, 0.10, "random",
-                                 np.random.default_rng(4))
+                attack(model, 0.10, "random",
+                       np.random.default_rng(4))[0]
                 .predict(evalq) == eval_labels
             )
         )

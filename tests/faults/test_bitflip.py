@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 
 from repro.baselines.quantization import FixedPointTensor
 from repro.core.model import HDCModel
+from repro.faults.api import attack
 from repro.faults.bitflip import (
-    attack_hdc_model,
     attack_tensor,
     attack_tensors,
     flip_hdc_bits,
@@ -129,15 +129,15 @@ class TestAttackTensors:
 class TestAttackHDC:
     def test_one_bit_flip_count(self):
         model = make_model(k=4, dim=250, bits=1)
-        attacked = attack_hdc_model(model, 0.1, "random",
-                                    np.random.default_rng(0))
+        attacked, _ = attack(model, 0.1, "random",
+                             np.random.default_rng(0))
         changed = int(np.count_nonzero(attacked.class_hv != model.class_hv))
         assert changed == 100  # 10% of 1000 bits
 
     def test_two_bit_flips_respect_levels(self):
         model = make_model(k=2, dim=100, bits=2)
-        attacked = attack_hdc_model(model, 0.2, "random",
-                                    np.random.default_rng(1))
+        attacked, _ = attack(model, 0.2, "random",
+                             np.random.default_rng(1))
         assert attacked.class_hv.max() <= 3
 
     def test_random_equals_targeted_for_binary(self):
@@ -145,8 +145,8 @@ class TestAttackHDC:
         damage have identical statistics — the paper's Table 3 point."""
         model = make_model(k=4, dim=2_000, bits=1, seed=2)
         rng = np.random.default_rng(3)
-        rand = attack_hdc_model(model, 0.1, "random", rng)
-        targ = attack_hdc_model(model, 0.1, "targeted", rng)
+        rand, _ = attack(model, 0.1, "random", rng)
+        targ, _ = attack(model, 0.1, "targeted", rng)
         n_rand = int(np.count_nonzero(rand.class_hv != model.class_hv))
         n_targ = int(np.count_nonzero(targ.class_hv != model.class_hv))
         assert n_rand == n_targ == 800

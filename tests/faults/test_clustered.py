@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.model import HDCModel
+from repro.faults.api import attack
 from repro.faults.bitflip import (
-    attack_hdc_model,
     num_bits_to_flip,
     sample_clustered_bits,
 )
@@ -66,7 +66,7 @@ class TestClusteredAttack:
         model = HDCModel(
             class_hv=rng.integers(0, 2, (4, 4_096), dtype=np.uint8), bits=1
         )
-        attacked = attack_hdc_model(
+        attacked, _ = attack(
             model, 0.02, "clustered", np.random.default_rng(5),
             cluster_bits=512,
         )
@@ -79,9 +79,8 @@ class TestClusteredAttack:
         model = HDCModel(
             class_hv=rng.integers(0, 2, (4, 4_096), dtype=np.uint8), bits=1
         )
-        a = attack_hdc_model(model, 0.05, "clustered",
-                             np.random.default_rng(7))
-        b = attack_hdc_model(model, 0.05, "random", np.random.default_rng(7))
+        a, _ = attack(model, 0.05, "clustered", np.random.default_rng(7))
+        b, _ = attack(model, 0.05, "random", np.random.default_rng(7))
         assert (
             (a.class_hv != model.class_hv).sum()
             == (b.class_hv != model.class_hv).sum()

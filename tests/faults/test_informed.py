@@ -6,8 +6,9 @@ import pytest
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
 from repro.datasets.synthetic import make_prototype_classification
-from repro.faults.bitflip import attack_hdc_model, num_bits_to_flip
-from repro.faults.informed import attack_hdc_informed, dimension_importance
+from repro.faults.api import attack
+from repro.faults.bitflip import num_bits_to_flip
+from repro.faults.informed import dimension_importance
 
 
 @pytest.fixture(scope="module")
@@ -60,8 +61,9 @@ class TestInformedAttack:
     def test_budget_matches_random_attack(self, fitted):
         model, queries, _ = fitted
         rate = 0.06
-        attacked = attack_hdc_informed(
-            model, rate, queries[:100], np.random.default_rng(0)
+        attacked, _ = attack(
+            model, rate, "informed", np.random.default_rng(0),
+            reference_queries=queries[:100],
         )
         flips = int((attacked.class_hv != model.class_hv).sum())
         assert flips == num_bits_to_flip(model.total_bits, rate)
@@ -69,8 +71,8 @@ class TestInformedAttack:
     def test_victim_untouched(self, fitted):
         model, queries, _ = fitted
         snapshot = model.class_hv.copy()
-        attack_hdc_informed(model, 0.1, queries[:50],
-                            np.random.default_rng(1))
+        attack(model, 0.1, "informed", np.random.default_rng(1),
+               reference_queries=queries[:50])
         assert (model.class_hv == snapshot).all()
 
     def test_stronger_than_random(self, fitted):
@@ -81,16 +83,16 @@ class TestInformedAttack:
         rate = 0.08
         random_acc = np.mean([
             float(np.mean(
-                attack_hdc_model(model, rate, "random",
-                                 np.random.default_rng(s)).predict(queries)
+                attack(model, rate, "random",
+                       np.random.default_rng(s))[0].predict(queries)
                 == labels
             ))
             for s in range(3)
         ])
         informed_acc = np.mean([
             float(np.mean(
-                attack_hdc_informed(model, rate, queries[:150],
-                                    np.random.default_rng(s)).predict(queries)
+                attack(model, rate, "informed", np.random.default_rng(s),
+                       reference_queries=queries[:150])[0].predict(queries)
                 == labels
             ))
             for s in range(3)
@@ -99,7 +101,8 @@ class TestInformedAttack:
 
     def test_zero_budget_noop(self, fitted):
         model, queries, _ = fitted
-        attacked = attack_hdc_informed(
-            model, 0.0, queries[:10], np.random.default_rng(2)
+        attacked, _ = attack(
+            model, 0.0, "informed", np.random.default_rng(2),
+            reference_queries=queries[:10],
         )
         assert (attacked.class_hv == model.class_hv).all()

@@ -7,7 +7,7 @@ from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier
 from repro.core.packed import pack, packed_hamming_distance
 from repro.datasets.synthetic import make_prototype_classification
-from repro.faults.bitflip import attack_hdc_model
+from repro.faults.api import attack
 from repro.pim.dpim import DPIM
 from repro.pim.executor import HDCExecutor
 from repro.pim.mapping import map_hdc_model, writes_per_cell_per_inference
@@ -41,7 +41,7 @@ class TestThreeWayPredictionAgreement:
     def test_agreement_survives_attack(self, fitted):
         """All three backends see the *same* corrupted bits."""
         model, queries = fitted
-        attacked = attack_hdc_model(
+        attacked, _ = attack(
             model, 0.15, "random", np.random.default_rng(0)
         )
         ref = attacked.predict(queries[:10])

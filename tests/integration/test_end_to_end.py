@@ -8,14 +8,14 @@ from repro.baselines.mlp import MLPClassifier
 from repro.core.pipeline import RecoveryExperiment
 from repro.core.recovery import RecoveryConfig
 from repro.datasets import load
-from repro.faults.bitflip import attack_hdc_model
+from repro.faults.api import attack
 from repro.faults.models import StuckAtFaultMap
 
 
 @pytest.fixture(scope="module")
 def experiment():
     data = load("ucihar", max_train=500, max_test=500)
-    return RecoveryExperiment(data, dim=4_000, epochs=0, stream_fraction=0.6,
+    return RecoveryExperiment(dataset=data, dim=4_000, epochs=0, stream_fraction=0.6,
                               seed=0)
 
 
@@ -59,7 +59,7 @@ class TestRobustnessStory:
         """The paper's Table 4 claim at full D=10k with a real stream."""
         data = load("ucihar", max_train=800, max_test=1200)
         experiment = RecoveryExperiment(
-            data, dim=10_000, epochs=0, stream_fraction=0.6, seed=0
+            dataset=data, dim=10_000, epochs=0, stream_fraction=0.6, seed=0
         )
         without = np.mean([
             experiment.attack_only(0.10, seed=s) for s in range(3)
@@ -83,7 +83,7 @@ class TestRobustnessStory:
         data = load("pecan", max_train=300, max_test=300)
 
         def run():
-            exp = RecoveryExperiment(data, dim=2_000, epochs=0,
+            exp = RecoveryExperiment(dataset=data, dim=2_000, epochs=0,
                                      stream_fraction=0.5, seed=3)
             out = exp.attack_and_recover(0.08, passes=2, seed=4)
             return out.recovered_accuracy
@@ -124,10 +124,10 @@ class TestAttackInvariants:
         losses = {
             mode: np.mean([
                 float(np.mean(
-                    attack_hdc_model(
+                    attack(
                         experiment.model, 0.15, mode,
                         np.random.default_rng(s)
-                    ).predict(experiment.eval_queries)
+                    )[0].predict(experiment.eval_queries)
                     == experiment.eval_labels
                 ))
                 for s in range(4)

@@ -1,0 +1,182 @@
+"""Tests for the metrics registry and its no-op default."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.core.recovery import RecoveryConfig, RobustHDRecovery
+from repro.datasets.synthetic import make_prototype_classification
+from repro.faults.api import attack
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    current,
+    disable_metrics,
+    enable_metrics,
+    use_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    yield
+    disable_metrics()
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 6.0
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == 2.0
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(101):
+            h.observe(float(v))
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 50.0
+        assert h.percentile(100) == 100.0
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.summary()["min"] == 0.0
+
+    def test_sample_cap_keeps_exact_totals(self):
+        h = Histogram()
+        for _ in range(5000):
+            h.observe(1.0)
+        assert h.count == 5000
+        assert h.total == 5000.0
+        assert len(h.samples) <= 4096
+
+
+class TestRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("missing") == 0
+
+    def test_gauge_keeps_latest(self):
+        m = MetricsRegistry()
+        m.gauge("g", 1.0)
+        m.gauge("g", 2.5)
+        assert m.snapshot()["gauges"]["g"] == 2.5
+
+    def test_timer_records_duration(self):
+        m = MetricsRegistry()
+        with m.timer("t"):
+            pass
+        s = m.snapshot()["histograms"]["t"]
+        assert s["count"] == 1
+        assert s["sum"] >= 0.0
+
+    def test_render_and_reset(self):
+        m = MetricsRegistry()
+        m.inc("c", 2)
+        m.gauge("g", 1.0)
+        m.observe("h", 0.5)
+        text = m.render()
+        assert "Counters" in text and "Gauges" in text and "Histograms" in text
+        m.reset()
+        assert m.render() == "(no metrics recorded)"
+
+
+class TestInstallation:
+    def test_default_is_noop(self):
+        assert isinstance(current(), NullMetrics)
+        assert not current().enabled
+
+    def test_null_records_nothing(self):
+        m = NullMetrics()
+        m.inc("a")
+        m.gauge("b", 1.0)
+        m.observe("c", 2.0)
+        with m.timer("d"):
+            pass
+        snap = m.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_enable_disable(self):
+        registry = enable_metrics()
+        assert current() is registry
+        assert registry.enabled
+        disable_metrics()
+        assert isinstance(current(), NullMetrics)
+
+    def test_use_metrics_scopes(self):
+        registry = MetricsRegistry()
+        before = current()
+        with use_metrics(registry) as m:
+            assert m is registry
+            assert current() is registry
+        assert current() is before
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    task = make_prototype_classification(
+        "toy", num_features=40, num_classes=4, num_train=200, num_test=160,
+        boundary_fraction=0.4, boundary_depth=(0.25, 0.45), seed=11,
+    )
+    encoder = Encoder(num_features=40, dim=1_000, seed=5)
+    clf = HDCClassifier(encoder, num_classes=4, epochs=0).fit(
+        task.train_x, task.train_y
+    )
+    return clf.model, encoder.encode_batch(task.test_x)
+
+
+class TestBitIdentical:
+    """Metrics on vs off must not change a single bit of any seeded run."""
+
+    def _run(self, model, queries):
+        attacked, _ = attack(model, 0.10, "random", np.random.default_rng(2))
+        recovery = RobustHDRecovery(
+            attacked, RecoveryConfig(num_chunks=10), seed=3
+        )
+        preds = recovery.process(queries)
+        return preds, attacked.class_hv.copy(), recovery.stats
+
+    def test_recovery_run_identical(self, fitted):
+        model, queries = fitted
+        disable_metrics()
+        preds_off, hv_off, stats_off = self._run(model, queries)
+        with use_metrics(MetricsRegistry()) as registry:
+            preds_on, hv_on, stats_on = self._run(model, queries)
+        assert (preds_on == preds_off).all()
+        assert (hv_on == hv_off).all()
+        assert stats_on == stats_off
+        # ... and collection actually happened on the instrumented run.
+        assert registry.counter("recovery.queries") == queries.shape[0]
+        assert registry.counter("model.queries_served") > 0
+
+    def test_instrumented_counts(self, fitted):
+        model, queries = fitted
+        with use_metrics(MetricsRegistry()) as registry:
+            model.predict(queries)
+        assert registry.counter("model.queries_served") == queries.shape[0]
+        assert (
+            registry.counter("model.similarity_batches_packed")
+            + registry.counter("model.similarity_batches_float")
+            == 1
+        )
+
+    def test_injection_counts(self, fitted):
+        model, _ = fitted
+        with use_metrics(MetricsRegistry()) as registry:
+            _, mask = attack(model, 0.05, "random", np.random.default_rng(0))
+        assert registry.counter("faults.injections") == 1
+        assert registry.counter("faults.bits_injected") == mask.num_faults

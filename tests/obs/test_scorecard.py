@@ -1,0 +1,162 @@
+"""Tests for the ground-truth fault scorecard."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+from repro.core.pipeline import RecoveryExperiment
+from repro.datasets.synthetic import make_prototype_classification
+from repro.faults.api import FaultMask
+from repro.obs.scorecard import fault_scorecard
+from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace
+
+
+def trace_with_flags(flags, num_chunks):
+    """One-event trace whose detector flagged exactly ``flags`` (k, m)."""
+    flags = np.asarray(flags, dtype=np.int64)
+    return RecoveryTrace(events=[RecoveryBlockEvent(
+        block_index=0,
+        queries=1,
+        trusted=1,
+        confidences=(1.0,),
+        trusted_per_class=tuple(
+            [1] + [0] * (flags.shape[0] - 1)
+        ),
+        num_chunks=num_chunks,
+        chunk_flags=tuple(tuple(int(v) for v in row) for row in flags),
+        chunk_repair_bits=tuple(
+            tuple(0 for _ in row) for row in flags
+        ),
+        bits_substituted=0,
+        model_version_before=0,
+        model_version_after=0,
+    )])
+
+
+class TestHandBuilt:
+    """P/R/F1 against a hand-constructed mask with known overlap."""
+
+    def test_known_precision_recall(self):
+        # 2 classes x 4 chunks of 8 dims each (dim=32, 1 bit per element).
+        # Faulty cells (ground truth): (0,0), (0,1), (1,2).
+        mask = FaultMask(
+            bit_indices=np.array([0, 9, 32 + 16]),  # dims 0, 9 / class 1 dim 16
+            shape=(2, 32),
+            bits=1,
+        )
+        truth = mask.faulty_chunks(4)
+        assert (truth == [[True, True, False, False],
+                          [False, False, True, False]]).all()
+
+        # Detector flagged (0,0) [hit], (0,2) [false alarm], (1,2) [hit];
+        # missed (0,1).
+        trace = trace_with_flags(
+            [[1, 0, 1, 0], [0, 0, 1, 0]], num_chunks=4
+        )
+        card = fault_scorecard(trace, mask)
+
+        assert card.overall.true_positives == 2
+        assert card.overall.false_positives == 1
+        assert card.overall.false_negatives == 1
+        assert card.overall.precision == pytest.approx(2 / 3)
+        assert card.overall.recall == pytest.approx(2 / 3)
+        assert card.overall.f1 == pytest.approx(2 / 3)
+
+        per = {s.label: s for s in card.per_class}
+        assert per["0"].precision == pytest.approx(1 / 2)
+        assert per["0"].recall == pytest.approx(1 / 2)
+        assert per["1"].precision == pytest.approx(1.0)
+        assert per["1"].recall == pytest.approx(1.0)
+        assert card.injected_bits == 3
+
+    def test_perfect_detection(self):
+        mask = FaultMask(bit_indices=np.array([0, 40]), shape=(2, 32), bits=1)
+        trace = trace_with_flags(
+            [[1, 0, 0, 0], [0, 1, 0, 0]], num_chunks=4
+        )
+        card = fault_scorecard(trace, mask)
+        assert card.overall.precision == 1.0
+        assert card.overall.recall == 1.0
+        assert card.overall.f1 == 1.0
+
+    def test_empty_trace_all_false_negatives(self):
+        mask = FaultMask(bit_indices=np.array([0, 40]), shape=(2, 32), bits=1)
+        card = fault_scorecard(RecoveryTrace(), mask, num_chunks=4)
+        assert card.overall.true_positives == 0
+        assert card.overall.false_negatives == 2
+        assert card.overall.recall == 0.0
+
+    def test_empty_trace_needs_num_chunks(self):
+        mask = FaultMask(bit_indices=np.array([0]), shape=(2, 32), bits=1)
+        with pytest.raises(ValueError, match="num_chunks"):
+            fault_scorecard(RecoveryTrace(), mask)
+
+    def test_repair_efficacy(self):
+        clean = HDCModel(
+            class_hv=np.zeros((2, 32), dtype=np.uint8), bits=1
+        )
+        mask = FaultMask(
+            bit_indices=np.array([0, 1, 40]), shape=(2, 32), bits=1
+        )
+        attacked = mask.applied_to(clean)
+        # Repair exactly one of the three injected flips.
+        with attacked.writable() as hv:
+            hv[0, 0] = 0
+        trace = trace_with_flags(
+            [[1, 0, 0, 0], [0, 1, 0, 0]], num_chunks=4
+        )
+        card = fault_scorecard(
+            trace, mask, clean_model=clean, recovered_model=attacked
+        )
+        assert card.repaired_bits == 1
+        assert card.residual_bits == 2
+        assert card.repair_efficacy == pytest.approx(1 / 3)
+
+    def test_render(self):
+        mask = FaultMask(bit_indices=np.array([0]), shape=(2, 32), bits=1)
+        trace = trace_with_flags(
+            [[1, 0, 0, 0], [0, 0, 0, 0]], num_chunks=4
+        )
+        text = fault_scorecard(trace, mask).render()
+        assert "Fault scorecard" in text
+        assert "precision" in text and "recall" in text and "f1" in text
+
+
+class TestEndToEnd:
+    def test_pipeline_outcome_carries_scorecard(self):
+        task = make_prototype_classification(
+            "toy", num_features=40, num_classes=4, num_train=200,
+            num_test=160, boundary_fraction=0.4,
+            boundary_depth=(0.25, 0.45), seed=11,
+        )
+        experiment = RecoveryExperiment(
+            dataset=task, dim=1_000, epochs=0, stream_fraction=0.5, seed=0
+        )
+        outcome = experiment.attack_and_recover(0.08, passes=2, seed=1)
+        assert outcome.fault_mask is not None
+        assert outcome.trace is not None and len(outcome.trace) > 0
+        card = outcome.scorecard
+        assert card is not None
+        assert card.injected_bits == outcome.fault_mask.num_faults
+        assert 0.0 <= card.overall.recall <= 1.0
+        assert card.repair_efficacy is not None
+        assert 0.0 <= card.repair_efficacy <= 1.0
+
+    def test_scorecard_reproducible_from_exported_jsonl(self, tmp_path):
+        """Acceptance: P/R/F1 reproduce from the emitted JSONL trace."""
+        task = make_prototype_classification(
+            "toy", num_features=40, num_classes=4, num_train=200,
+            num_test=160, boundary_fraction=0.4,
+            boundary_depth=(0.25, 0.45), seed=11,
+        )
+        experiment = RecoveryExperiment(
+            dataset=task, dim=1_000, epochs=0, stream_fraction=0.5, seed=0
+        )
+        outcome = experiment.attack_and_recover(0.08, passes=2, seed=1)
+        path = outcome.trace.write_jsonl(tmp_path / "trace.jsonl")
+        reloaded = RecoveryTrace.read_jsonl(path)
+        card = fault_scorecard(reloaded, outcome.fault_mask)
+        assert card.overall == outcome.scorecard.overall
+        assert card.per_class == outcome.scorecard.per_class
+        assert "overall" in card.render()
