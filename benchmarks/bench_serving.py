@@ -39,6 +39,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.chunks import chunk_similarities, chunk_similarities_batch
+from repro.core.encoder import Encoder
 from repro.core.model import HDCModel
 from repro.core.packed import float_backend
 from repro.core.recovery import RecoveryConfig, RobustHDRecovery
@@ -184,6 +185,10 @@ def run(quick: bool) -> dict:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "hardware_popcount": hasattr(np, "bitwise_count"),
+        # Resolved encode block budget (field > REPRO_ENCODE_BLOCK_BYTES env
+        # > default); shape-independent, reported for the perf trajectory.
+        "encode_block_bytes": Encoder(num_features=1, dim=64,
+                                      levels=2, seed=0).block_bytes(),
         "predict": bench_predict(**predict_kw),
         "detect_word_aligned": bench_detect(**detect_kw),
         "detect_einsum_fallback": bench_detect(**fallback_kw),

@@ -1,12 +1,18 @@
 """RobustHD core: hypervector algebra, encoding, learning, recovery."""
 
 from repro.core.confidence import confident_mask, prediction_confidence, softmax
-from repro.core.encoder import Encoder, quantize_features
+from repro.core.encoder import (
+    Encoder,
+    PackedCodebook,
+    clear_codebook_cache,
+    quantize_features,
+)
 from repro.core.io import load_classifier, save_classifier
 from repro.core.itemmemory import ItemMemory
 from repro.core.hypervector import (
     bind,
     bundle,
+    class_bundle_counts,
     hamming_distance,
     hamming_similarity,
     level_hypervectors,
@@ -39,6 +45,7 @@ from repro.core.recovery import (
 __all__ = [
     "Encoder",
     "ItemMemory",
+    "PackedCodebook",
     "PackedHypervectors",
     "PackedModel",
     "SequenceEncoder",
@@ -49,6 +56,8 @@ __all__ = [
     "RobustHDRecovery",
     "bind",
     "bundle",
+    "class_bundle_counts",
+    "clear_codebook_cache",
     "confident_mask",
     "float_backend",
     "hamming_distance",

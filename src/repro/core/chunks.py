@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.core.hypervector import as_chunks
 from repro.core.model import HDCModel, _centered_weights, _is_binary
-from repro.core.packed import _pack_bits, packed_backend_enabled, packed_popcount
+from repro.core.packed import (
+    PackedHypervectors,
+    _pack_bits,
+    packed_backend_enabled,
+    packed_popcount,
+    unpack,
+)
 from repro.obs.metrics import current as _metrics
 
 __all__ = [
@@ -39,25 +45,34 @@ __all__ = [
 
 
 def _packed_chunk_similarities(
-    model: HDCModel, queries: np.ndarray, num_chunks: int
+    model: HDCModel,
+    queries: np.ndarray | PackedHypervectors,
+    num_chunks: int,
 ) -> np.ndarray | None:
     """Per-chunk similarities ``(b, m, k)`` via XOR+popcount, or None.
 
-    Requires a 1-bit model, binary integer queries and word-aligned
-    chunks; returns None when any condition fails so callers can fall
-    back to the float einsum.
+    Requires a 1-bit model, binary integer (or already packed) queries
+    and word-aligned chunks; returns None when any condition fails so
+    callers can fall back to the float einsum.  Packed queries reuse
+    their words directly — no repack.
     """
     if model.bits != 1 or not packed_backend_enabled():
         return None
     model_words = model.packed().chunk_words(num_chunks)  # (k, m, w)
-    if model_words is None or not _is_binary(queries):
+    if model_words is None:
+        return None
+    if isinstance(queries, PackedHypervectors):
+        word_rows = queries.words
+    elif _is_binary(queries):
+        word_rows = _pack_bits(queries.astype(np.uint8, copy=False))
+    else:
         return None
     chunk_size = model.dim // num_chunks
-    query_words = _pack_bits(queries.astype(np.uint8, copy=False)).reshape(
-        queries.shape[0], num_chunks, -1
+    query_words = word_rows.reshape(
+        word_rows.shape[0], num_chunks, -1
     )  # (b, m, w)
     k = model_words.shape[0]
-    sims = np.empty((queries.shape[0], num_chunks, k), dtype=np.float64)
+    sims = np.empty((word_rows.shape[0], num_chunks, k), dtype=np.float64)
     for c in range(k):
         distances = packed_popcount(
             np.bitwise_xor(query_words, model_words[c])
@@ -84,14 +99,33 @@ def chunk_similarities(
 
 
 def chunk_similarities_batch(
-    model: HDCModel, queries: np.ndarray, num_chunks: int
+    model: HDCModel,
+    queries: np.ndarray | PackedHypervectors,
+    num_chunks: int,
 ) -> np.ndarray:
     """Per-chunk similarities for a query batch, shape ``(b, m, k)``.
 
     The batched form of :func:`chunk_similarities`; one packed
     XOR+popcount sweep (or one einsum on the fallback path) replaces a
-    Python loop over queries.
+    Python loop over queries.  Accepts packed queries
+    (:class:`~repro.core.packed.PackedHypervectors`): word-aligned
+    geometries consume the words as-is; odd geometries unpack and take
+    the einsum, so results never depend on the input form.
     """
+    if isinstance(queries, PackedHypervectors):
+        if queries.dim != model.dim:
+            raise ValueError(
+                f"query dim {queries.dim} != model dim {model.dim}"
+            )
+        if model.dim % num_chunks != 0:
+            as_chunks(np.empty(model.dim, dtype=np.uint8), num_chunks)
+        metrics = _metrics()
+        fast = _packed_chunk_similarities(model, queries, num_chunks)
+        if fast is not None:
+            if metrics.enabled:
+                metrics.inc("chunks.detect_batches_packed")
+            return fast
+        queries = unpack(queries)
     queries = np.atleast_2d(queries)
     if queries.shape[1] != model.dim:
         raise ValueError(
@@ -150,7 +184,7 @@ def detect_faulty_chunks(
 
 def detect_faulty_chunks_batch(
     model: HDCModel,
-    queries: np.ndarray,
+    queries: np.ndarray | PackedHypervectors,
     predicted: np.ndarray,
     num_chunks: int,
     margin: float = 0.02,
@@ -159,13 +193,16 @@ def detect_faulty_chunks_batch(
 
     ``predicted[i]`` is the trusted global label of ``queries[i]``; the
     per-chunk vote of query ``i`` is compared against it exactly as in
-    :func:`detect_faulty_chunks`.
+    :func:`detect_faulty_chunks`.  Queries may be uint8 bits or packed
+    words (see :func:`chunk_similarities_batch`).
     """
-    queries = np.atleast_2d(queries)
+    if not isinstance(queries, PackedHypervectors):
+        queries = np.atleast_2d(queries)
+    num_queries = len(queries)
     predicted = np.asarray(predicted, dtype=np.int64)
-    if predicted.ndim != 1 or predicted.shape[0] != queries.shape[0]:
+    if predicted.ndim != 1 or predicted.shape[0] != num_queries:
         raise ValueError(
-            f"predicted must be (b,) labels for {queries.shape[0]} queries"
+            f"predicted must be (b,) labels for {num_queries} queries"
         )
     if predicted.size and (
         predicted.min() < 0 or predicted.max() >= model.num_classes
@@ -178,12 +215,12 @@ def detect_faulty_chunks_batch(
         raise ValueError(f"margin must be >= 0, got {margin}")
     sims = chunk_similarities_batch(model, queries, num_chunks)  # (b, m, k)
     best = sims.max(axis=2)  # (b, m)
-    own = sims[np.arange(queries.shape[0]), :, predicted]  # (b, m)
+    own = sims[np.arange(num_queries), :, predicted]  # (b, m)
     chunk_size = model.dim // num_chunks
     faulty = (best - own) > margin * chunk_size
     metrics = _metrics()
     if metrics.enabled:
-        metrics.inc("chunks.queries_checked", queries.shape[0])
+        metrics.inc("chunks.queries_checked", num_queries)
         metrics.inc("chunks.flagged", int(np.count_nonzero(faulty)))
     return faulty
 

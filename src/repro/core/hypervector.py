@@ -52,6 +52,7 @@ __all__ = [
     "bundle",
     "bundle_counts",
     "binarize_counts",
+    "class_bundle_counts",
     "hamming_distance",
     "hamming_similarity",
     "normalized_hamming_similarity",
@@ -204,6 +205,48 @@ def bundle(hvs: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarra
     """
     counts = bundle_counts(hvs)
     return binarize_counts(counts, hvs.shape[0], rng)
+
+
+def class_bundle_counts(
+    hvs: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int,
+    dtype: np.dtype | type = np.int64,
+) -> np.ndarray:
+    """Per-class *bipolar* accumulators of a labelled hypervector batch.
+
+    Row ``c`` of the ``(num_classes, D)`` result is
+    ``sum over {i : labels[i] == c} of (2 * hvs[i] - 1)`` — the signed
+    bundle the classifier trains on.  Computed as one masked ones-count
+    per class (``2 * ones - count``) rather than a scattered
+    ``np.add.at``, which is the difference between a memory-bandwidth
+    sweep and a per-element scatter loop.  ``dtype`` selects the
+    accumulator width: ``int64`` for in-memory training, ``int32`` for
+    the classifier's streaming ``partial_fit`` (a dimension would need
+    >2**31 samples of imbalance to overflow).
+    """
+    hvs = np.atleast_2d(np.asarray(hvs))
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1 or labels.shape[0] != hvs.shape[0]:
+        raise ValueError(
+            f"labels must be ({hvs.shape[0]},) to match the batch, got "
+            f"shape {labels.shape}"
+        )
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    acc = np.zeros((num_classes, hvs.shape[1]), dtype=dtype)
+    for c in range(num_classes):
+        mask = labels == c
+        count = int(np.count_nonzero(mask))
+        if count:
+            ones = hvs[mask].sum(axis=0, dtype=dtype)
+            acc[c] = 2 * ones - acc.dtype.type(count)
+    return acc
 
 
 def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray | np.int64:

@@ -32,10 +32,32 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.encoder import Encoder
-from repro.core.packed import PackedModel, _pack_bits, packed_backend_enabled
+from repro.core.hypervector import class_bundle_counts
+from repro.core.packed import (
+    PackedHypervectors,
+    PackedModel,
+    _pack_bits,
+    packed_backend_enabled,
+    unpack,
+)
 from repro.obs.metrics import current as _metrics
 
 __all__ = ["HDCModel", "HDCClassifier", "quantize_accumulator"]
+
+# Samples per GEMM block in the vectorised perceptron epoch.  Large enough
+# that the (block, k) similarity GEMM amortises Python overhead, small
+# enough that the rank-1 patch-forward corrections after a misprediction
+# touch a short tail (see HDCClassifier.fit_encoded).  64 measured fastest
+# on the serving benchmark workload (mispredictions make patch cost scale
+# with the block tail, so bigger is not better).
+_FIT_BLOCK = 64
+
+
+def _as_unpacked(encoded: np.ndarray | PackedHypervectors) -> np.ndarray:
+    """Training-side normalisation: packed batches become uint8 bits."""
+    if isinstance(encoded, PackedHypervectors):
+        return np.atleast_2d(unpack(encoded))
+    return np.asarray(encoded)
 
 
 def quantize_accumulator(acc: np.ndarray, bits: int) -> np.ndarray:
@@ -219,7 +241,9 @@ class HDCModel:
     # Inference
     # ------------------------------------------------------------------
 
-    def similarities(self, queries: np.ndarray) -> np.ndarray:
+    def similarities(
+        self, queries: np.ndarray | PackedHypervectors
+    ) -> np.ndarray:
         """Similarity of binary queries ``(b, D)`` to every class: ``(b, k)``.
 
         For a 1-bit model this is an affine rescaling of Hamming
@@ -228,7 +252,26 @@ class HDCModel:
         to the packed XOR+popcount engine, which returns *exactly*
         ``D/2 - hamming`` — bit-identical to the float64 dot product
         (every term is a multiple of 0.5 and the sums are exact).
+
+        Queries may also arrive already packed
+        (:class:`~repro.core.packed.PackedHypervectors`, e.g. from
+        :meth:`Encoder.encode_packed`): a 1-bit model consumes the words
+        directly — no pack *or* unpack on the serving path; other
+        precisions (or a disabled packed backend) unpack and fall through
+        to the reference, so results never depend on the input form.
         """
+        if isinstance(queries, PackedHypervectors):
+            if queries.dim != self.dim:
+                raise ValueError(
+                    f"query dim {queries.dim} != model dim {self.dim}"
+                )
+            if self.bits == 1 and packed_backend_enabled():
+                metrics = _metrics()
+                if metrics.enabled:
+                    metrics.inc("model.similarity_batches_packed")
+                    metrics.inc("model.queries_served", len(queries))
+                return self.dim / 2.0 - self.packed().distances(queries.words)
+            queries = unpack(queries)
         queries = np.atleast_2d(queries)
         if queries.shape[1] != self.dim:
             raise ValueError(
@@ -250,8 +293,14 @@ class HDCModel:
         weights = _centered_weights(self.class_hv, self.bits)  # (k, D)
         return bipolar @ weights.T
 
-    def predict(self, queries: np.ndarray) -> np.ndarray:
-        """Predicted class labels for binary queries ``(b, D)``."""
+    def predict(
+        self, queries: np.ndarray | PackedHypervectors
+    ) -> np.ndarray:
+        """Predicted class labels for binary queries ``(b, D)``.
+
+        Accepts uint8 bit arrays or already-packed words (see
+        :meth:`similarities`); labels are identical either way.
+        """
         return np.argmax(self.similarities(queries), axis=1)
 
     def predict_packed(self, queries: np.ndarray) -> np.ndarray:
@@ -320,49 +369,128 @@ class HDCClassifier:
         self.seed = seed
         self.model: HDCModel | None = None
         self._acc: np.ndarray | None = None
+        self._stream_acc: np.ndarray | None = None
+        self._stream_samples: int = 0
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "HDCClassifier":
         """Train on raw features ``(n_samples, n_features)`` and labels."""
         encoded = self.encoder.encode_batch(features)
         return self.fit_encoded(encoded, labels)
 
-    def fit_encoded(
-        self, encoded: np.ndarray, labels: np.ndarray
-    ) -> "HDCClassifier":
-        """Train from pre-encoded hypervectors ``(n_samples, D)``."""
+    def _validated_labels(self, count: int, labels: np.ndarray) -> np.ndarray:
         labels = np.asarray(labels, dtype=np.int64)
-        if encoded.shape[0] != labels.shape[0]:
-            raise ValueError(
-                f"{encoded.shape[0]} samples but {labels.shape[0]} labels"
-            )
+        if count != labels.shape[0]:
+            raise ValueError(f"{count} samples but {labels.shape[0]} labels")
         if labels.min(initial=0) < 0 or labels.max(initial=0) >= self.num_classes:
             raise ValueError(
                 f"labels must lie in [0, {self.num_classes}), got range "
                 f"[{labels.min()}, {labels.max()}]"
             )
-        dim = encoded.shape[1]
-        bipolar = encoded.astype(np.int64) * 2 - 1  # (n, D) in {-1, +1}
-        acc = np.zeros((self.num_classes, dim), dtype=np.int64)
-        np.add.at(acc, labels, bipolar)
+        return labels
 
-        rng = np.random.default_rng(self.seed)
-        for _ in range(self.epochs):
-            order = rng.permutation(encoded.shape[0])
-            wrong = 0
-            for i in order:
-                sims = acc @ bipolar[i]
-                pred = int(np.argmax(sims))
-                if pred != labels[i]:
-                    acc[labels[i]] += bipolar[i]
-                    acc[pred] -= bipolar[i]
-                    wrong += 1
-            if wrong == 0:
-                break
+    def fit_encoded(
+        self, encoded: np.ndarray | PackedHypervectors, labels: np.ndarray
+    ) -> "HDCClassifier":
+        """Train from pre-encoded hypervectors ``(n_samples, D)``.
+
+        One bundling pass builds the per-class accumulators, then
+        ``epochs`` perceptron passes correct them on mispredicted samples.
+        The perceptron is *vectorised but order-exact*: each shuffled
+        epoch is swept in GEMM blocks of ``_FIT_BLOCK`` samples, and when
+        sample ``j`` in a block is mispredicted its rank-1 accumulator
+        update is *patched forward* into the two affected similarity
+        columns of the block's remaining rows (one short matvec) instead
+        of recomputing the block.  Every similarity any sample sees is
+        exactly what the per-sample reference loop would have computed —
+        all values are integer-valued float64 (``|sims| << 2**53``), so
+        argmax and tie behaviour are identical and the trained
+        accumulators are bit-identical (pinned by
+        ``tests/core/test_model.py``).
+
+        Accepts packed batches (``Encoder.encode_packed`` output); the
+        bits are unpacked once for training, which needs them bipolar.
+        """
+        encoded = _as_unpacked(encoded)
+        labels = self._validated_labels(encoded.shape[0], labels)
+        metrics = _metrics()
+        with metrics.timer("model.fit_encoded"):
+            # int8 bipolar halves memory traffic 8x vs the former int64
+            # matrix; blocks are converted to float64 once at GEMM time.
+            bipolar = (encoded.astype(np.int8) << 1) - 1  # (n, D) in {-1, +1}
+            acc = class_bundle_counts(encoded, labels, self.num_classes)
+
+            rng = np.random.default_rng(self.seed)
+            epochs_run = 0
+            for _ in range(self.epochs):
+                wrong = _perceptron_epoch(acc, bipolar, labels, rng)
+                epochs_run += 1
+                if wrong == 0:
+                    break
+        if metrics.enabled:
+            metrics.inc("model.fit_runs")
+            metrics.inc("model.fit_epochs", epochs_run)
+            metrics.inc("model.fit_samples", encoded.shape[0])
 
         self._acc = acc
+        self._stream_acc = None
+        self._stream_samples = 0
         self.model = HDCModel(
             class_hv=quantize_accumulator(acc, self.bits), bits=self.bits
         )
+        return self
+
+    def partial_fit(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> "HDCClassifier":
+        """Stream one chunk of raw features into the running bundle."""
+        encoded = self.encoder.encode_batch(np.atleast_2d(features))
+        return self.partial_fit_encoded(encoded, labels)
+
+    def partial_fit_encoded(
+        self, encoded: np.ndarray | PackedHypervectors, labels: np.ndarray
+    ) -> "HDCClassifier":
+        """Stream one chunk of pre-encoded samples into the running bundle.
+
+        Single-pass training for datasets that don't fit in memory: each
+        call folds the chunk's per-class bipolar sums into persistent
+        ``int32`` accumulators (``num_classes * D * 4`` bytes — the only
+        training state, independent of dataset size) and refreshes
+        :attr:`model`.  Seeing every sample exactly once yields the same
+        accumulators as a single ``fit_encoded`` bundling pass with
+        ``epochs=0`` over the concatenated data, in any chunk order
+        (addition commutes); there is no perceptron correction, which is
+        the price of never holding the data.  Prefer :meth:`fit_encoded`
+        whenever the encoded matrix fits in memory — the retraining
+        epochs recover a few accuracy points.
+
+        Mixing with :meth:`fit` / :meth:`fit_encoded` resets the stream:
+        a full fit discards streaming state.
+        """
+        encoded = _as_unpacked(encoded)
+        labels = self._validated_labels(encoded.shape[0], labels)
+        metrics = _metrics()
+        with metrics.timer("model.partial_fit"):
+            chunk = class_bundle_counts(
+                encoded, labels, self.num_classes, dtype=np.int32
+            )
+            if self._stream_acc is None:
+                self._stream_acc = chunk
+            else:
+                if self._stream_acc.shape[1] != encoded.shape[1]:
+                    raise ValueError(
+                        f"dim {encoded.shape[1]} does not match the running "
+                        f"stream accumulator dim {self._stream_acc.shape[1]}"
+                    )
+                self._stream_acc += chunk
+            self._stream_samples += encoded.shape[0]
+            self._acc = self._stream_acc
+            self.model = HDCModel(
+                class_hv=quantize_accumulator(self._stream_acc, self.bits),
+                bits=self.bits,
+            )
+        if metrics.enabled:
+            metrics.inc("model.partial_fit_batches")
+            metrics.inc("model.fit_samples", encoded.shape[0])
         return self
 
     def _require_model(self) -> HDCModel:
@@ -371,16 +499,99 @@ class HDCClassifier:
         return self.model
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Predict labels for raw features ``(n_samples, n_features)``."""
-        encoded = self.encoder.encode_batch(np.atleast_2d(features))
-        return self._require_model().predict(encoded)
+        """Predict labels for raw features ``(n_samples, n_features)``.
+
+        For a deployed 1-bit model the features are encoded straight into
+        packed words (:meth:`Encoder.encode_packed`) and served by
+        XOR+popcount — the query never exists in unpacked form.
+        """
+        model = self._require_model()
+        features = np.atleast_2d(features)
+        if model.bits == 1 and packed_backend_enabled():
+            return model.predict(self.encoder.encode_packed(features))
+        return model.predict(self.encoder.encode_batch(features))
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on raw features."""
         preds = self.predict(features)
         return float(np.mean(preds == np.asarray(labels)))
 
-    def score_encoded(self, encoded: np.ndarray, labels: np.ndarray) -> float:
-        """Classification accuracy on pre-encoded queries."""
+    def score_encoded(
+        self, encoded: np.ndarray | PackedHypervectors, labels: np.ndarray
+    ) -> float:
+        """Classification accuracy on pre-encoded (uint8 or packed) queries."""
         preds = self._require_model().predict(encoded)
         return float(np.mean(preds == np.asarray(labels)))
+
+
+def _perceptron_epoch(
+    acc: np.ndarray,
+    bipolar: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+) -> int:
+    """One order-exact vectorised perceptron pass; mutates ``acc`` in place.
+
+    ``bipolar`` is the ``(n, D)`` int8 ±1 training matrix.  The shuffled
+    order is swept in blocks: one ``(block, k)`` GEMM prices every sample
+    in the block against the accumulators *as of the block's start*, and
+    each misprediction's rank-1 update is immediately patched into the two
+    affected similarity columns of the rows after it (``d = tail @ v``),
+    so later samples always see the post-update similarities — exactly
+    the values the per-sample reference computes.  Exactness: every
+    similarity is a sum of ``D`` terms in ``{-n..n}``, integer-valued and
+    far below 2**53, so float64 holds it exactly and argmax (with numpy's
+    first-max tie rule) matches the integer reference.
+
+    Returns the number of mispredicted samples.  Draws exactly one
+    ``rng.permutation`` — the same stream consumption as the reference
+    loop, so seeds line up.
+    """
+    order = rng.permutation(bipolar.shape[0])
+    accf = acc.astype(np.float64)
+    wrong = 0
+    for start in range(0, order.size, _FIT_BLOCK):
+        blk = order[start : start + _FIT_BLOCK]
+        blk_f = bipolar[blk].astype(np.float64)  # (b, D), one conversion
+        sims = blk_f @ accf.T  # (b, k)
+        blk_labels = labels[blk]
+        for j in range(blk.size):
+            pred = int(np.argmax(sims[j]))
+            label = int(blk_labels[j])
+            if pred == label:
+                continue
+            row = bipolar[blk[j]]
+            acc[label] += row
+            acc[pred] -= row
+            v = blk_f[j]
+            accf[label] += v
+            accf[pred] -= v
+            if j + 1 < blk.size:
+                d = blk_f[j + 1 :] @ v
+                sims[j + 1 :, label] += d
+                sims[j + 1 :, pred] -= d
+            wrong += 1
+    return wrong
+
+
+def _perceptron_epoch_reference(
+    acc: np.ndarray,
+    bipolar: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+) -> int:
+    """The per-sample perceptron pass the vectorised epoch must replay.
+
+    Kept as the ground truth for the pinned equivalence test
+    (``tests/core/test_model.py``); not used on any production path.
+    """
+    order = rng.permutation(bipolar.shape[0])
+    wrong = 0
+    for i in order:
+        sims = acc @ bipolar[i].astype(np.int64)
+        pred = int(np.argmax(sims))
+        if pred != labels[i]:
+            acc[labels[i]] += bipolar[i]
+            acc[pred] -= bipolar[i]
+            wrong += 1
+    return wrong

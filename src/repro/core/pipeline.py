@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
+from repro.core.packed import pack, packed_backend_enabled, unpack
 from repro.core.recovery import RecoveryConfig, RecoveryStats, RobustHDRecovery
 from repro.datasets.synthetic import Dataset
 from repro.faults.api import FaultMask, attack
@@ -109,15 +110,27 @@ class RecoveryExperiment:
             seed=seed,
         ).fit(dataset.train_x, dataset.train_y)
 
-        encoded_test = self.encoder.encode_batch(dataset.test_x)
+        # The test split is encoded straight into packed words; the public
+        # uint8 views (stream_queries / eval_queries) are unpacked from
+        # them once for compatibility and for the float A/B path, while
+        # scoring and the recovery stream consume the packed words with no
+        # further pack/unpack (when the packed backend is enabled the
+        # queries cross encode → predict → recover without ever being
+        # repacked).  Both forms are bit-identical by construction.
+        if packed_backend_enabled():
+            packed_test = self.encoder.encode_packed(dataset.test_x)
+            encoded_test = unpack(packed_test)
+        else:
+            encoded_test = self.encoder.encode_batch(dataset.test_x)
+            packed_test = pack(encoded_test)
         split = int(round(dataset.num_test * stream_fraction))
         split = min(max(split, 1), dataset.num_test - 1)
         self.stream_queries = encoded_test[:split]
         self.eval_queries = encoded_test[split:]
+        self._stream_packed = packed_test[:split]
+        self._eval_packed = packed_test[split:]
         self.eval_labels = np.asarray(dataset.test_y[split:], dtype=np.int64)
-        self.clean_accuracy = float(
-            np.mean(self.model.predict(self.eval_queries) == self.eval_labels)
-        )
+        self.clean_accuracy = self._score(self.model)
 
     @property
     def model(self) -> HDCModel:
@@ -126,7 +139,12 @@ class RecoveryExperiment:
         return model
 
     def _score(self, model: HDCModel) -> float:
-        return float(np.mean(model.predict(self.eval_queries) == self.eval_labels))
+        queries = (
+            self._eval_packed
+            if packed_backend_enabled()
+            else self.eval_queries
+        )
+        return float(np.mean(model.predict(queries) == self.eval_labels))
 
     def attack_only(
         self,
@@ -187,7 +205,12 @@ class RecoveryExperiment:
             order_rng = np.random.default_rng(seed + 2)
             for _ in range(passes):
                 order = order_rng.permutation(self.stream_queries.shape[0])
-                recovery.process(self.stream_queries[order])
+                stream = (
+                    self._stream_packed[order]
+                    if packed_backend_enabled()
+                    else self.stream_queries[order]
+                )
+                recovery.process(stream)
                 accuracy_trace.append(self._score(attacked))
         scorecard = fault_scorecard(
             recovery.trace,

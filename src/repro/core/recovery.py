@@ -38,6 +38,7 @@ from repro.core.chunks import detect_faulty_chunks_batch
 from repro.core.confidence import prediction_confidence
 from repro.core.hypervector import as_chunks
 from repro.core.model import HDCModel
+from repro.core.packed import PackedHypervectors, unpack
 from repro.obs.metrics import current as _metrics
 from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace, _as_nested_tuple
 
@@ -239,7 +240,7 @@ def recover_step(
 
 def recover_block(
     model: HDCModel,
-    queries: np.ndarray,
+    queries: np.ndarray | PackedHypervectors,
     config: RecoveryConfig,
     rng: np.random.Generator,
     stats: RecoveryStats | None = None,
@@ -257,6 +258,14 @@ def recover_block(
     model writes are rare and the whole block runs as a handful of
     XOR+popcount sweeps.
 
+    Queries may arrive as uint8 bit rows or already packed
+    (:class:`~repro.core.packed.PackedHypervectors`, the
+    ``Encoder.encode_packed`` output).  Packed streams feed the gate and
+    the detector word-for-word — nothing is repacked — and only the rare
+    trusted query that actually triggers a substitution is unpacked (the
+    repair writes individual bits into the uint8 model tensor).  Results
+    are bit-identical either way.
+
     If a ``trace`` is supplied, one
     :class:`~repro.obs.trace.RecoveryBlockEvent` is appended per call.
     Neither stats, trace, nor metrics recording ever draws from ``rng``,
@@ -269,11 +278,15 @@ def recover_block(
             "recovery requires a binary (1-bit) model; "
             f"got bits={model.bits}"
         )
-    queries = np.atleast_2d(queries)
-    if queries.shape[1] != model.dim:
+    packed_input = isinstance(queries, PackedHypervectors)
+    if not packed_input:
+        queries = np.atleast_2d(queries)
+    query_dim = queries.dim if packed_input else queries.shape[1]
+    if query_dim != model.dim:
         raise ValueError(
-            f"queries must have dim {model.dim}, got {queries.shape[1]}"
+            f"queries must have dim {model.dim}, got {query_dim}"
         )
+    num_queries = len(queries)
     metrics = _metrics()
     version_before = model.version
     total_trusted = 0
@@ -286,10 +299,10 @@ def recover_block(
             (model.num_classes, config.num_chunks), dtype=np.int64
         )
         ev_chunk_repair_bits = np.zeros_like(ev_chunk_flags)
-    out = np.empty(queries.shape[0], dtype=np.int64)
+    out = np.empty(num_queries, dtype=np.int64)
     with metrics.timer("recovery.recover_block"):
         start = 0
-        while start < queries.shape[0]:
+        while start < num_queries:
             block = queries[start:]
             preds, conf = _gated_predictions(model, block, config)
             trusted = conf >= config.confidence_threshold
@@ -304,7 +317,7 @@ def recover_block(
                 )  # (t, m)
             mutated = False
             next_trusted = 0  # cursor into trusted_idx / faulty_masks
-            for j in range(block.shape[0]):
+            for j in range(len(block)):
                 if stats is not None:
                     stats.queries_seen += 1
                     stats.confidence_trace.append(float(conf[j]))
@@ -327,8 +340,11 @@ def recover_block(
                     ev_chunk_flags[preds[j]] += faulty
                 if not flagged:
                     continue
+                query_bits = (
+                    unpack(block[j]) if packed_input else block[j]
+                )
                 per_chunk = _substitute_faulty(
-                    model, block[j], int(preds[j]), faulty, config, rng
+                    model, query_bits, int(preds[j]), faulty, config, rng
                 )
                 substituted = int(per_chunk.sum())
                 total_bits += substituted
@@ -344,11 +360,11 @@ def recover_block(
                 mutated = True
                 break
             if not mutated:
-                start = queries.shape[0]
+                start = num_queries
     if trace is not None:
         trace.record(RecoveryBlockEvent(
             block_index=trace.next_block_index(),
-            queries=int(queries.shape[0]),
+            queries=num_queries,
             trusted=total_trusted,
             confidences=tuple(ev_confidences),
             trusted_per_class=tuple(int(t) for t in ev_trusted_per_class),
@@ -361,13 +377,13 @@ def recover_block(
         ))
     if metrics.enabled:
         metrics.inc("recovery.blocks")
-        metrics.inc("recovery.queries", int(queries.shape[0]))
+        metrics.inc("recovery.queries", num_queries)
         metrics.inc("recovery.queries_trusted", total_trusted)
         metrics.inc("recovery.chunks_flagged", total_flagged)
         metrics.inc("recovery.bits_substituted", total_bits)
         metrics.inc("recovery.model_writes", model.version - version_before)
         metrics.observe("recovery.block_trust_rate",
-                        total_trusted / max(1, queries.shape[0]))
+                        total_trusted / max(1, num_queries))
     return out
 
 
@@ -425,7 +441,9 @@ class RobustHDRecovery:
         """The most recent block event (``None`` before any block)."""
         return self.trace.last
 
-    def process(self, queries: np.ndarray) -> np.ndarray:
+    def process(
+        self, queries: np.ndarray | PackedHypervectors
+    ) -> np.ndarray:
         """Classify a batch of encoded queries ``(b, D)``, repairing as we go.
 
         Queries are processed sequentially — each repair changes the model
@@ -436,10 +454,17 @@ class RobustHDRecovery:
         the one-query-at-a-time loop (``block_size`` caps how much
         batched work a model write can invalidate; it never changes the
         results).
+
+        Accepts the packed stream ``Encoder.encode_packed`` emits — the
+        words flow through the gate and the detector unmodified (see
+        :func:`recover_block`), with bit-identical predictions and
+        repairs.
         """
-        queries = np.atleast_2d(queries)
-        preds = np.empty(queries.shape[0], dtype=np.int64)
-        for lo in range(0, queries.shape[0], self.block_size):
+        if not isinstance(queries, PackedHypervectors):
+            queries = np.atleast_2d(queries)
+        num_queries = len(queries)
+        preds = np.empty(num_queries, dtype=np.int64)
+        for lo in range(0, num_queries, self.block_size):
             hi = lo + self.block_size
             preds[lo:hi] = recover_block(
                 self.model, queries[lo:hi], self.config, self.rng,

@@ -4,8 +4,15 @@ import numpy as np
 import pytest
 
 from repro.core.encoder import Encoder
-from repro.core.hypervector import hamming_similarity
-from repro.core.model import HDCClassifier, HDCModel, quantize_accumulator
+from repro.core.hypervector import class_bundle_counts, hamming_similarity
+from repro.core.model import (
+    HDCClassifier,
+    HDCModel,
+    _perceptron_epoch,
+    _perceptron_epoch_reference,
+    quantize_accumulator,
+)
+from repro.core.packed import float_backend, pack
 from repro.datasets.synthetic import make_prototype_classification
 
 
@@ -223,3 +230,195 @@ class TestHDCClassifier:
             HDCClassifier(encoder, num_classes=1)
         with pytest.raises(ValueError, match="epochs"):
             HDCClassifier(encoder, num_classes=3, epochs=-1)
+
+
+class TestVectorisedFit:
+    """The vectorised trainer must exactly replay the per-sample loop."""
+
+    def _encoded(self, task, encoder):
+        return (
+            encoder.encode_batch(task.train_x),
+            np.asarray(task.train_y, dtype=np.int64),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_epoch_matches_reference_loop(self, task, encoder, seed):
+        encoded, labels = self._encoded(task, encoder)
+        bipolar = (encoded.astype(np.int8) << 1) - 1
+        acc_vec = class_bundle_counts(encoded, labels, task.num_classes)
+        acc_ref = acc_vec.copy()
+        wrong_vec = _perceptron_epoch(
+            acc_vec, bipolar, labels, np.random.default_rng(seed)
+        )
+        wrong_ref = _perceptron_epoch_reference(
+            acc_ref, bipolar, labels, np.random.default_rng(seed)
+        )
+        assert wrong_vec == wrong_ref
+        assert (acc_vec == acc_ref).all()
+
+    def test_full_fit_matches_reference_loop(self, task, encoder):
+        """Pinned: fit_encoded == bundling + reference perceptron epochs."""
+        encoded, labels = self._encoded(task, encoder)
+        clf = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=3, seed=42
+        ).fit_encoded(encoded, labels)
+
+        acc = class_bundle_counts(encoded, labels, task.num_classes)
+        bipolar = (encoded.astype(np.int8) << 1) - 1
+        rng = np.random.default_rng(42)
+        for _ in range(3):
+            if _perceptron_epoch_reference(acc, bipolar, labels, rng) == 0:
+                break
+        assert (clf._acc == acc).all()
+        assert (clf.model.class_hv == quantize_accumulator(acc, 1)).all()
+
+    def test_bundling_matches_scatter_add(self, task, encoder):
+        encoded, labels = self._encoded(task, encoder)
+        acc = np.zeros(
+            (task.num_classes, encoded.shape[1]), dtype=np.int64
+        )
+        np.add.at(acc, labels, encoded.astype(np.int64) * 2 - 1)
+        assert (
+            class_bundle_counts(encoded, labels, task.num_classes) == acc
+        ).all()
+
+    def test_fit_accepts_packed(self, task, encoder):
+        encoded, labels = self._encoded(task, encoder)
+        a = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=2, seed=0
+        ).fit_encoded(encoded, labels)
+        b = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=2, seed=0
+        ).fit_encoded(pack(encoded), labels)
+        assert (a.model.class_hv == b.model.class_hv).all()
+
+
+class TestPartialFit:
+    def test_chunked_stream_equals_single_pass_bundle(self, task, encoder):
+        encoded = encoder.encode_batch(task.train_x)
+        labels = np.asarray(task.train_y, dtype=np.int64)
+        full = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=0, seed=0
+        ).fit_encoded(encoded, labels)
+        streamed = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=0, seed=0
+        )
+        for lo in range(0, encoded.shape[0], 37):
+            streamed.partial_fit_encoded(
+                encoded[lo : lo + 37], labels[lo : lo + 37]
+            )
+        assert (streamed.model.class_hv == full.model.class_hv).all()
+
+    def test_chunk_order_irrelevant(self, task, encoder):
+        encoded = encoder.encode_batch(task.train_x)
+        labels = np.asarray(task.train_y, dtype=np.int64)
+        fwd = HDCClassifier(encoder, num_classes=task.num_classes, epochs=0)
+        rev = HDCClassifier(encoder, num_classes=task.num_classes, epochs=0)
+        chunks = [(lo, lo + 60) for lo in range(0, encoded.shape[0], 60)]
+        for lo, hi in chunks:
+            fwd.partial_fit_encoded(encoded[lo:hi], labels[lo:hi])
+        for lo, hi in reversed(chunks):
+            rev.partial_fit_encoded(encoded[lo:hi], labels[lo:hi])
+        assert (fwd._stream_acc == rev._stream_acc).all()
+
+    def test_model_usable_after_each_chunk(self, task, encoder):
+        encoded = encoder.encode_batch(task.train_x)
+        labels = np.asarray(task.train_y, dtype=np.int64)
+        clf = HDCClassifier(encoder, num_classes=task.num_classes, epochs=0)
+        clf.partial_fit_encoded(encoded[:100], labels[:100])
+        assert clf.model is not None
+        assert clf.model.predict(encoded[:5]).shape == (5,)
+
+    def test_stream_acc_is_int32(self, task, encoder):
+        encoded = encoder.encode_batch(task.train_x[:50])
+        labels = np.asarray(task.train_y[:50], dtype=np.int64)
+        clf = HDCClassifier(encoder, num_classes=task.num_classes)
+        clf.partial_fit_encoded(encoded, labels)
+        assert clf._stream_acc.dtype == np.int32
+
+    def test_partial_fit_raw_features(self, task, encoder):
+        clf = HDCClassifier(encoder, num_classes=task.num_classes)
+        clf.partial_fit(task.train_x[:80], task.train_y[:80])
+        ref = HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=0
+        ).fit(task.train_x[:80], task.train_y[:80])
+        assert (clf.model.class_hv == ref.model.class_hv).all()
+
+    def test_dim_mismatch_rejected(self, task, encoder):
+        clf = HDCClassifier(encoder, num_classes=task.num_classes)
+        clf.partial_fit_encoded(
+            np.zeros((4, 128), dtype=np.uint8), np.zeros(4, dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="stream accumulator"):
+            clf.partial_fit_encoded(
+                np.zeros((4, 64), dtype=np.uint8), np.zeros(4, dtype=np.int64)
+            )
+
+    def test_full_fit_resets_stream(self, task, encoder):
+        encoded = encoder.encode_batch(task.train_x[:60])
+        labels = np.asarray(task.train_y[:60], dtype=np.int64)
+        clf = HDCClassifier(encoder, num_classes=task.num_classes, epochs=0)
+        clf.partial_fit_encoded(encoded, labels)
+        clf.fit_encoded(encoded, labels)
+        assert clf._stream_acc is None
+
+    def test_bad_labels_rejected(self, task, encoder):
+        clf = HDCClassifier(encoder, num_classes=task.num_classes)
+        with pytest.raises(ValueError, match="labels"):
+            clf.partial_fit_encoded(
+                np.zeros((2, 64), dtype=np.uint8),
+                np.array([0, task.num_classes]),
+            )
+
+
+class TestPackedQueryIngest:
+    @pytest.fixture(scope="class")
+    def fitted(self, task, encoder):
+        return HDCClassifier(
+            encoder, num_classes=task.num_classes, epochs=0, seed=0
+        ).fit(task.train_x, task.train_y)
+
+    def test_similarities_match_uint8(self, task, encoder, fitted):
+        encoded = encoder.encode_batch(task.test_x[:40])
+        packed = encoder.encode_packed(task.test_x[:40])
+        assert (
+            fitted.model.similarities(packed)
+            == fitted.model.similarities(encoded)
+        ).all()
+
+    def test_predict_matches_uint8(self, task, encoder, fitted):
+        encoded = encoder.encode_batch(task.test_x[:40])
+        packed = encoder.encode_packed(task.test_x[:40])
+        assert (
+            fitted.model.predict(packed) == fitted.model.predict(encoded)
+        ).all()
+
+    def test_float_backend_unpacks(self, task, encoder, fitted):
+        packed = encoder.encode_packed(task.test_x[:10])
+        want = fitted.model.predict(packed)
+        with float_backend():
+            assert (fitted.model.predict(packed) == want).all()
+
+    def test_dim_mismatch_rejected(self, fitted):
+        bad = pack(np.zeros((2, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="dim"):
+            fitted.model.similarities(bad)
+
+    def test_score_encoded_accepts_packed(self, task, encoder, fitted):
+        encoded = encoder.encode_batch(task.test_x)
+        packed = encoder.encode_packed(task.test_x)
+        labels = np.asarray(task.test_y)
+        assert fitted.score_encoded(packed, labels) == fitted.score_encoded(
+            encoded, labels
+        )
+
+    def test_chunk_similarities_accept_packed(self, task, encoder, fitted):
+        from repro.core.chunks import chunk_similarities_batch
+
+        encoded = encoder.encode_batch(task.test_x[:8])
+        packed = encoder.encode_packed(task.test_x[:8])
+        for m in (2, 8):  # word-aligned (1024/8=128) and 1024/2=512
+            assert (
+                chunk_similarities_batch(fitted.model, packed, m)
+                == chunk_similarities_batch(fitted.model, encoded, m)
+            ).all()

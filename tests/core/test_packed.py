@@ -11,6 +11,8 @@ from repro.core.model import HDCModel
 from repro.core.packed import (
     _POP16,
     PackedHypervectors,
+    bit_plane_ge,
+    bit_plane_sum,
     float_backend,
     pack,
     pack_model,
@@ -271,3 +273,96 @@ class TestPackedModel:
             axis=-1, dtype=np.int64
         )
         assert (got == ref).all()
+
+
+@st.composite
+def word_operands(draw):
+    """A stack of equal-shape uint64 word arrays plus their bit matrix."""
+    num_operands = draw(st.integers(min_value=1, max_value=9))
+    dim = draw(st.integers(min_value=1, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, (num_operands, dim), dtype=np.uint8)
+    operands = [pack(bits[i : i + 1]).words for i in range(num_operands)]
+    return operands, bits
+
+
+class TestBitPlanes:
+    @given(word_operands())
+    @settings(deadline=None)
+    def test_sum_planes_encode_counts(self, case):
+        """The little-endian planes spell the per-position operand count."""
+        operands, bits = case
+        planes = bit_plane_sum(operands)
+        dim = bits.shape[1]
+        counts = np.zeros(dim, dtype=np.int64)
+        for i, plane in enumerate(planes):
+            plane_bits = unpack(
+                PackedHypervectors(words=plane, dim=dim)
+            )[0].astype(np.int64)
+            counts += plane_bits << i
+        assert (counts == bits.sum(axis=0)).all()
+
+    @given(word_operands(), st.integers(min_value=-1, max_value=11))
+    @settings(deadline=None)
+    def test_ge_matches_integer_compare(self, case, threshold):
+        operands, bits = case
+        planes = bit_plane_sum(operands)
+        out = bit_plane_ge(planes, threshold)
+        dim = bits.shape[1]
+        got = unpack(PackedHypervectors(words=out, dim=dim))[0]
+        expected = (bits.sum(axis=0) >= threshold).astype(np.uint8)
+        # Compare only real dims: pad bits of the all-ones threshold<=0
+        # result are not meaningful.
+        assert (got == expected).all()
+
+    def test_sum_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bit_plane_sum([])
+
+    def test_ge_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bit_plane_ge([], 1)
+
+    def test_single_operand_identity(self):
+        words = pack(np.array([[1, 0, 1]], dtype=np.uint8)).words
+        planes = bit_plane_sum([words])
+        assert len(planes) == 1
+        assert planes[0] is words
+
+    def test_plane_count_is_logarithmic(self):
+        rng = np.random.default_rng(0)
+        operands = [
+            pack(rng.integers(0, 2, (2, 64), dtype=np.uint8)).words
+            for _ in range(100)
+        ]
+        planes = bit_plane_sum(operands)
+        # 100 operands need 7 counter bits; the adder tree may keep one
+        # (all-zero) top carry plane untrimmed.
+        assert len(planes) <= 8
+
+
+class TestPackedIndexing:
+    def test_len(self):
+        packed = pack(np.zeros((5, 70), dtype=np.uint8))
+        assert len(packed) == 5
+
+    def test_int_index_returns_single(self):
+        rng = np.random.default_rng(1)
+        hvs = rng.integers(0, 2, (4, 130), dtype=np.uint8)
+        packed = pack(hvs)
+        row = packed[2]
+        assert row.single
+        assert (unpack(row) == hvs[2]).all()
+
+    def test_slice_and_fancy_index(self):
+        rng = np.random.default_rng(2)
+        hvs = rng.integers(0, 2, (6, 70), dtype=np.uint8)
+        packed = pack(hvs)
+        assert (unpack(packed[1:4]) == hvs[1:4]).all()
+        idx = np.array([5, 0, 3])
+        assert (unpack(packed[idx]) == hvs[idx]).all()
+
+    def test_views_share_words(self):
+        packed = pack(np.ones((3, 64), dtype=np.uint8))
+        assert np.shares_memory(packed[0:2].words, packed.words)

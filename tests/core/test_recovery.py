@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
-from repro.core.packed import float_backend
+from repro.core.packed import float_backend, pack
 from repro.core.recovery import (
     RecoveryConfig,
     RecoveryStats,
@@ -314,3 +314,49 @@ class TestRecoveryStats:
     def test_trust_rate_ratio(self):
         stats = RecoveryStats(queries_seen=10, queries_trusted=4)
         assert stats.trust_rate == pytest.approx(0.4)
+
+
+class TestPackedStreamIngest:
+    """A packed query stream must drive recovery bit-identically."""
+
+    def test_process_packed_equals_uint8(self, fitted):
+        model, encoded_test, _ = fitted
+        stream = encoded_test[:120]
+        packed_stream = pack(stream)
+        rng = np.random.default_rng(0)
+        attacked_a, _ = attack(model.copy(), 0.08, "random", rng)
+        attacked_b = attacked_a.copy()
+
+        rec_a = RobustHDRecovery(attacked_a, seed=9)
+        rec_b = RobustHDRecovery(attacked_b, seed=9)
+        preds_a = rec_a.process(stream)
+        preds_b = rec_b.process(packed_stream)
+
+        assert (preds_a == preds_b).all()
+        assert (attacked_a.class_hv == attacked_b.class_hv).all()
+        assert rec_a.stats.bits_substituted == rec_b.stats.bits_substituted
+        assert rec_a.stats.queries_trusted == rec_b.stats.queries_trusted
+
+    def test_recover_block_packed_equals_uint8(self, fitted):
+        model, encoded_test, _ = fitted
+        block = encoded_test[:60]
+        rng = np.random.default_rng(1)
+        attacked_a, _ = attack(model.copy(), 0.10, "random", rng)
+        attacked_b = attacked_a.copy()
+        config = RecoveryConfig()
+        preds_a = recover_block(
+            attacked_a, block, config, np.random.default_rng(4)
+        )
+        preds_b = recover_block(
+            attacked_b, pack(block), config, np.random.default_rng(4)
+        )
+        assert (preds_a == preds_b).all()
+        assert (attacked_a.class_hv == attacked_b.class_hv).all()
+
+    def test_packed_dim_mismatch_rejected(self, fitted):
+        model, _, _ = fitted
+        bad = pack(np.zeros((2, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="dim"):
+            recover_block(
+                model, bad, RecoveryConfig(), np.random.default_rng(0)
+            )
