@@ -1,0 +1,335 @@
+"""Concurrent serving benchmark: multi-worker engine vs single process.
+
+Measures the serving tier added on top of the PR 1 packed backend at a
+request-serving shape (many independent micro-batch requests, the
+deployment pattern the ROADMAP's "serve heavy traffic" north star
+describes):
+
+* **baseline** — the single-process packed path: one
+  ``PackedModel.distances`` + argmin call per request, exactly what a
+  caller of the PR 1 API does per arriving request;
+* **engine** — :class:`repro.serve.ServingEngine` at 1/2/4 workers:
+  requests flow through the bounded shared-memory ring, are
+  frame-batched over the queue, and each worker coalesces queued
+  requests into a single packed distance computation.  The win is
+  coalescing — per-request dispatch overhead is paid once per *batch* —
+  so it holds even when workers share cores with the client;
+* **equivalence** — a seeded attack-and-recover run published live into
+  a serving engine (workers adopting each repaired generation between
+  batches) must end bit-identical — final model words and predictions —
+  to the sequential reference; asserted before the numbers are written.
+
+Results are written as JSON so future PRs have a perf trajectory to
+regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # writes BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI smoke, prints JSON only
+
+``--smoke`` shrinks every workload so the run takes a couple of seconds
+and, unless ``--output`` is given explicitly, does not overwrite the
+committed ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.core.pipeline import RecoveryExperiment
+from repro.core.recovery import RecoveryConfig
+from repro.datasets.synthetic import make_prototype_classification
+from repro.serve import ServingEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+
+def _make_requests(encoder: Encoder, test_x: np.ndarray, queries: int,
+                   count: int, distinct: int = 64) -> list[np.ndarray]:
+    """``count`` packed request payloads of ``queries`` rows each."""
+    rng = np.random.default_rng(3)
+    pool = [
+        np.ascontiguousarray(
+            encoder.encode_packed(
+                test_x[rng.integers(0, test_x.shape[0], queries)]
+            ).words
+        )
+        for _ in range(min(distinct, count))
+    ]
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def _drive(engine: ServingEngine, requests: list[np.ndarray],
+           window: int) -> float:
+    """Serve every request through the engine; returns wall seconds.
+
+    Keeps up to ``window`` requests in flight: submits are frame-batched
+    (``flush=False``) and results collected per window, the pattern a
+    real client uses to keep the ring busy without tripping
+    backpressure.
+    """
+    start = time.perf_counter()
+    ids: list[int] = []
+    for payload in requests:
+        ids.append(engine.submit(payload, flush=False))
+        if len(ids) >= window:
+            engine.flush()
+            for request_id in ids:
+                engine.result(request_id)
+            ids = []
+    engine.flush()
+    for request_id in ids:
+        engine.result(request_id)
+    return time.perf_counter() - start
+
+
+def bench_throughput(num_classes: int, num_features: int, dim: int,
+                     levels: int, queries_per_request: int, requests: int,
+                     worker_counts: tuple[int, ...], repeats: int) -> dict:
+    task = make_prototype_classification(
+        "bench-serve", num_features=num_features, num_classes=num_classes,
+        num_train=num_classes * 30, num_test=64, seed=0,
+    )
+    encoder = Encoder(num_features=num_features, dim=dim, levels=levels,
+                      seed=1)
+    classifier = HDCClassifier(
+        encoder, num_classes=num_classes, epochs=1, seed=2
+    ).fit(task.train_x, task.train_y)
+    packed_model = classifier.model.packed()
+    payloads = _make_requests(encoder, task.test_x, queries_per_request,
+                              requests)
+
+    # Single-process packed baseline: one distances+argmin per request,
+    # and the reference predictions the engine must reproduce.
+    reference = [
+        np.argmin(packed_model.distances(payload), axis=1).astype(np.int64)
+        for payload in payloads
+    ]
+    best_base = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for payload in payloads:
+            np.argmin(packed_model.distances(payload), axis=1).astype(np.int64)
+        best_base = min(best_base, time.perf_counter() - start)
+
+    result = {
+        "num_classes": num_classes,
+        "num_features": num_features,
+        "dim": dim,
+        "queries_per_request": queries_per_request,
+        "requests": requests,
+        "baseline_requests_per_s": requests / best_base,
+        "baseline_queries_per_s": requests * queries_per_request / best_base,
+        "workers": {},
+    }
+    window = min(256, max(32, requests // 8))
+    for workers in worker_counts:
+        engine = ServingEngine(
+            classifier,
+            num_workers=workers,
+            ring_slots=2 * window,
+            max_queries_per_request=queries_per_request,
+            frame_requests=32,
+            coalesce_requests=256,
+        )
+        try:
+            # Warm-up: first batches pay fork + first-adoption costs, and
+            # double as a correctness check against the baseline.
+            check_ids = [
+                engine.submit(payload, flush=False)
+                for payload in payloads[:window]
+            ]
+            engine.flush()
+            for request_id, expected in zip(check_ids, reference):
+                got = engine.result(request_id).predictions
+                assert (got == expected).all(), \
+                    "engine predictions diverged from the packed baseline"
+            best = float("inf")
+            for _ in range(repeats):
+                best = min(best, _drive(engine, payloads, window))
+        finally:
+            engine.stop()
+        result["workers"][str(workers)] = {
+            "requests_per_s": requests / best,
+            "queries_per_s": requests * queries_per_request / best,
+            "speedup_vs_baseline": best_base / best,
+            "batches": len(engine.trace),
+            "mean_requests_per_batch": (
+                engine.trace.requests_served / max(1, len(engine.trace))
+            ),
+        }
+    return result
+
+
+def bench_live_recovery(num_classes: int, num_features: int, dim: int,
+                        levels: int, error_rate: float, passes: int) -> dict:
+    """Concurrent attack-and-recover vs the sequential reference.
+
+    The sequential run records each published generation in-process; the
+    concurrent run publishes into a live :class:`ServingEngine` that is
+    serving traffic the whole time.  Both must end with bit-identical
+    model words and predictions — the equivalence the epoch/snapshot
+    protocol guarantees (recovery is the single writer; workers only
+    ever adopt immutable snapshots).
+    """
+    import threading
+
+    task = make_prototype_classification(
+        "bench-recover", num_features=num_features, num_classes=num_classes,
+        num_train=num_classes * 40, num_test=200, seed=0,
+    )
+
+    class Recorder:
+        """Minimal in-process ModelPublisher for the reference run."""
+
+        def __init__(self):
+            self.words = None
+            self.version = 0
+            self.generations = 0
+
+        def publish(self, model):
+            packed = model.packed()
+            self.words = packed.words.copy()
+            self.version = packed.version
+            self.generations += 1
+            return self.generations
+
+        def touch(self):
+            pass
+
+    def experiment():
+        return RecoveryExperiment(dataset=task, dim=dim, epochs=2,
+                                  levels=levels, seed=7)
+
+    recorder = Recorder()
+    reference = experiment()
+    ref_outcome = reference.attack_and_recover(
+        error_rate, config=RecoveryConfig(), passes=passes, seed=11,
+        publisher=recorder,
+    )
+    ref_packed_words = recorder.words
+    eval_words = reference._eval_packed.words
+
+    concurrent = experiment()
+    engine = ServingEngine(concurrent.classifier, num_workers=2)
+    served_rounds = 0
+    stop = threading.Event()
+
+    def traffic():
+        nonlocal served_rounds
+        while not stop.is_set():
+            engine.predict(eval_words)
+            served_rounds += 1
+
+    thread = threading.Thread(target=traffic, daemon=True)
+    start = time.perf_counter()
+    thread.start()
+    try:
+        outcome = concurrent.attack_and_recover(
+            error_rate, config=RecoveryConfig(), passes=passes, seed=11,
+            publisher=engine.publisher,
+        )
+    finally:
+        stop.set()
+        thread.join()
+    recover_s = time.perf_counter() - start
+    final_predictions = engine.predict(eval_words)
+    generations = engine.publisher.generation
+    trace = engine.trace
+    engine.stop()
+
+    reference_predictions = np.argmin(
+        np.bitwise_count(
+            ref_packed_words[None, :, :] ^ eval_words[:, None, :]
+        ).sum(axis=2),
+        axis=1,
+    ).astype(np.int64)
+    model_identical = bool(
+        recorder.words is not None
+        and (recorder.words == ref_packed_words).all()
+        and outcome.accuracy_trace == ref_outcome.accuracy_trace
+    )
+    predictions_identical = bool(
+        (final_predictions == reference_predictions).all()
+    )
+    assert model_identical, \
+        "concurrent recovery diverged from the sequential reference model"
+    assert predictions_identical, \
+        "served predictions diverged from the sequential reference"
+    return {
+        "error_rate": error_rate,
+        "passes": passes,
+        "dim": dim,
+        "recovered_accuracy": outcome.recovered_accuracy,
+        "generations_published": generations,
+        "adoptions": trace.adoptions,
+        "degraded_batches": trace.degraded_batches,
+        "traffic_rounds_during_recovery": served_rounds,
+        "concurrent_recover_s": recover_s,
+        "final_model_bit_identical": model_identical,
+        "final_predictions_bit_identical": predictions_identical,
+    }
+
+
+def run(smoke: bool) -> dict:
+    if smoke:
+        throughput_kw = dict(
+            num_classes=6, num_features=16, dim=1_024, levels=8,
+            queries_per_request=4, requests=512,
+            worker_counts=(1, 2), repeats=1,
+        )
+        recovery_kw = dict(num_classes=4, num_features=16, dim=1_000,
+                           levels=8, error_rate=0.15, passes=1)
+    else:
+        throughput_kw = dict(
+            num_classes=26, num_features=32, dim=10_000, levels=32,
+            queries_per_request=4, requests=4_096,
+            worker_counts=(1, 2, 4), repeats=3,
+        )
+        recovery_kw = dict(num_classes=5, num_features=16, dim=2_000,
+                           levels=16, error_rate=0.2, passes=2)
+    return {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_serve.py"
+        + (" --smoke" if smoke else ""),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpus": len(__import__("os").sched_getaffinity(0)),
+        "throughput": bench_throughput(**throughput_kw),
+        "live_recovery": bench_live_recovery(**recovery_kw),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads (CI smoke); prints JSON only "
+                             "unless --output is given")
+    parser.add_argument("--output", type=Path, default=None,
+                        help=f"where to write the JSON "
+                             f"(default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    results = run(args.smoke)
+    text = json.dumps(results, indent=2)
+    print(text)
+    output = args.output
+    if output is None and not args.smoke:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(text + "\n")
+        print(f"\nwrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

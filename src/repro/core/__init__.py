@@ -5,6 +5,7 @@ from repro.core.encoder import (
     Encoder,
     PackedCodebook,
     clear_codebook_cache,
+    encode_words_from_codebook,
     quantize_features,
 )
 from repro.core.io import load_classifier, save_classifier
@@ -34,6 +35,7 @@ from repro.core.packed import (
 )
 from repro.core.sequence import SequenceEncoder, ngram_encode
 from repro.core.recovery import (
+    ModelPublisher,
     RecoveryConfig,
     RecoveryStats,
     RobustHDRecovery,
@@ -45,6 +47,7 @@ from repro.core.recovery import (
 __all__ = [
     "Encoder",
     "ItemMemory",
+    "ModelPublisher",
     "PackedCodebook",
     "PackedHypervectors",
     "PackedModel",
@@ -59,6 +62,7 @@ __all__ = [
     "class_bundle_counts",
     "clear_codebook_cache",
     "confident_mask",
+    "encode_words_from_codebook",
     "float_backend",
     "hamming_distance",
     "hamming_similarity",

@@ -113,7 +113,14 @@ def confident_mask(
     threshold: float,
     temperature: float = 1.0,
     method: str = "margin",
+    scale: float | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Predictions, confidences and the boolean trust mask ``conf >= T_C``."""
-    preds, conf = prediction_confidence(similarities, temperature, method)
+    """Predictions, confidences and the boolean trust mask ``conf >= T_C``.
+
+    ``scale`` is forwarded to :func:`prediction_confidence` and is
+    required by ``method="noise"`` — the only usable method at ``k = 2``,
+    where the per-query-standardised statistics behind ``margin`` and
+    ``softmax`` are constants.
+    """
+    preds, conf = prediction_confidence(similarities, temperature, method, scale)
     return preds, conf, conf >= threshold

@@ -72,6 +72,7 @@ __all__ = [
     "Encoder",
     "PackedCodebook",
     "clear_codebook_cache",
+    "encode_words_from_codebook",
     "quantize_features",
 ]
 
@@ -156,6 +157,51 @@ def quantize_features(
     scaled = (clipped - low) / (high - low)  # in [0, 1]
     idx = np.floor(scaled * levels).astype(np.int64)
     return np.minimum(idx, levels - 1)
+
+
+def encode_words_from_codebook(
+    codebook_words: np.ndarray,
+    idx: np.ndarray,
+    *,
+    rows_per_block: int = 4096,
+) -> np.ndarray:
+    """Packed encode of quantised level indices against a bound codebook.
+
+    ``codebook_words`` is the ``(n, L, W)`` uint64 bound table
+    (``bound[k, l] = base[k] ⊕ level[l]``, the
+    :class:`PackedCodebook` word matrix) and ``idx`` the ``(b, n)``
+    quantised level indices.  Per block: gather each feature's bound word
+    row, reduce the ``n`` gathered word arrays with a carry-save adder
+    tree into per-dimension count planes, and majority-compare the planes
+    against ``n/2`` — all word-wide bitwise ops, no per-sample XOR and no
+    unpacked intermediate.
+
+    Module-level (rather than an :class:`Encoder` method) so processes
+    that hold only the codebook *words* — e.g. serving workers attached
+    to a shared-memory export — can encode without reconstructing an
+    encoder, which would regenerate the base/level tables from scratch.
+    Bit-identical to :meth:`Encoder.encode_packed` on the same codebook.
+    """
+    idx = np.asarray(idx)
+    n = codebook_words.shape[0]
+    if idx.ndim != 2 or idx.shape[1] != n:
+        raise ValueError(
+            f"expected (b, {n}) level indices, got {idx.shape}"
+        )
+    words = codebook_words.shape[2]
+    out = np.empty((idx.shape[0], words), dtype=np.uint64)
+    threshold = n // 2 + 1  # strict majority: 2*count > n
+    rows = max(1, int(rows_per_block))
+    for start in range(0, idx.shape[0], rows):
+        block_idx = idx[start : start + rows]
+        operands = [
+            codebook_words[k, block_idx[:, k]] for k in range(n)
+        ]  # n x (b, W)
+        planes = bit_plane_sum(operands)
+        out[start : start + block_idx.shape[0]] = bit_plane_ge(
+            planes, threshold
+        )
+    return out
 
 
 @dataclass(frozen=True)
@@ -390,30 +436,12 @@ class Encoder:
         return PackedHypervectors(words=words, dim=self.dim)
 
     def _encode_words(self, idx: np.ndarray) -> np.ndarray:
-        """Packed encode of quantised level indices ``(b, n)`` → ``(b, W)``.
-
-        Per block: gather each feature's bound word row from the packed
-        codebook, reduce the ``n`` gathered word arrays with a carry-save
-        adder tree into per-dimension count planes, and majority-compare
-        the planes against ``n/2`` — all word-wide bitwise ops, no
-        per-sample XOR and no unpacked intermediate.
-        """
-        codebook = self.packed_codebook().words  # (n, L, W)
-        n = self.num_features
-        words = codebook.shape[2]
-        out = np.empty((idx.shape[0], words), dtype=np.uint64)
-        threshold = n // 2 + 1  # strict majority: 2*count > n
-        rows = self.rows_per_block(packed=True)
-        for start in range(0, idx.shape[0], rows):
-            block_idx = idx[start : start + rows]
-            operands = [
-                codebook[k, block_idx[:, k]] for k in range(n)
-            ]  # n x (b, W)
-            planes = bit_plane_sum(operands)
-            out[start : start + block_idx.shape[0]] = bit_plane_ge(
-                planes, threshold
-            )
-        return out
+        """Packed encode of quantised level indices ``(b, n)`` → ``(b, W)``."""
+        return encode_words_from_codebook(
+            self.packed_codebook().words,
+            idx,
+            rows_per_block=self.rows_per_block(packed=True),
+        )
 
     def encode_batch_reference(self, features: np.ndarray) -> np.ndarray:
         """Reference encoding via the materialised uint8 bound tensor.

@@ -8,7 +8,20 @@ of ``(n + levels) x D`` bits).
 
 The on-disk format is a single ``.npz`` file.  Loading re-derives the
 encoder and wraps everything in a ready-to-serve
-:class:`~repro.core.model.HDCClassifier`.
+:class:`~repro.core.model.HDCClassifier` via
+:meth:`~repro.core.model.HDCClassifier.from_model`, so a loaded
+classifier satisfies the fitted-state invariants by construction (in
+particular its packed-cache version starts at 0 by contract).
+
+Format history
+--------------
+* **v1** — model bits + encoder parameters.  Did *not* persist
+  ``Encoder.encode_block_bytes``, so a loaded classifier silently
+  reverted to the default blocking budget.
+* **v2** — adds ``encode_block_bytes`` (``-1`` encodes ``None``, i.e.
+  "resolve from ``REPRO_ENCODE_BLOCK_BYTES`` / the 64 MB default").
+  v1 files still load, with ``encode_block_bytes=None`` — the documented
+  default, and the only behaviour v1 files ever had.
 """
 
 from __future__ import annotations
@@ -22,7 +35,10 @@ from repro.core.model import HDCClassifier, HDCModel
 
 __all__ = ["save_classifier", "load_classifier"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+# encode_block_bytes is int-or-None; .npz stores homogeneous arrays, so
+# None travels as this sentinel (real budgets are >= 1).
+_BLOCK_BYTES_NONE = -1
 
 
 def save_classifier(path: str | Path, classifier: HDCClassifier) -> None:
@@ -31,6 +47,7 @@ def save_classifier(path: str | Path, classifier: HDCClassifier) -> None:
     if model is None:
         raise ValueError("classifier is not fitted; nothing to save")
     encoder = classifier.encoder
+    block_bytes = encoder.encode_block_bytes
     np.savez_compressed(
         Path(path),
         format_version=_FORMAT_VERSION,
@@ -42,6 +59,9 @@ def save_classifier(path: str | Path, classifier: HDCClassifier) -> None:
         low=encoder.low,
         high=encoder.high,
         encoder_seed=encoder.seed,
+        encode_block_bytes=(
+            _BLOCK_BYTES_NONE if block_bytes is None else int(block_bytes)
+        ),
         num_classes=classifier.num_classes,
         epochs=classifier.epochs,
         classifier_seed=classifier.seed,
@@ -53,16 +73,23 @@ def load_classifier(path: str | Path) -> HDCClassifier:
 
     The encoder codebooks are regenerated from the stored parameters and
     seed, so encodings produced by the loaded classifier are bit-for-bit
-    identical to the original's.
+    identical to the original's.  Reads v1 and v2 files; v1 predates the
+    ``encode_block_bytes`` field and loads with ``None`` (the default
+    budget — see the module docstring).
     """
     path = Path(path)
     with np.load(path) as data:
         version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
+        if version not in (1, _FORMAT_VERSION):
             raise ValueError(
                 f"unsupported model format version {version} "
-                f"(this build reads version {_FORMAT_VERSION})"
+                f"(this build reads versions 1..{_FORMAT_VERSION})"
             )
+        if version >= 2:
+            stored = int(data["encode_block_bytes"])
+            block_bytes = None if stored == _BLOCK_BYTES_NONE else stored
+        else:
+            block_bytes = None
         encoder = Encoder(
             num_features=int(data["num_features"]),
             dim=int(data["dim"]),
@@ -70,16 +97,22 @@ def load_classifier(path: str | Path) -> HDCClassifier:
             low=float(data["low"]),
             high=float(data["high"]),
             seed=int(data["encoder_seed"]),
+            encode_block_bytes=block_bytes,
         )
-        classifier = HDCClassifier(
-            encoder,
-            num_classes=int(data["num_classes"]),
-            bits=int(data["bits"]),
-            epochs=int(data["epochs"]),
-            seed=int(data["classifier_seed"]),
-        )
-        classifier.model = HDCModel(
+        model = HDCModel(
             class_hv=np.ascontiguousarray(data["class_hv"]),
             bits=int(data["bits"]),
+        )
+        num_classes = int(data["num_classes"])
+        if num_classes != model.num_classes:
+            raise ValueError(
+                f"stored num_classes {num_classes} does not match the "
+                f"stored model ({model.num_classes} class hypervectors)"
+            )
+        classifier = HDCClassifier.from_model(
+            encoder,
+            model,
+            epochs=int(data["epochs"]),
+            seed=int(data["classifier_seed"]),
         )
     return classifier

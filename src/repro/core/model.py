@@ -237,6 +237,22 @@ class HDCModel:
             _metrics().inc("model.pack_rebuilds")
         return cache
 
+    def export_packed(self, buffer) -> int:
+        """Copy the current packed snapshot into ``buffer``; returns its version.
+
+        ``buffer`` is any writable buffer-protocol object of at least
+        ``packed().nbytes`` bytes — typically a
+        ``multiprocessing.shared_memory`` block.  This is the model side
+        of the cross-process serving export: a publisher calls it after
+        every recovery write (the :meth:`writable` / :meth:`bump_version`
+        contract guarantees the snapshot is fresh), and serving workers
+        re-materialise the snapshot zero-copy with
+        :meth:`~repro.core.packed.PackedModel.from_buffer`.
+        """
+        packed = self.packed()
+        packed.export_words(buffer)
+        return packed.version
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
@@ -371,6 +387,48 @@ class HDCClassifier:
         self._acc: np.ndarray | None = None
         self._stream_acc: np.ndarray | None = None
         self._stream_samples: int = 0
+
+    @classmethod
+    def from_model(
+        cls,
+        encoder: Encoder,
+        model: HDCModel,
+        *,
+        epochs: int = 3,
+        seed: int = 0,
+    ) -> "HDCClassifier":
+        """Wrap an existing trained :class:`HDCModel` in a serving classifier.
+
+        This is the one sanctioned way to install a model that was not
+        produced by :meth:`fit` on this instance (deserialisation, a
+        recovered model adopted from another process, ...).  It
+        re-establishes the fitted-state invariants by construction:
+
+        * ``num_classes`` / ``bits`` are taken from the model, so they can
+          never disagree with it;
+        * ``encoder.dim`` must match ``model.dim`` (a mismatched pair
+          would fail only at the first predict, with a confusing error);
+        * training accumulators and streaming state are empty — the model
+          is the only fitted state;
+        * the model's packed-cache :attr:`HDCModel.version` starts at 0
+          **by contract**: the caller hands over a freshly constructed
+          :class:`HDCModel` (version 0 by dataclass init), and nothing in
+          here writes to it, so the first ``packed()`` call packs exactly
+          the adopted bits.
+        """
+        if encoder.dim != model.dim:
+            raise ValueError(
+                f"encoder dim {encoder.dim} != model dim {model.dim}"
+            )
+        classifier = cls(
+            encoder,
+            num_classes=model.num_classes,
+            bits=model.bits,
+            epochs=epochs,
+            seed=seed,
+        )
+        classifier.model = model
+        return classifier
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "HDCClassifier":
         """Train on raw features ``(n_samples, n_features)`` and labels."""

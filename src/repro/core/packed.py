@@ -399,6 +399,40 @@ class PackedModel:
     def num_classes(self) -> int:
         return self.words.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        """Size of the word matrix — what a shared-memory export needs."""
+        return self.words.nbytes
+
+    def export_words(self, buffer) -> None:
+        """Copy the word matrix into a writable buffer.
+
+        ``buffer`` is anything the buffer protocol accepts with at least
+        :attr:`nbytes` bytes — in particular a
+        ``multiprocessing.shared_memory.SharedMemory.buf``.  This is the
+        publish half of the cross-process serving protocol; the attach
+        half is :meth:`from_buffer`.
+        """
+        dst = np.ndarray(self.words.shape, dtype=np.uint64, buffer=buffer)
+        np.copyto(dst, self.words)
+
+    @classmethod
+    def from_buffer(
+        cls, buffer, num_classes: int, dim: int, version: int = 0
+    ) -> "PackedModel":
+        """Zero-copy read-only :class:`PackedModel` over an existing buffer.
+
+        The word matrix is a view — nothing is copied, which is what
+        makes shared-memory serving zero-copy per worker.  The view is
+        marked read-only: the buffer belongs to the publisher and readers
+        must never write through it.
+        """
+        words = np.ndarray(
+            (num_classes, -(-dim // _WORD)), dtype=np.uint64, buffer=buffer
+        )
+        words.flags.writeable = False
+        return cls(words=words, dim=dim, version=version)
+
     def distances(self, query_words: np.ndarray) -> np.ndarray:
         """Hamming distances ``(b, k)`` for packed query words ``(b, W)``."""
         return _distance_table(np.atleast_2d(query_words), self.words)

@@ -24,7 +24,12 @@ import numpy as np
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
 from repro.core.packed import pack, packed_backend_enabled, unpack
-from repro.core.recovery import RecoveryConfig, RecoveryStats, RobustHDRecovery
+from repro.core.recovery import (
+    ModelPublisher,
+    RecoveryConfig,
+    RecoveryStats,
+    RobustHDRecovery,
+)
 from repro.datasets.synthetic import Dataset
 from repro.faults.api import FaultMask, attack
 from repro.obs.metrics import current as _metrics
@@ -166,6 +171,7 @@ class RecoveryExperiment:
         mode: str = "random",
         seed: int = 0,
         block_size: int | None = None,
+        publisher: ModelPublisher | None = None,
         **attack_kwargs,
     ) -> RecoveryOutcome:
         """Attack the model, run the unlabeled stream, score before/after.
@@ -188,6 +194,12 @@ class RecoveryExperiment:
         :class:`~repro.faults.api.FaultMask`, the structured
         :class:`~repro.obs.trace.RecoveryTrace`, and the ground-truth
         :class:`~repro.obs.scorecard.FaultScorecard` joining them.
+
+        A ``publisher`` (see
+        :class:`~repro.core.recovery.ModelPublisher`) lets the recovery
+        writer announce each repaired model generation to a concurrent
+        serving tier (:mod:`repro.serve`) while this run is in flight;
+        results are bit-identical with or without one.
         """
         if passes < 1:
             raise ValueError(f"passes must be >= 1, got {passes}")
@@ -199,19 +211,31 @@ class RecoveryExperiment:
             )
             attacked_accuracy = self._score(attacked)
             recovery = RobustHDRecovery(
-                attacked, config, seed=seed + 1, block_size=block_size
+                attacked, config, seed=seed + 1, block_size=block_size,
+                publisher=publisher,
             )
             accuracy_trace = []
             order_rng = np.random.default_rng(seed + 2)
-            for _ in range(passes):
-                order = order_rng.permutation(self.stream_queries.shape[0])
-                stream = (
-                    self._stream_packed[order]
-                    if packed_backend_enabled()
-                    else self.stream_queries[order]
-                )
-                recovery.process(stream)
-                accuracy_trace.append(self._score(attacked))
+            try:
+                for _ in range(passes):
+                    order = order_rng.permutation(
+                        self.stream_queries.shape[0]
+                    )
+                    stream = (
+                        self._stream_packed[order]
+                        if packed_backend_enabled()
+                        else self.stream_queries[order]
+                    )
+                    recovery.process(stream)
+                    accuracy_trace.append(self._score(attacked))
+            finally:
+                # The recovery writer is done (or dead): deregister it so
+                # concurrent readers stop treating heartbeat age as a
+                # stall signal.  Optional on the ModelPublisher protocol —
+                # only shared-state publishers have a registration.
+                end_writing = getattr(publisher, "end_writing", None)
+                if end_writing is not None:
+                    end_writing()
         scorecard = fault_scorecard(
             recovery.trace,
             mask,

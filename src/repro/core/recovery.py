@@ -31,6 +31,7 @@ into multi-bit levels is not meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from repro.obs.metrics import current as _metrics
 from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace, _as_nested_tuple
 
 __all__ = [
+    "ModelPublisher",
     "RecoveryConfig",
     "RecoveryStats",
     "probabilistic_substitution",
@@ -50,6 +52,34 @@ __all__ = [
     "recover_block",
     "RobustHDRecovery",
 ]
+
+
+@runtime_checkable
+class ModelPublisher(Protocol):
+    """Where a recovery writer announces new model generations.
+
+    The online recovery loop is the single writer of the live model; a
+    publisher is its outbound channel to concurrent readers (the
+    :mod:`repro.serve` engine ships a shared-memory implementation, and
+    any object with these two methods works — the protocol keeps
+    ``repro.core`` free of serving dependencies):
+
+    * :meth:`publish` — called after a processed block whose recovery
+      writes bumped :attr:`HDCModel.version`; implementations snapshot
+      ``model.packed()`` (fresh by the ``writable()``/``bump_version``
+      contract) as a new immutable *generation* for readers to adopt.
+    * :meth:`touch` — called after a block with no model write; a
+      heartbeat so readers can distinguish "writer alive, model stable"
+      from "writer stalled" (the serve tier's degraded-mode trigger).
+    """
+
+    def publish(self, model: HDCModel) -> int:
+        """Snapshot the model as a new generation; returns its number."""
+        ...
+
+    def touch(self) -> None:
+        """Heartbeat: the writer is alive but published nothing new."""
+        ...
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -405,6 +435,7 @@ class RobustHDRecovery:
         config: RecoveryConfig | None = None,
         seed: int = 0,
         block_size: int | None = None,
+        publisher: ModelPublisher | None = None,
     ) -> None:
         self.config = config or RecoveryConfig()
         if model.dim % self.config.num_chunks != 0:
@@ -422,6 +453,8 @@ class RobustHDRecovery:
         self.rng = np.random.default_rng(seed)
         self.trace = RecoveryTrace()
         self.block_size = block_size
+        self.publisher = publisher
+        self._published_version: int | None = None
 
     @property
     def stats(self) -> RecoveryStats:
@@ -459,6 +492,14 @@ class RobustHDRecovery:
         words flow through the gate and the detector unmodified (see
         :func:`recover_block`), with bit-identical predictions and
         repairs.
+
+        When a ``publisher`` was supplied, each processed block is
+        followed by a generation publish (if the block's repairs bumped
+        the model version) or a heartbeat ``touch`` (if not).  Publishing
+        draws from no RNG and reads the model through the version-stamped
+        packed cache, so published and unpublished runs stay
+        bit-identical — the property the serve tier's sequential-vs-
+        concurrent equivalence tests pin.
         """
         if not isinstance(queries, PackedHypervectors):
             queries = np.atleast_2d(queries)
@@ -470,4 +511,17 @@ class RobustHDRecovery:
                 self.model, queries[lo:hi], self.config, self.rng,
                 trace=self.trace,
             )
+            self._announce()
         return preds
+
+    def _announce(self) -> None:
+        """Publish-or-heartbeat after one processed block (no-op without
+        a publisher)."""
+        if self.publisher is None:
+            return
+        version = self.model.version
+        if version != self._published_version:
+            self.publisher.publish(self.model)
+            self._published_version = version
+        else:
+            self.publisher.touch()

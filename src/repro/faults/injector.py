@@ -9,6 +9,7 @@ for both HDC models and quantised baseline deployments.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -19,6 +20,17 @@ from repro.core.model import HDCModel
 from repro.faults.api import attack
 
 __all__ = ["CampaignCell", "CampaignResult", "run_hdc_campaign", "run_deployment_campaign"]
+
+
+def _cell_seed(seed: int, mode: str, rate: float, trial: int) -> int:
+    """Per-trial RNG seed that is stable across processes and runs.
+
+    Built-in ``hash()`` salts strings per process (PYTHONHASHSEED), so a
+    "seeded" campaign would draw different streams on every run; CRC32
+    of a canonical key keeps trials independent *and* reproducible.
+    """
+    key = f"{seed}:{mode}:{round(rate * 1e9)}:{trial}".encode()
+    return zlib.crc32(key)
 
 
 @dataclass(frozen=True)
@@ -89,9 +101,7 @@ def run_hdc_campaign(
         for rate in rates:
             accs = []
             for trial in range(trials):
-                rng = np.random.default_rng(
-                    hash((seed, mode, round(rate * 1e9), trial)) % (2**32)
-                )
+                rng = np.random.default_rng(_cell_seed(seed, mode, rate, trial))
                 attacked, _ = attack(model, rate, mode, rng)
                 accs.append(
                     float(np.mean(attacked.predict(encoded_queries) == labels))
@@ -119,9 +129,7 @@ def run_deployment_campaign(
         for rate in rates:
             accs = []
             for trial in range(trials):
-                rng = np.random.default_rng(
-                    hash((seed, mode, round(rate * 1e9), trial)) % (2**32)
-                )
+                rng = np.random.default_rng(_cell_seed(seed, mode, rate, trial))
                 attacked = deployment.attacked(rate, mode, rng)
                 accs.append(attacked.score(features, labels))
             result.cells.append(_summary(clean, accs, rate, mode))

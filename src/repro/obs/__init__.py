@@ -5,9 +5,10 @@ Three zero-dependency components:
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges, histograms and monotonic timers, with a no-op default so
   un-instrumented callers pay ~nothing;
-* :mod:`repro.obs.trace` — a structured :class:`RecoveryTrace` event
-  log (one record per recovery block) with JSONL export and a rendered
-  summary;
+* :mod:`repro.obs.trace` — structured event logs with JSONL export and
+  rendered summaries: :class:`RecoveryTrace` (one record per recovery
+  block) and :class:`ServeTrace` (one record per serving-worker
+  micro-batch, emitted by :mod:`repro.serve`);
 * :mod:`repro.obs.scorecard` — joins a trace against the injected
   :class:`~repro.faults.api.FaultMask` to report chunk-detection
   precision/recall/F1 and bit-level repair efficacy.
@@ -28,7 +29,12 @@ from repro.obs.scorecard import (
     FaultScorecard,
     fault_scorecard,
 )
-from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace
+from repro.obs.trace import (
+    RecoveryBlockEvent,
+    RecoveryTrace,
+    ServeBatchEvent,
+    ServeTrace,
+)
 
 __all__ = [
     "ChunkDetectionScore",
@@ -38,6 +44,8 @@ __all__ = [
     "NullMetrics",
     "RecoveryBlockEvent",
     "RecoveryTrace",
+    "ServeBatchEvent",
+    "ServeTrace",
     "current",
     "disable_metrics",
     "enable_metrics",

@@ -26,7 +26,12 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["RecoveryBlockEvent", "RecoveryTrace"]
+__all__ = [
+    "RecoveryBlockEvent",
+    "RecoveryTrace",
+    "ServeBatchEvent",
+    "ServeTrace",
+]
 
 
 @dataclass(frozen=True)
@@ -264,3 +269,192 @@ class RecoveryTrace:
 def _as_nested_tuple(array: Iterable[Iterable[int]]) -> tuple[tuple[int, ...], ...]:
     """Helper for builders converting (k, m) arrays into event fields."""
     return tuple(tuple(int(v) for v in row) for row in array)
+
+
+@dataclass(frozen=True)
+class ServeBatchEvent:
+    """Everything a serving worker observed over one coalesced batch.
+
+    The concurrent serving engine (:mod:`repro.serve`) emits one event
+    per worker micro-batch — the serving-side sibling of
+    :class:`RecoveryBlockEvent`, with the same plain-data / exact-JSONL
+    contract.
+
+    Attributes
+    ----------
+    worker_id / batch_index:
+        Which worker served the batch, and its 0-based per-worker batch
+        counter.
+    requests / queries:
+        How many requests the worker coalesced into this batch and how
+        many query rows they contained in total.
+    expired:
+        Requests whose deadline had already passed when the batch was
+        assembled; they were answered with a deadline error *instead of*
+        being computed (their queries are not counted as served work).
+    generation / model_version:
+        The packed-model generation the batch was served from and the
+        :attr:`repro.core.model.HDCModel.version` it was published at.
+    adopted:
+        Whether the worker switched to a newer generation immediately
+        before serving this batch.
+    adoption_lag_s:
+        Seconds between that generation's publish and its adoption here
+        (0.0 when ``adopted`` is false).
+    staleness_s:
+        Age of the recovery writer's heartbeat at serve time; 0.0 when no
+        writer is registered.
+    degraded:
+        True when the batch was served in degraded mode — the writer's
+        heartbeat exceeded the engine's stall threshold, so the worker
+        knowingly served a stale snapshot rather than block.
+    queue_depth:
+        Requests outstanding (submitted, not yet resolved) when the
+        batch's results were collected — the client-side view of queue
+        pressure.
+    duration_s:
+        Worker wall time from batch assembly to results posted.
+    """
+
+    worker_id: int
+    batch_index: int
+    requests: int
+    queries: int
+    expired: int
+    generation: int
+    model_version: int
+    adopted: bool
+    adoption_lag_s: float
+    staleness_s: float
+    degraded: bool
+    queue_depth: int
+    duration_s: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeBatchEvent":
+        return cls(
+            worker_id=int(data["worker_id"]),
+            batch_index=int(data["batch_index"]),
+            requests=int(data["requests"]),
+            queries=int(data["queries"]),
+            expired=int(data["expired"]),
+            generation=int(data["generation"]),
+            model_version=int(data["model_version"]),
+            adopted=bool(data["adopted"]),
+            adoption_lag_s=float(data["adoption_lag_s"]),
+            staleness_s=float(data["staleness_s"]),
+            degraded=bool(data["degraded"]),
+            queue_depth=int(data["queue_depth"]),
+            duration_s=float(data["duration_s"]),
+        )
+
+
+@dataclass
+class ServeTrace:
+    """An append-only log of :class:`ServeBatchEvent` records."""
+
+    events: list[ServeBatchEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def last(self) -> ServeBatchEvent | None:
+        return self.events[-1] if self.events else None
+
+    def record(self, event: ServeBatchEvent) -> None:
+        self.events.append(event)
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def requests_served(self) -> int:
+        return sum(e.requests for e in self.events)
+
+    @property
+    def queries_served(self) -> int:
+        return sum(e.queries for e in self.events)
+
+    @property
+    def requests_expired(self) -> int:
+        return sum(e.expired for e in self.events)
+
+    @property
+    def degraded_batches(self) -> int:
+        return sum(1 for e in self.events if e.degraded)
+
+    @property
+    def adoptions(self) -> int:
+        return sum(1 for e in self.events if e.adopted)
+
+    def generations_served(self) -> dict[int, int]:
+        """Queries served per model generation (staleness distribution)."""
+        out: dict[int, int] = {}
+        for e in self.events:
+            out[e.generation] = out.get(e.generation, 0) + e.queries
+        return out
+
+    # -- serialisation -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line, one line per event."""
+        return "\n".join(
+            json.dumps(e.to_dict(), separators=(",", ":"))
+            for e in self.events
+        )
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ServeTrace":
+        events = [
+            ServeBatchEvent.from_dict(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return cls(events=events)
+
+    @classmethod
+    def read_jsonl(cls, path: str | Path) -> "ServeTrace":
+        return cls.from_jsonl(Path(path).read_text())
+
+    # -- rendering -----------------------------------------------------
+
+    def summary_table(self) -> str:
+        """Per-batch summary rendered via :mod:`repro.analysis.tables`."""
+        # Deferred import, same cycle-avoidance as RecoveryTrace.
+        from repro.analysis.tables import render_table
+
+        rows: list[Sequence[object]] = []
+        for e in self.events:
+            rows.append([
+                e.worker_id,
+                e.batch_index,
+                e.requests,
+                e.queries,
+                e.generation,
+                "yes" if e.adopted else "",
+                f"{e.staleness_s:.3f}",
+                "DEGRADED" if e.degraded else "",
+                e.expired,
+            ])
+        rows.append([
+            "total", "", self.requests_served, self.queries_served, "", "",
+            "", self.degraded_batches or "", self.requests_expired,
+        ])
+        return render_table(
+            ["worker", "batch", "requests", "queries", "gen", "adopted",
+             "staleness s", "mode", "expired"],
+            rows,
+            title="Serve trace",
+        )

@@ -1,0 +1,56 @@
+"""Concurrent multi-worker serving for packed HDC models.
+
+The serving tier the ROADMAP's "as fast as the hardware allows" north
+star calls for, built from three layers:
+
+* :mod:`repro.serve.shm` — the shared-memory substrate: named-segment
+  arrays with an idempotent close/unlink lifecycle (:class:`ShmArray`),
+  a seqlock-guarded control block, and the single-writer
+  :class:`GenerationPublisher` that snapshots each repaired model
+  version as an immutable generation.
+* :mod:`repro.serve.worker` — the worker-process loop: dequeue +
+  coalesce request frames, adopt the newest published generation
+  between batches, degrade (serve-on-stale-snapshot) rather than block
+  when the recovery writer stalls, answer with one packed XOR+popcount
+  distance computation per batch.
+* :mod:`repro.serve.engine` — the client-facing
+  :class:`ServingEngine`: bounded-ring submission with backpressure,
+  per-request deadlines, frame-batched dispatch, ordered bulk
+  ``predict``/``predict_features``, and a :class:`~repro.obs.trace.ServeTrace`
+  of per-batch events.
+
+Online recovery plugs in through :attr:`ServingEngine.publisher`, which
+satisfies the :class:`repro.core.recovery.ModelPublisher` protocol —
+hand it to :class:`~repro.core.recovery.RobustHDRecovery` or
+:meth:`repro.core.pipeline.RecoveryExperiment.attack_and_recover` and
+workers adopt each repaired generation live, bit-identical to the
+sequential reference run.
+"""
+
+from repro.serve.engine import (
+    Backpressure,
+    ServeConfig,
+    ServeResult,
+    ServingEngine,
+)
+from repro.serve.shm import (
+    ControlBlock,
+    GenerationPublisher,
+    ShmArray,
+    attach_generation,
+    unique_name,
+)
+from repro.serve.worker import worker_main
+
+__all__ = [
+    "Backpressure",
+    "ControlBlock",
+    "GenerationPublisher",
+    "ServeConfig",
+    "ServeResult",
+    "ServingEngine",
+    "ShmArray",
+    "attach_generation",
+    "unique_name",
+    "worker_main",
+]

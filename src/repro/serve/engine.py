@@ -1,0 +1,694 @@
+"""Multi-worker serving engine with live-recovery snapshot adoption.
+
+:class:`ServingEngine` owns the shared-memory substrate (control block,
+request payload ring, exported bound codebook, packed-model generations)
+and a pool of worker processes running
+:func:`repro.serve.worker.worker_main`.  Clients interact through three
+calls:
+
+* :meth:`ServingEngine.submit` / :meth:`~ServingEngine.submit_features`
+  — write one request's payload into a free ring slot and enqueue it.
+  The ring is the bounded buffer: when every slot is in flight, submit
+  blocks (bounded by ``backpressure_timeout``) and then raises
+  :class:`Backpressure` — load is shed at the front door, not by
+  unbounded queueing.
+* :meth:`ServingEngine.result` — wait for one request's
+  :class:`ServeResult` (predictions, or a deadline expiry).
+* :meth:`ServingEngine.predict` / :meth:`~ServingEngine.predict_features`
+  — bulk convenience: shard a query matrix into requests, frame-batch
+  them through the queue, and reassemble predictions in order.
+
+Requests are *frame-batched*: submits accumulate into one queue message
+(default 8 requests) so the per-message IPC cost — the dominant per-item
+cost at micro-batch sizes — is amortised; workers then coalesce multiple
+frames into a single packed distance computation.  Those two batching
+layers are what deliver multi-worker throughput even when workers share
+cores with the client.
+
+Live recovery plugs in through :attr:`ServingEngine.publisher`
+(a :class:`~repro.serve.shm.GenerationPublisher`, satisfying
+:class:`repro.core.recovery.ModelPublisher`): pass it to
+:meth:`repro.core.pipeline.RecoveryExperiment.attack_and_recover` and
+every repaired model version is snapshotted as a new immutable
+generation that workers adopt between batches.  Requests submitted after
+a publish returns are always served on that generation or newer — the
+queue hand-off orders the control-block write before the worker's read —
+which is what makes a concurrent attack-and-recover run bit-identical to
+its sequential reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+from multiprocessing import connection
+
+import numpy as np
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+from repro.obs.metrics import current as _metrics
+from repro.obs.trace import ServeBatchEvent, ServeTrace
+from repro.serve.shm import (
+    ControlBlock,
+    GenerationPublisher,
+    ShmArray,
+    unique_name,
+)
+from repro.serve.worker import PAYLOAD_FEATURES, PAYLOAD_PACKED, worker_main
+
+__all__ = ["Backpressure", "ServeConfig", "ServeResult", "ServingEngine"]
+
+
+class Backpressure(RuntimeError):
+    """Raised when no ring slot frees up within the backpressure timeout."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a worker needs to attach to the engine's shared state.
+
+    Pickled once into each worker at spawn; all mutable coordination
+    happens through the control block and the queues, never through this.
+    """
+
+    prefix: str
+    control_name: str
+    ring_name: str
+    ring_slots: int
+    slot_bytes: int
+    dim: int
+    coalesce_requests: int
+    stall_ns: int
+    codebook_name: str | None = None
+    num_features: int = 0
+    levels: int = 0
+    low: float = 0.0
+    high: float = 1.0
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Terminal state of one request."""
+
+    request_id: int
+    predictions: np.ndarray | None
+    expired: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.predictions is not None
+
+
+class _Pending:
+    """Client-side bookkeeping for one in-flight request."""
+
+    __slots__ = ("event", "result", "slot")
+
+    def __init__(self, slot: int) -> None:
+        self.event = threading.Event()
+        self.result: ServeResult | None = None
+        self.slot = slot
+
+
+class ServingEngine:
+    """Concurrent packed-model serving across worker processes.
+
+    Parameters
+    ----------
+    model:
+        The 1-bit model to serve — an :class:`~repro.core.model.HDCModel`
+        or a fitted :class:`~repro.core.model.HDCClassifier` (whose
+        encoder is adopted unless ``encoder`` overrides it).  Its current
+        packed snapshot becomes generation 1.
+    encoder:
+        Optional :class:`~repro.core.encoder.Encoder`; when given, its
+        packed bound codebook is exported to shared memory and workers
+        accept raw-feature requests (:meth:`submit_features`).
+    num_workers:
+        Worker process count.
+    ring_slots:
+        Bound on concurrently in-flight requests (the backpressure
+        limit).
+    max_queries_per_request:
+        Ring-slot capacity in query rows.
+    frame_requests:
+        Requests accumulated into one queue message before auto-flush.
+    coalesce_requests:
+        Upper bound on requests a worker folds into one distance
+        computation.
+    backpressure_timeout:
+        Seconds :meth:`submit` waits for a free slot before raising
+        :class:`Backpressure`; ``None`` waits forever.
+    stall_timeout:
+        Writer-heartbeat age (seconds) beyond which workers mark batches
+        ``degraded``.
+    mp_context:
+        ``multiprocessing`` start-method name (default ``"fork"``).
+    """
+
+    def __init__(
+        self,
+        model: HDCModel | HDCClassifier,
+        *,
+        encoder: Encoder | None = None,
+        num_workers: int = 2,
+        ring_slots: int = 64,
+        max_queries_per_request: int = 64,
+        frame_requests: int = 8,
+        coalesce_requests: int = 64,
+        backpressure_timeout: float | None = None,
+        stall_timeout: float = 2.0,
+        mp_context: str = "fork",
+    ) -> None:
+        if isinstance(model, HDCClassifier):
+            if encoder is None:
+                encoder = model.encoder
+            model = model._require_model()
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if ring_slots < 1:
+            raise ValueError(f"ring_slots must be >= 1, got {ring_slots}")
+        if max_queries_per_request < 1:
+            raise ValueError(
+                "max_queries_per_request must be >= 1, "
+                f"got {max_queries_per_request}"
+            )
+        packed = model.packed()
+        self.model = model
+        self.encoder = encoder
+        self.dim = packed.dim
+        self.num_classes = packed.num_classes
+        self.max_queries_per_request = max_queries_per_request
+        self.backpressure_timeout = backpressure_timeout
+        self.trace = ServeTrace()
+        self._stopped = False
+        self._worker_errors: list[tuple[int, str]] = []
+
+        prefix = unique_name()
+        words = packed.words.shape[1]
+        slot_words = max_queries_per_request * words
+        codebook_name = None
+        cfg_features = 0
+        cfg_levels = 0
+        cfg_low = 0.0
+        cfg_high = 1.0
+        self._codebook_segment: ShmArray | None = None
+        if encoder is not None:
+            if encoder.dim != self.dim:
+                raise ValueError(
+                    f"encoder dim {encoder.dim} != model dim {self.dim}"
+                )
+            codebook_name = f"{prefix}-codebook"
+            self._codebook_segment = ShmArray.create(
+                codebook_name, encoder.packed_codebook().words
+            )
+            cfg_features = encoder.num_features
+            cfg_levels = encoder.levels
+            cfg_low = encoder.low
+            cfg_high = encoder.high
+            slot_words = max(
+                slot_words, max_queries_per_request * encoder.num_features
+            )
+
+        control_name = f"{prefix}-control"
+        ring_name = f"{prefix}-ring"
+        self.control = ControlBlock.create(control_name)
+        self._ring = ShmArray.zeros(
+            ring_name, (ring_slots, slot_words), np.uint64
+        )
+        self.publisher = GenerationPublisher(prefix, self.control)
+        self.publisher.publish_packed(packed)  # generation 1
+        # No recovery writer is running yet: deregister so an idle
+        # serving-only engine never trips the stall detector.  The next
+        # publish()/touch() (a recovery loop starting) re-registers.
+        self.publisher.end_writing()
+
+        self.config = ServeConfig(
+            prefix=prefix,
+            control_name=control_name,
+            ring_name=ring_name,
+            ring_slots=ring_slots,
+            slot_bytes=slot_words * 8,
+            dim=self.dim,
+            coalesce_requests=coalesce_requests,
+            stall_ns=int(stall_timeout * 1e9),
+            codebook_name=codebook_name,
+            num_features=cfg_features,
+            levels=cfg_levels,
+            low=cfg_low,
+            high=cfg_high,
+        )
+
+        ctx = mp.get_context(mp_context)
+        # One private request queue per worker: frames are round-robined
+        # across them and a dead worker's unserved frames re-routed to
+        # survivors.  A shared queue would let a SIGKILLed worker die
+        # holding the queue's reader lock and wedge every sibling.
+        self._queues = [ctx.Queue() for _ in range(num_workers)]
+        self._result_q = ctx.Queue()
+        self._free_slots = list(range(ring_slots))
+        self._slot_sem = threading.Semaphore(ring_slots)
+        self._lock = threading.Lock()
+        self._next_request_id = 0
+        self._next_worker = 0
+        self._pending: dict[int, _Pending] = {}
+        self._dispatched: dict[int, tuple[int, tuple]] = {}
+        self._dead: set[int] = set()
+        self._outbox: list[tuple] = []
+        self._frame_requests = max(1, frame_requests)
+
+        # Workers fork before the collector thread starts, so the children
+        # never inherit a half-held thread state.
+        self.workers = [
+            ctx.Process(
+                target=worker_main,
+                args=(i, self.config, self._queues[i], self._result_q),
+                daemon=True,
+                name=f"repro-serve-worker-{i}",
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self.workers:
+            worker.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._watch_workers, name="repro-serve-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        self._finalizer = weakref.finalize(
+            self,
+            _emergency_cleanup,
+            self.workers,
+            [self._ring, self._codebook_segment],
+            self.publisher,
+            self.control,
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query_words: np.ndarray,
+        *,
+        deadline: float | None = None,
+        flush: bool = True,
+    ) -> int:
+        """Enqueue packed query words ``(n, words)``; returns a request id.
+
+        ``deadline`` is seconds from now; a request still queued when it
+        passes is answered expired instead of computed.  ``flush=False``
+        leaves the request in the current frame so callers issuing many
+        submits amortise the queue hand-off (the frame auto-flushes every
+        ``frame_requests`` submits; call :meth:`flush` after the last
+        one).
+        """
+        query_words = np.ascontiguousarray(query_words, dtype=np.uint64)
+        if query_words.ndim != 2:
+            raise ValueError(
+                f"expected (n, words) query words, got {query_words.shape}"
+            )
+        return self._submit(query_words, PAYLOAD_PACKED, deadline, flush)
+
+    def submit_features(
+        self,
+        features: np.ndarray,
+        *,
+        deadline: float | None = None,
+        flush: bool = True,
+    ) -> int:
+        """Enqueue raw feature rows ``(n, num_features)`` for encoding.
+
+        Requires the engine to have been built with an ``encoder`` (its
+        bound codebook is what the workers encode against).
+        """
+        if self.config.codebook_name is None:
+            raise ValueError(
+                "feature requests need an engine built with an encoder"
+            )
+        features = np.ascontiguousarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.config.num_features:
+            raise ValueError(
+                f"expected (n, {self.config.num_features}) features, "
+                f"got {features.shape}"
+            )
+        return self._submit(
+            features.view(np.uint64), PAYLOAD_FEATURES, deadline, flush
+        )
+
+    def _submit(
+        self,
+        payload_words: np.ndarray,
+        kind: int,
+        deadline: float | None,
+        flush: bool,
+    ) -> int:
+        if self._stopped:
+            raise RuntimeError("engine is stopped")
+        n_queries = payload_words.shape[0]
+        if n_queries < 1 or n_queries > self.max_queries_per_request:
+            raise ValueError(
+                f"request must carry 1..{self.max_queries_per_request} "
+                f"queries, got {n_queries}"
+            )
+        if not self._slot_sem.acquire(timeout=self.backpressure_timeout):
+            metrics = _metrics()
+            if metrics.enabled:
+                metrics.inc("serve.backpressure_rejections")
+            raise Backpressure(
+                f"no free request slot within {self.backpressure_timeout}s "
+                f"({self.config.ring_slots} in flight)"
+            )
+        flat = payload_words.reshape(-1)
+        deadline_ns = (
+            time.monotonic_ns() + int(deadline * 1e9) if deadline else 0
+        )
+        with self._lock:
+            slot = self._free_slots.pop()
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._ring.array[slot, : flat.shape[0]] = flat
+            self._pending[request_id] = _Pending(slot)
+            self._outbox.append(
+                (request_id, slot, n_queries, deadline_ns, kind)
+            )
+            should_flush = flush or len(self._outbox) >= self._frame_requests
+            frame = self._take_outbox() if should_flush else None
+        if frame:
+            self._dispatch(frame)
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("serve.requests")
+            metrics.inc("serve.queries", n_queries)
+        return request_id
+
+    def _take_outbox(self) -> list[tuple]:
+        frame, self._outbox = self._outbox, []
+        return frame
+
+    def flush(self) -> None:
+        """Dispatch any frame-batched requests still waiting locally."""
+        with self._lock:
+            frame = self._take_outbox()
+        if frame:
+            self._dispatch(frame)
+
+    def _dispatch(self, frame: list[tuple]) -> None:
+        """Route one frame to a live worker, recording the assignment.
+
+        Assignments are what lets :meth:`_handle_worker_death` re-route a
+        crashed worker's unserved requests — their payloads still sit in
+        the ring (slots are freed only on resolution), so a survivor can
+        serve them from the same slots.
+        """
+        with self._lock:
+            target = self._pick_worker()
+            for entry in frame:
+                self._dispatched[entry[0]] = (target, entry)
+        self._queues[target].put(frame)
+
+    def _pick_worker(self) -> int:
+        """Round-robin over live workers (caller holds the lock)."""
+        for _ in range(len(self.workers)):
+            target = self._next_worker
+            self._next_worker = (self._next_worker + 1) % len(self.workers)
+            if target not in self._dead:
+                return target
+        # Every worker is dead: the monitor has already failed whatever
+        # was in flight, and stop() fails anything submitted after this.
+        return 0
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def result(self, request_id: int, timeout: float | None = 30.0) -> ServeResult:
+        """Wait for one request's terminal result."""
+        pending = self._pending.get(request_id)
+        if pending is None:
+            raise KeyError(f"unknown or already-collected request {request_id}")
+        if not pending.event.wait(timeout):
+            raise TimeoutError(
+                f"request {request_id} unresolved after {timeout}s"
+                + (
+                    f" (worker errors: {self._worker_errors})"
+                    if self._worker_errors
+                    else ""
+                )
+            )
+        with self._lock:
+            self._pending.pop(request_id, None)
+        assert pending.result is not None
+        return pending.result
+
+    def predict(
+        self, query_words: np.ndarray, *, timeout: float | None = 60.0
+    ) -> np.ndarray:
+        """Serve a packed query matrix ``(b, words)`` through the pool.
+
+        Shards into ``max_queries_per_request``-row requests, frame-
+        batches the submits, and reassembles predictions in input order.
+        """
+        return self._bulk(np.ascontiguousarray(query_words, np.uint64),
+                          self.submit, timeout)
+
+    def predict_features(
+        self, features: np.ndarray, *, timeout: float | None = 60.0
+    ) -> np.ndarray:
+        """Serve raw features ``(b, num_features)`` through the pool."""
+        return self._bulk(np.ascontiguousarray(features, np.float64),
+                          self.submit_features, timeout)
+
+    def _bulk(self, matrix: np.ndarray, submit, timeout) -> np.ndarray:
+        step = self.max_queries_per_request
+        ids = []
+        parts = []
+        start = 0
+        while start < matrix.shape[0]:
+            chunk = matrix[start : start + step]
+            ids.append(submit(chunk, flush=False))
+            start += step
+            # Collect eagerly once enough requests are in flight to keep
+            # the ring from self-deadlocking on large inputs.
+            if len(ids) >= self.config.ring_slots // 2:
+                self.flush()
+                parts.extend(self._gather(ids, timeout))
+                ids = []
+        self.flush()
+        parts.extend(self._gather(ids, timeout))
+        return (
+            np.concatenate(parts)
+            if parts
+            else np.empty((0,), dtype=np.int64)
+        )
+
+    def _gather(self, ids, timeout) -> list[np.ndarray]:
+        parts = []
+        for request_id in ids:
+            result = self.result(request_id, timeout=timeout)
+            if result.predictions is None:
+                raise TimeoutError(
+                    f"request {request_id} expired before being served"
+                )
+            parts.append(result.predictions)
+        return parts
+
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        metrics = _metrics()
+        while True:
+            message = self._result_q.get()
+            if message is None:
+                return
+            if message[0] == "error":
+                _, worker_id, tb = message
+                self._worker_errors.append((worker_id, tb))
+                if metrics.enabled:
+                    metrics.inc("serve.worker_errors")
+                continue
+            _, worker_id, outputs, event_dict = message
+            expired_count = 0
+            with self._lock:
+                for request_id, predictions, expired in outputs:
+                    pending = self._pending.get(request_id)
+                    if pending is None or pending.result is not None:
+                        # Unknown, or already resolved (e.g. served twice
+                        # because a crashed worker's batch was re-routed
+                        # and the original result arrived late anyway).
+                        continue
+                    self._dispatched.pop(request_id, None)
+                    pending.result = ServeResult(
+                        request_id=request_id,
+                        predictions=predictions,
+                        expired=bool(expired),
+                    )
+                    self._free_slots.append(pending.slot)
+                    self._slot_sem.release()
+                    expired_count += int(expired)
+                    pending.event.set()
+                event_dict = dict(event_dict)
+                event_dict["queue_depth"] = len(
+                    [p for p in self._pending.values() if not p.event.is_set()]
+                )
+                event = ServeBatchEvent.from_dict(event_dict)
+                self.trace.record(event)
+            if metrics.enabled:
+                metrics.inc("serve.batches")
+                metrics.inc("serve.deadline_expired", expired_count)
+                metrics.gauge("serve.queue_depth", event.queue_depth)
+                metrics.gauge("serve.staleness_s", event.staleness_s)
+                if event.adopted:
+                    metrics.inc("serve.adoptions")
+                    metrics.observe(
+                        "serve.adoption_lag_s", event.adoption_lag_s
+                    )
+                if event.degraded:
+                    metrics.inc("serve.degraded_batches")
+
+    # ------------------------------------------------------------------
+    # Worker liveness
+    # ------------------------------------------------------------------
+
+    def _watch_workers(self) -> None:
+        """Detect worker deaths and re-route their unserved requests."""
+        while not self._stopped:
+            sentinels = {
+                worker.sentinel: i
+                for i, worker in enumerate(self.workers)
+                if i not in self._dead
+            }
+            if not sentinels:
+                return
+            for sentinel in connection.wait(list(sentinels), timeout=0.1):
+                if self._stopped:
+                    return
+                worker_idx = sentinels[sentinel]
+                self.workers[worker_idx].join(timeout=0.1)  # reap
+                with self._lock:
+                    self._dead.add(worker_idx)
+                self._handle_worker_death(worker_idx)
+
+    def _handle_worker_death(self, worker_idx: int) -> None:
+        """Recover the requests a dead worker was holding.
+
+        Their payloads are still in the ring (slots free only on
+        resolution), so with survivors left they are simply re-framed to
+        a live worker; with none left they are failed immediately so no
+        caller blocks on a result that can never arrive.
+        """
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("serve.worker_deaths")
+        frame: list[tuple] = []
+        with self._lock:
+            stale = [
+                (request_id, entry)
+                for request_id, (owner, entry) in self._dispatched.items()
+                if owner == worker_idx
+            ]
+            any_alive = len(self._dead) < len(self.workers)
+            for request_id, entry in stale:
+                self._dispatched.pop(request_id, None)
+                pending = self._pending.get(request_id)
+                if pending is None or pending.result is not None:
+                    continue
+                if any_alive:
+                    frame.append(entry)
+                else:
+                    pending.result = ServeResult(
+                        request_id=request_id, predictions=None, expired=True
+                    )
+                    self._free_slots.append(pending.slot)
+                    self._slot_sem.release()
+                    pending.event.set()
+        if frame:
+            self._dispatch(frame)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain, stop workers, release every shared segment.  Idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.flush()
+        for q in self._queues:
+            q.put(None)
+        deadline = time.monotonic() + timeout
+        for worker in self.workers:
+            worker.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+                if worker.is_alive():  # pragma: no cover - last resort
+                    worker.kill()
+                    worker.join(timeout=1.0)
+        self._result_q.put(None)
+        self._collector.join(timeout=timeout)
+        self._monitor.join(timeout=timeout)
+        # Fail anything a dead worker left unresolved so callers can't
+        # block forever on a request that will never be answered.
+        with self._lock:
+            for pending in self._pending.values():
+                if pending.result is None:
+                    pending.result = ServeResult(
+                        request_id=-1, predictions=None, expired=True
+                    )
+                    pending.event.set()
+        for q in (*self._queues, self._result_q):
+            q.close()
+            q.cancel_join_thread()
+        self.publisher.end_writing = lambda: None  # control is going away
+        self.publisher.close()
+        if self._codebook_segment is not None:
+            self._codebook_segment.close()
+            self._codebook_segment.unlink()
+        self._ring.unlink()
+        self.control.unlink()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def worker_errors(self) -> list[tuple[int, str]]:
+        """Tracebacks reported by crashed-but-not-killed workers."""
+        return list(self._worker_errors)
+
+
+def _emergency_cleanup(workers, segments, publisher, control) -> None:
+    """GC/interpreter-exit safety net: never leak processes or segments."""
+    for worker in workers:
+        if worker.is_alive():
+            worker.terminate()
+    for segment in segments:
+        if segment is not None:
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+    try:
+        publisher.close()
+    except Exception:
+        pass
+    try:
+        control.unlink()
+    except Exception:
+        pass

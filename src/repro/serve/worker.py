@@ -1,0 +1,229 @@
+"""Serving-worker process loop for the concurrent serving engine.
+
+Each worker attaches (read-only, zero-copy) to the engine's shared
+segments — the control block, the request payload ring, and, for
+feature-payload engines, the exported bound codebook — then loops:
+
+1. **Dequeue + coalesce.**  Block on the request queue for one frame of
+   requests, then drain whatever else is immediately available (up to
+   ``coalesce_requests``) so queued-up work is answered with *one*
+   distance computation instead of one per request.  This is where the
+   engine's throughput comes from: the packed XOR+popcount kernel is
+   ~an order of magnitude cheaper per query at batch size than at
+   request size.
+2. **Adopt.**  Read the control block (seqlock) and, if the recovery
+   writer has published a newer generation, remap to it before serving.
+   Generations are immutable, so within a batch every query sees one
+   consistent model.  An attach that races a retirement re-reads the
+   control block and lands on the newer generation it now names.
+3. **Degrade rather than block.**  If a writer is registered but its
+   heartbeat is older than the stall threshold, serve anyway on the
+   current snapshot and flag the batch ``degraded`` — availability over
+   freshness, with the staleness reported in the batch event.
+4. **Serve.**  Drop requests whose deadline already passed, gather the
+   remaining payloads from the ring (packed query words directly, or
+   features quantised + encoded against the shared codebook), run one
+   coalesced distance computation, and post per-request predictions plus
+   one :class:`~repro.obs.trace.ServeBatchEvent`-shaped record back on
+   the result queue.
+
+Each worker owns a private request queue (the engine round-robins
+frames and re-routes a dead worker's unserved frames to survivors): a
+worker killed mid-``get`` can therefore never wedge its siblings on a
+shared queue lock.  The loop exits on the ``None`` sentinel; a sentinel
+seen while draining still gets the in-hand batch served first —
+shutdown never drops accepted work.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+import traceback
+
+import numpy as np
+
+from repro.core.encoder import encode_words_from_codebook, quantize_features
+from repro.serve.shm import ControlBlock, ShmArray, attach_generation
+
+__all__ = ["PAYLOAD_FEATURES", "PAYLOAD_PACKED", "worker_main"]
+
+# Per-request payload kinds, as stored in request tuples.
+PAYLOAD_PACKED = 0  # ring slot holds (n_queries, words) uint64 query words
+PAYLOAD_FEATURES = 1  # ring slot holds (n_queries, num_features) float64
+
+
+def _drain(request_q, first, coalesce: int):
+    """Coalesce immediately-available frames behind ``first``.
+
+    Returns ``(requests, saw_sentinel)``.  The queue is this worker's
+    own, so a drained ``None`` sentinel is ours: it stops the drain and
+    the loop exits once the in-hand batch has been served.
+    """
+    requests = list(first)
+    saw_sentinel = False
+    while len(requests) < coalesce:
+        try:
+            frame = request_q.get_nowait()
+        except queue.Empty:
+            break
+        if frame is None:
+            saw_sentinel = True
+            break
+        requests.extend(frame)
+    return requests, saw_sentinel
+
+
+def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
+    """Entry point of one serving-worker process.
+
+    ``cfg`` is the engine's :class:`~repro.serve.engine.ServeConfig`;
+    the queues carry request frames in and result batches out.  Runs
+    until the stop sentinel arrives; any unexpected exception is
+    reported as an ``("error", worker_id, traceback)`` message so the
+    engine can surface it instead of hanging on lost results.
+    """
+    control = ControlBlock.attach(cfg.control_name)
+    ring = ShmArray.attach(
+        cfg.ring_name, (cfg.ring_slots, cfg.slot_bytes // 8), np.uint64
+    )
+    codebook = None
+    if cfg.codebook_name is not None:
+        words = -(-cfg.dim // 64)
+        codebook = ShmArray.attach(
+            cfg.codebook_name,
+            (cfg.num_features, cfg.levels, words),
+            np.uint64,
+        )
+    segment = None
+    packed = None
+    generation = 0
+    batch_index = 0
+    try:
+        while True:
+            frame = request_q.get()
+            if frame is None:
+                break
+            requests, saw_sentinel = _drain(
+                request_q, frame, cfg.coalesce_requests
+            )
+            t0 = time.perf_counter()
+            now = time.monotonic_ns()
+
+            # Adopt the newest published generation before serving.
+            snapshot = control.read()
+            while snapshot.generation == 0:  # engine publishes before start
+                time.sleep(0.001)
+                snapshot = control.read()
+            adopted = False
+            adoption_lag_s = 0.0
+            if snapshot.generation != generation:
+                while True:
+                    try:
+                        new_segment, new_packed = attach_generation(
+                            cfg.prefix, snapshot
+                        )
+                        break
+                    except FileNotFoundError:
+                        # Raced a retirement; the control block now names
+                        # a newer generation — adopt that one instead.
+                        snapshot = control.read()
+                packed = new_packed
+                if segment is not None:
+                    segment.close()
+                segment = new_segment
+                generation = snapshot.generation
+                adopted = True
+                adoption_lag_s = max(
+                    0.0, (time.monotonic_ns() - snapshot.publish_ns) / 1e9
+                )
+            staleness_s = (
+                max(0.0, (now - snapshot.heartbeat_ns) / 1e9)
+                if snapshot.writer_active
+                else 0.0
+            )
+            degraded = (
+                snapshot.writer_active
+                and now - snapshot.heartbeat_ns > cfg.stall_ns
+            )
+
+            # Partition on deadlines, then serve the live requests with
+            # one coalesced distance computation.
+            live = []  # (req_id, n_queries, kind, slot)
+            expired = []
+            for req_id, slot, n_queries, deadline_ns, kind in requests:
+                if deadline_ns and now > deadline_ns:
+                    expired.append(req_id)
+                else:
+                    live.append((req_id, slot, n_queries, kind))
+            total_queries = 0
+            outputs = []  # (req_id, predictions | None, expired?)
+            if live:
+                model_words = packed.words.shape[1]
+                rows = []
+                for _, slot, n_queries, kind in live:
+                    if kind == PAYLOAD_PACKED:
+                        rows.append(
+                            ring.array[slot, : n_queries * model_words]
+                            .reshape(n_queries, model_words)
+                        )
+                    else:
+                        feats = (
+                            ring.array[slot, : n_queries * cfg.num_features]
+                            .view(np.float64)
+                            .reshape(n_queries, cfg.num_features)
+                        )
+                        idx = quantize_features(
+                            feats, cfg.levels, cfg.low, cfg.high
+                        )
+                        rows.append(
+                            encode_words_from_codebook(codebook.array, idx)
+                        )
+                    total_queries += n_queries
+                query_words = (
+                    rows[0] if len(rows) == 1 else np.concatenate(rows)
+                )
+                # Min-distance argmin matches HDCModel.predict's argmax
+                # over similarities, including first-index tie order.
+                predictions = np.argmin(
+                    packed.distances(query_words), axis=1
+                ).astype(np.int64)
+                offset = 0
+                for req_id, _, n_queries, _ in live:
+                    outputs.append(
+                        (req_id, predictions[offset : offset + n_queries],
+                         False)
+                    )
+                    offset += n_queries
+            for req_id in expired:
+                outputs.append((req_id, None, True))
+
+            event = {
+                "worker_id": worker_id,
+                "batch_index": batch_index,
+                "requests": len(requests),
+                "queries": total_queries,
+                "expired": len(expired),
+                "generation": generation,
+                "model_version": packed.version,
+                "adopted": adopted,
+                "adoption_lag_s": adoption_lag_s,
+                "staleness_s": staleness_s,
+                "degraded": degraded,
+                "duration_s": time.perf_counter() - t0,
+            }
+            result_q.put(("batch", worker_id, outputs, event))
+            batch_index += 1
+            if saw_sentinel:
+                break  # in-hand work served; now shut down
+    except Exception:  # pragma: no cover - defensive reporting path
+        result_q.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        packed = None  # drop views into the mappings before closing them
+        if segment is not None:
+            segment.close()
+        if codebook is not None:
+            codebook.close()
+        ring.close()
+        control.close()
+        result_q.close()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.confidence import prediction_confidence
+from repro.core.confidence import confident_mask, prediction_confidence
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier
 from repro.datasets.synthetic import make_prototype_classification
@@ -47,6 +47,36 @@ class TestNoiseMethod:
         preds, conf = prediction_confidence(sims, method="noise", scale=1.0)
         assert preds[0] == 0
         assert 0.5 < conf[0] <= 1.0
+
+
+class TestConfidentMaskForwardsScale:
+    def test_noise_method_usable_at_k2(self):
+        """Regression: confident_mask used to drop ``scale``, so the only
+        usable method at k=2 always raised through the public API."""
+        sims = np.array([[10.0, 0.0], [5.1, 4.9]])
+        preds, conf, mask = confident_mask(
+            sims, threshold=0.7, method="noise", scale=2.0
+        )
+        assert preds.tolist() == [0, 0]
+        # Wide margin trusted, razor-thin margin not: the discrimination
+        # the z-score methods cannot provide with two classes.
+        assert mask.tolist() == [True, False]
+        ref_preds, ref_conf = prediction_confidence(
+            sims, method="noise", scale=2.0
+        )
+        assert (preds == ref_preds).all()
+        assert conf == pytest.approx(ref_conf)
+
+    def test_noise_method_still_requires_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            confident_mask(np.zeros((1, 2)), threshold=0.5, method="noise")
+
+    def test_scale_ignored_by_other_methods(self):
+        sims = np.array([[3.0, 1.0, 0.0]])
+        a = confident_mask(sims, threshold=0.5, method="margin")
+        b = confident_mask(sims, threshold=0.5, method="margin", scale=123.0)
+        for x, y in zip(a, b):
+            assert (x == y).all()
 
 
 class TestTwoClassRecoveryGate:

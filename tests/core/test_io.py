@@ -72,3 +72,82 @@ class TestSaveLoad:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError, match="version"):
             load_classifier(path)
+
+
+class TestEncodeBlockBytesPersistence:
+    """Regression: v1 silently dropped ``Encoder.encode_block_bytes``."""
+
+    def test_explicit_budget_round_trips(self, tmp_path):
+        encoder = Encoder(num_features=8, dim=256, levels=8, seed=3,
+                          encode_block_bytes=12_345)
+        clf = HDCClassifier(encoder, num_classes=2, epochs=0).fit(
+            np.random.default_rng(0).random((20, 8)),
+            np.random.default_rng(1).integers(0, 2, 20),
+        )
+        path = tmp_path / "m.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        assert loaded.encoder.encode_block_bytes == 12_345
+        assert loaded.encoder.block_bytes() == 12_345
+
+    def test_default_budget_round_trips_as_none(self, fitted, tmp_path):
+        _, clf = fitted
+        assert clf.encoder.encode_block_bytes is None
+        path = tmp_path / "m.npz"
+        save_classifier(path, clf)
+        assert load_classifier(path).encoder.encode_block_bytes is None
+
+    def test_v1_file_loads_with_documented_default(self, fitted, tmp_path):
+        _, clf = fitted
+        path = tmp_path / "m.npz"
+        save_classifier(path, clf)
+        data = dict(np.load(path))
+        # Rewrite the artefact as a v1 file: no block-bytes field.
+        data["format_version"] = np.int64(1)
+        del data["encode_block_bytes"]
+        np.savez_compressed(path, **data)
+        loaded = load_classifier(path)
+        assert loaded.encoder.encode_block_bytes is None
+        assert (loaded.model.class_hv == clf.model.class_hv).all()
+
+
+class TestLoadedFittedStateInvariants:
+    """Loading routes through HDCClassifier.from_model, not attribute
+    assignment — a loaded model starts at packed-cache version 0 by
+    contract and serves packed predictions immediately."""
+
+    def test_loaded_model_version_zero(self, fitted, tmp_path):
+        _, clf = fitted
+        path = tmp_path / "m.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        assert loaded.model.version == 0
+
+    def test_loaded_classifier_serves_packed_predictions(self, fitted,
+                                                         tmp_path):
+        task, clf = fitted
+        path = tmp_path / "m.npz"
+        save_classifier(path, clf)
+        loaded = load_classifier(path)
+        packed = loaded.encoder.encode_packed(task.test_x)
+        # Packed ingest straight after load: exercises the packed cache
+        # from version 0 and must match the original's predictions.
+        assert (loaded.model.predict(packed) == clf.predict(task.test_x)).all()
+        assert loaded.model.packed().version == 0
+
+    def test_from_model_rejects_dim_mismatch(self, fitted):
+        _, clf = fitted
+        bad_encoder = Encoder(num_features=20, dim=clf.encoder.dim * 2,
+                              levels=16, seed=5)
+        with pytest.raises(ValueError, match="dim"):
+            HDCClassifier.from_model(bad_encoder, clf.model)
+
+    def test_num_classes_consistency_check(self, fitted, tmp_path):
+        _, clf = fitted
+        path = tmp_path / "m.npz"
+        save_classifier(path, clf)
+        data = dict(np.load(path))
+        data["num_classes"] = np.int64(7)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="num_classes"):
+            load_classifier(path)

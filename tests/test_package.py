@@ -21,6 +21,8 @@ class TestPackageSurface:
             "repro.datasets",
             "repro.experiments",
             "repro.analysis",
+            "repro.obs",
+            "repro.serve",
         ],
     )
     def test_subpackage_all_resolves(self, module):
