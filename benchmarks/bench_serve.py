@@ -29,7 +29,11 @@ Usage::
 
 ``--smoke`` shrinks every workload so the run takes a couple of seconds
 and, unless ``--output`` is given explicitly, does not overwrite the
-committed ``BENCH_serve.json``.
+committed ``BENCH_serve.json``.  ``--telemetry`` scrapes the worker
+shared-memory telemetry slabs and records true cross-worker batch
+latency percentiles (fleet p50/p95/p99) per worker count;
+``--prom-output PATH`` additionally exports the scraped fleet metrics in
+Prometheus text format (CI publishes this as a workflow artifact).
 """
 
 from __future__ import annotations
@@ -47,6 +51,8 @@ from repro.core.model import HDCClassifier
 from repro.core.pipeline import RecoveryExperiment
 from repro.core.recovery import RecoveryConfig
 from repro.datasets.synthetic import make_prototype_classification
+from repro.obs.export import write_prometheus
+from repro.obs.metrics import MetricsRegistry
 from repro.serve import ServingEngine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -94,7 +100,9 @@ def _drive(engine: ServingEngine, requests: list[np.ndarray],
 
 def bench_throughput(num_classes: int, num_features: int, dim: int,
                      levels: int, queries_per_request: int, requests: int,
-                     worker_counts: tuple[int, ...], repeats: int) -> dict:
+                     worker_counts: tuple[int, ...], repeats: int,
+                     telemetry: bool = False,
+                     registry: MetricsRegistry | None = None) -> dict:
     task = make_prototype_classification(
         "bench-serve", num_features=num_features, num_classes=num_classes,
         num_train=num_classes * 30, num_test=64, seed=0,
@@ -156,9 +164,23 @@ def bench_throughput(num_classes: int, num_features: int, dim: int,
             best = float("inf")
             for _ in range(repeats):
                 best = min(best, _drive(engine, payloads, window))
+            fleet = None
+            if telemetry:
+                # Fleet percentiles out of worker shared memory: true
+                # cross-worker batch-latency distribution, merged from
+                # the per-worker log2 bins.
+                ps = engine.telemetry.percentiles(
+                    "batch_duration_ns", (50.0, 95.0, 99.0)
+                )
+                fleet = {
+                    f"batch_duration_ms_p{int(q)}": value / 1e6
+                    for q, value in ps.items()
+                }
+                if registry is not None:
+                    engine.scrape_telemetry(registry)
         finally:
             engine.stop()
-        result["workers"][str(workers)] = {
+        entry = {
             "requests_per_s": requests / best,
             "queries_per_s": requests * queries_per_request / best,
             "speedup_vs_baseline": best_base / best,
@@ -167,6 +189,9 @@ def bench_throughput(num_classes: int, num_features: int, dim: int,
                 engine.trace.requests_served / max(1, len(engine.trace))
             ),
         }
+        if fleet is not None:
+            entry["fleet"] = fleet
+        result["workers"][str(workers)] = entry
     return result
 
 
@@ -280,7 +305,8 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
     }
 
 
-def run(smoke: bool) -> dict:
+def run(smoke: bool, telemetry: bool = False,
+        registry: MetricsRegistry | None = None) -> dict:
     if smoke:
         throughput_kw = dict(
             num_classes=6, num_features=16, dim=1_024, levels=8,
@@ -298,13 +324,15 @@ def run(smoke: bool) -> dict:
         recovery_kw = dict(num_classes=5, num_features=16, dim=2_000,
                            levels=16, error_rate=0.2, passes=2)
     return {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "benchmarks/bench_serve.py"
-        + (" --smoke" if smoke else ""),
+        + (" --smoke" if smoke else "")
+        + (" --telemetry" if telemetry else ""),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "cpus": len(__import__("os").sched_getaffinity(0)),
-        "throughput": bench_throughput(**throughput_kw),
+        "throughput": bench_throughput(**throughput_kw, telemetry=telemetry,
+                                       registry=registry),
         "live_recovery": bench_live_recovery(**recovery_kw),
     }
 
@@ -317,9 +345,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=None,
                         help=f"where to write the JSON "
                              f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="scrape worker telemetry slabs and record "
+                             "fleet batch-latency percentiles "
+                             "(p50/p95/p99) per worker count")
+    parser.add_argument("--prom-output", type=Path, default=None,
+                        help="also write the scraped fleet metrics in "
+                             "Prometheus text format (implies "
+                             "--telemetry)")
     args = parser.parse_args(argv)
+    telemetry = args.telemetry or args.prom_output is not None
 
-    results = run(args.smoke)
+    registry = MetricsRegistry() if args.prom_output is not None else None
+    results = run(args.smoke, telemetry=telemetry, registry=registry)
     text = json.dumps(results, indent=2)
     print(text)
     output = args.output
@@ -328,6 +366,9 @@ def main(argv: list[str] | None = None) -> int:
     if output is not None:
         output.write_text(text + "\n")
         print(f"\nwrote {output}", file=sys.stderr)
+    if args.prom_output is not None:
+        write_prometheus(registry, args.prom_output)
+        print(f"wrote {args.prom_output}", file=sys.stderr)
     return 0
 
 

@@ -454,6 +454,12 @@ class RobustHDRecovery:
         self.trace = RecoveryTrace()
         self.block_size = block_size
         self.publisher = publisher
+        # One entry per generation publish announcement: block index,
+        # generation, model version, and — when the publisher echoes one
+        # (see GenerationPublisher.trace_source) — the serve trace id the
+        # publish was stamped with.  The recovery-side half of the
+        # repro.obs.telemetry.correlate join.
+        self.publish_log: list[dict] = []
         self._published_version: int | None = None
 
     @property
@@ -521,7 +527,20 @@ class RobustHDRecovery:
             return
         version = self.model.version
         if version != self._published_version:
-            self.publisher.publish(self.model)
+            generation = self.publisher.publish(self.model)
             self._published_version = version
+            entry = {
+                "block_index": len(self.trace) - 1,
+                "generation": int(generation)
+                if generation is not None else len(self.publish_log) + 1,
+                "model_version": version,
+            }
+            # Publishers that stamp trace ids (GenerationPublisher with
+            # a trace_source) echo the latest serve trace id; plain
+            # publishers simply omit the field.
+            trace_id = getattr(self.publisher, "last_publish_trace_id", None)
+            if trace_id is not None:
+                entry["trace_id"] = int(trace_id)
+            self.publish_log.append(entry)
         else:
             self.publisher.touch()

@@ -1,6 +1,6 @@
-"""Recovery observability layer: metrics, tracing, fault scorecards.
+"""Recovery observability layer: metrics, tracing, telemetry, scorecards.
 
-Three zero-dependency components:
+Five zero-dependency components:
 
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges, histograms and monotonic timers, with a no-op default so
@@ -9,11 +9,24 @@ Three zero-dependency components:
   rendered summaries: :class:`RecoveryTrace` (one record per recovery
   block) and :class:`ServeTrace` (one record per serving-worker
   micro-batch, emitted by :mod:`repro.serve`);
+* :mod:`repro.obs.telemetry` — cross-process telemetry: per-worker
+  shared-memory stats slabs scraped into the registry by
+  :class:`TelemetryAggregator`, a crash-surviving
+  :class:`FlightRecorder` ring, and :func:`correlate` joining serve
+  batches against recovery publish announcements;
+* :mod:`repro.obs.export` — Prometheus text and JSONL snapshot
+  exporters rendered from :meth:`MetricsRegistry.snapshot`;
 * :mod:`repro.obs.scorecard` — joins a trace against the injected
   :class:`~repro.faults.api.FaultMask` to report chunk-detection
   precision/recall/F1 and bit-level repair efficacy.
 """
 
+from repro.obs.export import (
+    append_jsonl,
+    render_prometheus,
+    snapshot_line,
+    write_prometheus,
+)
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -29,6 +42,15 @@ from repro.obs.scorecard import (
     FaultScorecard,
     fault_scorecard,
 )
+from repro.obs.telemetry import (
+    FlightEvent,
+    FlightRecorder,
+    TelemetryAggregator,
+    TelemetrySlabReader,
+    TelemetryWriter,
+    correlate,
+    render_contention_table,
+)
 from repro.obs.trace import (
     RecoveryBlockEvent,
     RecoveryTrace,
@@ -39,6 +61,8 @@ from repro.obs.trace import (
 __all__ = [
     "ChunkDetectionScore",
     "FaultScorecard",
+    "FlightEvent",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NullMetrics",
@@ -46,10 +70,19 @@ __all__ = [
     "RecoveryTrace",
     "ServeBatchEvent",
     "ServeTrace",
+    "TelemetryAggregator",
+    "TelemetrySlabReader",
+    "TelemetryWriter",
+    "append_jsonl",
+    "correlate",
     "current",
     "disable_metrics",
     "enable_metrics",
     "fault_scorecard",
+    "render_contention_table",
+    "render_prometheus",
     "set_metrics",
+    "snapshot_line",
     "use_metrics",
+    "write_prometheus",
 ]

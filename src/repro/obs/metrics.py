@@ -46,9 +46,27 @@ __all__ = [
 # (count/sum/min/max) keep updating after the cap so totals stay exact.
 _MAX_SAMPLES = 4096
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64(x: int) -> int:
+    """Deterministic 64-bit mix (splitmix64) of an integer counter."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
 
 class Histogram:
-    """Streaming value distribution: exact aggregates + bounded samples."""
+    """Streaming value distribution: exact aggregates + reservoir samples.
+
+    Percentiles come from a bounded reservoir that stays a uniform-ish
+    sample of the *whole* stream (Algorithm R), not just its first
+    ``_MAX_SAMPLES`` values — long-run percentiles reflect steady state,
+    not warm-up.  The reservoir index is derived from the running sample
+    count through a fixed integer mix, so recording still never touches
+    any random-number generator (the bit-identity guarantee).
+    """
 
     __slots__ = ("count", "total", "min", "max", "samples")
 
@@ -69,6 +87,12 @@ class Histogram:
             self.max = value
         if len(self.samples) < _MAX_SAMPLES:
             self.samples.append(value)
+        else:
+            # Algorithm R with a counter-seeded deterministic stream:
+            # keep the n-th sample with probability cap/n.
+            slot = _splitmix64(self.count) % self.count
+            if slot < _MAX_SAMPLES:
+                self.samples[slot] = value
 
     @property
     def mean(self) -> float:
@@ -85,11 +109,13 @@ class Histogram:
         return ordered[idx]
 
     def summary(self) -> dict:
+        # Empty histograms report min/max as None (JSON null) — never
+        # +/-inf, which strict JSON readers reject.
         return {
             "count": self.count,
             "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
@@ -178,7 +204,8 @@ class MetricsRegistry:
                 ["histogram", "count", "mean", "p50", "p95", "max"],
                 [
                     [k, s["count"], f"{s['mean']:.3g}", f"{s['p50']:.3g}",
-                     f"{s['p95']:.3g}", f"{s['max']:.3g}"]
+                     f"{s['p95']:.3g}",
+                     "" if s["max"] is None else f"{s['max']:.3g}"]
                     for k, s in sorted(
                         (k, h.summary()) for k, h in self.histograms.items()
                     )

@@ -314,6 +314,12 @@ class ServeBatchEvent:
         pressure.
     duration_s:
         Worker wall time from batch assembly to results posted.
+    trace_id:
+        Lowest request trace id coalesced into the batch — the join key
+        against recovery publish announcements (see
+        :func:`repro.obs.telemetry.correlate`).  ``-1`` for events
+        recorded before trace correlation existed (pre-trace_id JSONL
+        decodes to ``-1``).
     """
 
     worker_id: int
@@ -329,6 +335,7 @@ class ServeBatchEvent:
     degraded: bool
     queue_depth: int
     duration_s: float
+    trace_id: int = -1
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -349,6 +356,9 @@ class ServeBatchEvent:
             degraded=bool(data["degraded"]),
             queue_depth=int(data["queue_depth"]),
             duration_s=float(data["duration_s"]),
+            # Back-compat: events recorded before trace correlation have
+            # no trace_id; decode them with the -1 sentinel.
+            trace_id=int(data.get("trace_id", -1)),
         )
 
 

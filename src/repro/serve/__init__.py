@@ -25,6 +25,15 @@ hand it to :class:`~repro.core.recovery.RobustHDRecovery` or
 :meth:`repro.core.pipeline.RecoveryExperiment.attack_and_recover` and
 workers adopt each repaired generation live, bit-identical to the
 sequential reference run.
+
+Cross-process telemetry (on by default) rides on the same substrate:
+each worker stamps a shared-memory telemetry slab
+(:mod:`repro.obs.telemetry`) the engine scrapes into fleet-wide
+``serve.fleet.*`` metrics (:attr:`ServingEngine.telemetry`), with a
+crash-surviving flight-recorder ring decodable post-mortem
+(:attr:`ServingEngine.flight_recorder`) and per-request trace ids that
+:func:`repro.obs.telemetry.correlate` joins against recovery publish
+announcements.
 """
 
 from repro.serve.engine import (

@@ -35,6 +35,18 @@ a publish returns are always served on that generation or newer — the
 queue hand-off orders the control-block write before the worker's read —
 which is what makes a concurrent attack-and-recover run bit-identical to
 its sequential reference.
+
+With telemetry enabled (the default) the engine also owns one
+shared-memory telemetry slab per worker (:mod:`repro.obs.telemetry`):
+workers stamp counters, log2-bucketed latency bins and flight-recorder
+events into their slab lock-free, and the engine scrapes the fleet view
+through :attr:`ServingEngine.telemetry` /
+:meth:`ServingEngine.scrape_telemetry` and decodes crash post-mortems
+through :attr:`ServingEngine.flight_recorder`.  Every submit is stamped
+with a monotonically increasing ``trace_id`` that flows through worker
+batches into :class:`~repro.obs.trace.ServeBatchEvent` and is echoed on
+publish announcements, so :func:`repro.obs.telemetry.correlate` can join
+serving traffic against the recovery generations published under it.
 """
 
 from __future__ import annotations
@@ -51,6 +63,12 @@ import numpy as np
 from repro.core.encoder import Encoder
 from repro.core.model import HDCClassifier, HDCModel
 from repro.obs.metrics import current as _metrics
+from repro.obs.telemetry import (
+    FlightRecorder,
+    TelemetryAggregator,
+    TelemetrySlabReader,
+    slab_words,
+)
 from repro.obs.trace import ServeBatchEvent, ServeTrace
 from repro.serve.shm import (
     ControlBlock,
@@ -88,6 +106,10 @@ class ServeConfig:
     levels: int = 0
     low: float = 0.0
     high: float = 1.0
+    # Telemetry-slab geometry: workers attach {telemetry_prefix}-w{id}
+    # writable when a prefix is set; None disables worker telemetry.
+    telemetry_prefix: str | None = None
+    flight_slots: int = 0
 
 
 @dataclass(frozen=True)
@@ -146,6 +168,15 @@ class ServingEngine:
     stall_timeout:
         Writer-heartbeat age (seconds) beyond which workers mark batches
         ``degraded``.
+    telemetry:
+        Give each worker a shared-memory telemetry slab (counters,
+        latency bins, flight-recorder ring — :mod:`repro.obs.telemetry`),
+        scraped through :attr:`ServingEngine.telemetry` and decoded by
+        :attr:`ServingEngine.flight_recorder`.  Recording is RNG-free
+        and batch-granular: telemetry on vs off is bit-identical for
+        seeded runs.
+    flight_slots:
+        Flight-recorder ring capacity (events retained per worker).
     mp_context:
         ``multiprocessing`` start-method name (default ``"fork"``).
     """
@@ -162,6 +193,8 @@ class ServingEngine:
         coalesce_requests: int = 64,
         backpressure_timeout: float | None = None,
         stall_timeout: float = 2.0,
+        telemetry: bool = True,
+        flight_slots: int = 256,
         mp_context: str = "fork",
     ) -> None:
         if isinstance(model, HDCClassifier):
@@ -220,7 +253,30 @@ class ServingEngine:
         self._ring = ShmArray.zeros(
             ring_name, (ring_slots, slot_words), np.uint64
         )
-        self.publisher = GenerationPublisher(prefix, self.control)
+
+        # Telemetry slabs: engine-owned (so flight rings survive worker
+        # SIGKILL), one per worker, workers attach writable.
+        self._next_trace_id = 0
+        telemetry_prefix = None
+        self._telemetry_segments: list[ShmArray] = []
+        self.telemetry: TelemetryAggregator | None = None
+        self.flight_recorder: FlightRecorder | None = None
+        if telemetry:
+            telemetry_prefix = f"{prefix}-telemetry"
+            words = slab_words(flight_slots)
+            readers = {}
+            for i in range(num_workers):
+                slab = ShmArray.zeros(
+                    f"{telemetry_prefix}-w{i}", (words,), np.uint64
+                )
+                self._telemetry_segments.append(slab)
+                readers[i] = TelemetrySlabReader(slab.array)
+            self.telemetry = TelemetryAggregator(readers)
+            self.flight_recorder = FlightRecorder(readers)
+
+        self.publisher = GenerationPublisher(
+            prefix, self.control, trace_source=self._last_trace_id
+        )
         self.publisher.publish_packed(packed)  # generation 1
         # No recovery writer is running yet: deregister so an idle
         # serving-only engine never trips the stall detector.  The next
@@ -241,6 +297,8 @@ class ServingEngine:
             levels=cfg_levels,
             low=cfg_low,
             high=cfg_high,
+            telemetry_prefix=telemetry_prefix,
+            flight_slots=flight_slots if telemetry else 0,
         )
 
         ctx = mp.get_context(mp_context)
@@ -287,10 +345,20 @@ class ServingEngine:
             self,
             _emergency_cleanup,
             self.workers,
-            [self._ring, self._codebook_segment],
+            [self._ring, self._codebook_segment, *self._telemetry_segments],
             self.publisher,
             self.control,
         )
+
+    def _last_trace_id(self) -> int:
+        """The most recently assigned trace id (-1 before any submit).
+
+        Wired into the publisher as its ``trace_source``: each generation
+        publish is stamped with this value, so every request submitted
+        afterwards (a strictly greater trace id) is known to be served on
+        that generation or newer.
+        """
+        return self._next_trace_id - 1
 
     # ------------------------------------------------------------------
     # Submission
@@ -376,10 +444,15 @@ class ServingEngine:
             slot = self._free_slots.pop()
             request_id = self._next_request_id
             self._next_request_id += 1
+            # Monotonic trace id, stamped on the request frame and
+            # carried through worker batches into ServeBatchEvent — the
+            # join key for recovery-vs-traffic correlation.
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
             self._ring.array[slot, : flat.shape[0]] = flat
             self._pending[request_id] = _Pending(slot)
             self._outbox.append(
-                (request_id, slot, n_queries, deadline_ns, kind)
+                (request_id, slot, n_queries, deadline_ns, kind, trace_id)
             )
             should_flush = flush or len(self._outbox) >= self._frame_requests
             frame = self._take_outbox() if should_flush else None
@@ -616,6 +689,17 @@ class ServingEngine:
         if frame:
             self._dispatch(frame)
 
+    def scrape_telemetry(self, registry=None) -> dict:
+        """Scrape every worker slab into ``registry`` (default: installed).
+
+        Returns the merged fleet snapshot (see
+        :meth:`~repro.obs.telemetry.TelemetryAggregator.scrape_into`).
+        Raises if the engine was built with ``telemetry=False``.
+        """
+        if self.telemetry is None:
+            raise RuntimeError("engine was built with telemetry=False")
+        return self.telemetry.scrape_into(registry)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -652,6 +736,17 @@ class ServingEngine:
         for q in (*self._queues, self._result_q):
             q.close()
             q.cancel_join_thread()
+        # Final telemetry scrape (workers are stopped, so this is the
+        # complete picture), then freeze the readers onto private copies
+        # so post-stop scrapes and post-mortems stay valid, and release
+        # the slabs.
+        if self.telemetry is not None:
+            metrics = _metrics()
+            if metrics.enabled:
+                self.telemetry.scrape_into(metrics)
+            self.telemetry.freeze()
+        for slab in self._telemetry_segments:
+            slab.unlink()
         self.publisher.end_writing = lambda: None  # control is going away
         self.publisher.close()
         if self._codebook_segment is not None:

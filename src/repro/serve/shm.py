@@ -315,10 +315,22 @@ class GenerationPublisher:
     generations stay mapped so a reader that just fetched the control
     block can still attach the segment it names (readers also retry via
     a fresh control read if they lose that race).
+
+    ``trace_source`` is the trace-correlation hook: a zero-argument
+    callable returning the latest serve ``trace_id`` assigned so far
+    (the engine wires its submit counter in).  Every publish is echoed
+    into :attr:`publish_log` stamped with that id — every request
+    submitted with a later trace id is served on this generation or
+    newer, which is what lets :func:`repro.obs.telemetry.correlate`
+    join slow batches to the repair generation published under them.
     """
 
     def __init__(
-        self, prefix: str, control: ControlBlock, retire_lag: int = 2
+        self,
+        prefix: str,
+        control: ControlBlock,
+        retire_lag: int = 2,
+        trace_source: "callable | None" = None,
     ) -> None:
         if retire_lag < 1:
             raise ValueError(f"retire_lag must be >= 1, got {retire_lag}")
@@ -326,6 +338,9 @@ class GenerationPublisher:
         self.control = control
         self.retire_lag = retire_lag
         self.generation = 0
+        self.trace_source = trace_source
+        self.publish_log: list[dict] = []
+        self.last_publish_trace_id: int | None = None
         self._segments: dict[int, ShmArray] = {}
 
     def publish(self, model: HDCModel) -> int:
@@ -351,6 +366,18 @@ class GenerationPublisher:
         )
         self._segments[generation] = segment
         self.generation = generation
+        trace_id = (
+            int(self.trace_source())
+            if self.trace_source is not None
+            else None
+        )
+        self.last_publish_trace_id = trace_id
+        self.publish_log.append({
+            "generation": generation,
+            "model_version": packed.version,
+            "trace_id": trace_id,
+            "publish_ns": now,
+        })
         retired = generation - self.retire_lag
         old = self._segments.pop(retired, None)
         if old is not None:

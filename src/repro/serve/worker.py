@@ -27,6 +27,15 @@ feature-payload engines, the exported bound codebook — then loops:
    one :class:`~repro.obs.trace.ServeBatchEvent`-shaped record back on
    the result queue.
 
+When the engine runs with telemetry (the default), each worker is also
+the single writer of its shared-memory *telemetry slab*
+(:mod:`repro.obs.telemetry`): one seqlock-stamped stats update per
+coalesced batch (counters + log2-bucketed latency bins the engine-side
+aggregator scrapes), plus flight-recorder events (batch start/end,
+generation adoption, deadline miss, stale serve) in a bounded in-slab
+ring.  The slab is engine-owned, so the ring survives this process
+being SIGKILLed — that is what makes crashes diagnosable post-mortem.
+
 Each worker owns a private request queue (the engine round-robins
 frames and re-routes a dead worker's unserved frames to survivors): a
 worker killed mid-``get`` can therefore never wedge its siblings on a
@@ -37,6 +46,7 @@ shutdown never drops accepted work.
 
 from __future__ import annotations
 
+import os
 import queue
 import time
 import traceback
@@ -44,6 +54,15 @@ import traceback
 import numpy as np
 
 from repro.core.encoder import encode_words_from_codebook, quantize_features
+from repro.obs.telemetry import (
+    EV_ADOPT,
+    EV_BATCH_END,
+    EV_BATCH_START,
+    EV_DEADLINE_MISS,
+    EV_STALE_SERVE,
+    TelemetryWriter,
+    slab_words,
+)
 from repro.serve.shm import ControlBlock, ShmArray, attach_generation
 
 __all__ = ["PAYLOAD_FEATURES", "PAYLOAD_PACKED", "worker_main"]
@@ -95,6 +114,22 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
             (cfg.num_features, cfg.levels, words),
             np.uint64,
         )
+    telemetry_segment = None
+    telemetry = None
+    if cfg.telemetry_prefix is not None:
+        # The engine owns the slab (it survives this process's death —
+        # that is the flight recorder's whole point); the worker attaches
+        # writable and is the slab's single writer.
+        telemetry_segment = ShmArray.attach(
+            f"{cfg.telemetry_prefix}-w{worker_id}",
+            (slab_words(cfg.flight_slots),),
+            np.uint64,
+            readonly=False,
+        )
+        telemetry = TelemetryWriter(
+            telemetry_segment.array, worker_id,
+            pid=os.getpid(), started_ns=time.monotonic_ns(),
+        )
     segment = None
     packed = None
     generation = 0
@@ -109,6 +144,13 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
             )
             t0 = time.perf_counter()
             now = time.monotonic_ns()
+            # Lowest trace id in the batch: the correlation join key.
+            batch_trace_id = min(r[5] for r in requests)
+            if telemetry is not None:
+                telemetry.record_event(
+                    EV_BATCH_START, now,
+                    batch_index, len(requests), max(0, batch_trace_id),
+                )
 
             # Adopt the newest published generation before serving.
             snapshot = control.read()
@@ -137,6 +179,12 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 adoption_lag_s = max(
                     0.0, (time.monotonic_ns() - snapshot.publish_ns) / 1e9
                 )
+                if telemetry is not None:
+                    telemetry.record_event(
+                        EV_ADOPT, time.monotonic_ns(),
+                        generation, packed.version,
+                        int(adoption_lag_s * 1e9),
+                    )
             staleness_s = (
                 max(0.0, (now - snapshot.heartbeat_ns) / 1e9)
                 if snapshot.writer_active
@@ -146,14 +194,20 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 snapshot.writer_active
                 and now - snapshot.heartbeat_ns > cfg.stall_ns
             )
+            if degraded and telemetry is not None:
+                telemetry.record_event(
+                    EV_STALE_SERVE, now, generation, int(staleness_s * 1e9)
+                )
 
             # Partition on deadlines, then serve the live requests with
             # one coalesced distance computation.
             live = []  # (req_id, n_queries, kind, slot)
-            expired = []
-            for req_id, slot, n_queries, deadline_ns, kind in requests:
+            expired = []  # (req_id, trace_id)
+            for req_id, slot, n_queries, deadline_ns, kind, trace_id in (
+                requests
+            ):
                 if deadline_ns and now > deadline_ns:
-                    expired.append(req_id)
+                    expired.append((req_id, trace_id))
                 else:
                     live.append((req_id, slot, n_queries, kind))
             total_queries = 0
@@ -195,9 +249,14 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                          False)
                     )
                     offset += n_queries
-            for req_id in expired:
+            for req_id, trace_id in expired:
                 outputs.append((req_id, None, True))
+                if telemetry is not None:
+                    telemetry.record_event(
+                        EV_DEADLINE_MISS, now, req_id, max(0, trace_id)
+                    )
 
+            duration_s = time.perf_counter() - t0
             event = {
                 "worker_id": worker_id,
                 "batch_index": batch_index,
@@ -210,8 +269,24 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 "adoption_lag_s": adoption_lag_s,
                 "staleness_s": staleness_s,
                 "degraded": degraded,
-                "duration_s": time.perf_counter() - t0,
+                "duration_s": duration_s,
+                "trace_id": batch_trace_id,
             }
+            if telemetry is not None:
+                end_ns = time.monotonic_ns()
+                telemetry.record_event(
+                    EV_BATCH_END, end_ns,
+                    batch_index, total_queries, int(duration_s * 1e9),
+                )
+                telemetry.record_batch(
+                    requests=len(requests),
+                    queries=total_queries,
+                    expired=len(expired),
+                    duration_ns=int(duration_s * 1e9),
+                    adopted=adopted,
+                    degraded=degraded,
+                    now_ns=end_ns,
+                )
             result_q.put(("batch", worker_id, outputs, event))
             batch_index += 1
             if saw_sentinel:
@@ -220,10 +295,13 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
         result_q.put(("error", worker_id, traceback.format_exc()))
     finally:
         packed = None  # drop views into the mappings before closing them
+        telemetry = None
         if segment is not None:
             segment.close()
         if codebook is not None:
             codebook.close()
+        if telemetry_segment is not None:
+            telemetry_segment.close()
         ring.close()
         control.close()
         result_q.close()

@@ -49,7 +49,10 @@ class TestHistogram:
         h = Histogram()
         assert h.mean == 0.0
         assert h.percentile(50) == 0.0
-        assert h.summary()["min"] == 0.0
+        # Empty extremes are null, not +/-inf: snapshots must stay
+        # strict-JSON-parseable.
+        assert h.summary()["min"] is None
+        assert h.summary()["max"] is None
 
     def test_sample_cap_keeps_exact_totals(self):
         h = Histogram()
@@ -58,6 +61,33 @@ class TestHistogram:
         assert h.count == 5000
         assert h.total == 5000.0
         assert len(h.samples) <= 4096
+
+    def test_reservoir_keeps_late_samples(self):
+        """Percentiles reflect the whole stream, not the first 4096.
+
+        The old behaviour kept only the first 4096 observations, so a
+        distribution shift after warm-up was invisible to percentiles.
+        """
+        h = Histogram()
+        for _ in range(4096):
+            h.observe(0.0)
+        for _ in range(40_000):
+            h.observe(100.0)
+        assert len(h.samples) == 4096
+        late = sum(1 for v in h.samples if v == 100.0)
+        # ~90% of the stream is late values; the reservoir should hold
+        # roughly that share (leave wide margin, the hash is fixed).
+        assert late > 2048
+        assert h.percentile(50) == 100.0
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            h = Histogram()
+            for v in range(10_000):
+                h.observe(float(v))
+            return list(h.samples)
+
+        assert fill() == fill()
 
 
 class TestRegistry:

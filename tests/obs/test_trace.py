@@ -1,5 +1,7 @@
 """Tests for the structured recovery trace."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -13,7 +15,12 @@ from repro.core.recovery import (
 )
 from repro.datasets.synthetic import make_prototype_classification
 from repro.faults.api import attack
-from repro.obs.trace import RecoveryBlockEvent, RecoveryTrace
+from repro.obs.trace import (
+    RecoveryBlockEvent,
+    RecoveryTrace,
+    ServeBatchEvent,
+    ServeTrace,
+)
 
 
 def make_event(block_index=0, **overrides):
@@ -98,6 +105,54 @@ class TestTrace:
         text = trace.summary_table()
         assert "Recovery trace" in text
         assert "total" in text
+
+
+def make_serve_event(**overrides):
+    base = dict(
+        worker_id=1,
+        batch_index=3,
+        requests=4,
+        queries=17,
+        expired=1,
+        generation=2,
+        model_version=9,
+        adopted=True,
+        adoption_lag_s=0.25,
+        staleness_s=0.5,
+        degraded=False,
+        queue_depth=6,
+        duration_s=0.001,
+        trace_id=42,
+    )
+    base.update(overrides)
+    return ServeBatchEvent(**base)
+
+
+class TestServeBatchEventSerde:
+    def test_dict_round_trip_keeps_trace_id(self):
+        e = make_serve_event(trace_id=123)
+        back = ServeBatchEvent.from_dict(e.to_dict())
+        assert back == e
+        assert back.trace_id == 123
+
+    def test_jsonl_round_trip_with_trace_id(self, tmp_path):
+        trace = ServeTrace()
+        trace.record(make_serve_event(batch_index=0, trace_id=0))
+        trace.record(make_serve_event(batch_index=1, trace_id=7))
+        path = trace.write_jsonl(tmp_path / "serve.jsonl")
+        back = ServeTrace.read_jsonl(path)
+        assert back.events == trace.events
+        assert [e.trace_id for e in back] == [0, 7]
+
+    def test_pre_trace_id_jsonl_decodes_with_sentinel(self):
+        """Records written before trace correlation still decode."""
+        legacy = make_serve_event().to_dict()
+        del legacy["trace_id"]
+        line = json.dumps(legacy, separators=(",", ":"))
+        back = ServeTrace.from_jsonl(line)
+        assert len(back) == 1
+        assert back.events[0].trace_id == -1
+        assert back.events[0].queries == 17
 
 
 @pytest.fixture(scope="module")
