@@ -46,17 +46,50 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.encoder import Encoder
-from repro.core.model import HDCClassifier
+from repro.core.model import HDCClassifier, HDCModel
 from repro.core.pipeline import RecoveryExperiment
 from repro.core.recovery import RecoveryConfig
 from repro.datasets.synthetic import make_prototype_classification
 from repro.obs.export import write_prometheus
 from repro.obs.metrics import MetricsRegistry
-from repro.serve import ServingEngine
+from repro.serve import ServingEngine, ShardPlan
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
+# bench_serving.py (the in-process packed-vs-float benchmark) owns this
+# file; refusing it here keeps the near-homonym artifacts unambiguous.
+FORBIDDEN_OUTPUT = "BENCH_serving.json"
+
+
+def _worker_diagnostics(engine: ServingEngine) -> dict:
+    """Per-worker load picture from the engine's batch-event trace.
+
+    Totals over the engine's lifetime (warm-up and every repeat): batch
+    and request counts, time spent waiting for dispatch vs serving, and
+    model bytes streamed per query — the numbers that make a scaling
+    plateau diagnosable (idle workers vs redundant scans) instead of a
+    single headline rate.
+    """
+    workers: dict[str, dict] = {}
+    for event in engine.trace:
+        w = workers.setdefault(str(event.worker_id), {
+            "shard": event.shard,
+            "batches": 0, "requests": 0, "queries": 0,
+            "dispatch_wait_s": 0.0, "busy_s": 0.0, "bytes_scanned": 0,
+        })
+        w["batches"] += 1
+        w["requests"] += event.requests
+        w["queries"] += event.queries
+        w["dispatch_wait_s"] += event.dispatch_wait_s
+        w["busy_s"] += event.duration_s
+        w["bytes_scanned"] += event.bytes_scanned
+    for w in workers.values():
+        w["bytes_scanned_per_query"] = (
+            w["bytes_scanned"] / w["queries"] if w["queries"] else 0.0
+        )
+    return workers
 
 
 def _make_requests(encoder: Encoder, test_x: np.ndarray, queries: int,
@@ -102,7 +135,9 @@ def bench_throughput(num_classes: int, num_features: int, dim: int,
                      levels: int, queries_per_request: int, requests: int,
                      worker_counts: tuple[int, ...], repeats: int,
                      telemetry: bool = False,
-                     registry: MetricsRegistry | None = None) -> dict:
+                     registry: MetricsRegistry | None = None,
+                     num_shards: int = 1,
+                     frame_requests: int = 32) -> dict:
     task = make_prototype_classification(
         "bench-serve", num_features=num_features, num_classes=num_classes,
         num_train=num_classes * 30, num_test=64, seed=0,
@@ -135,19 +170,26 @@ def bench_throughput(num_classes: int, num_features: int, dim: int,
         "dim": dim,
         "queries_per_request": queries_per_request,
         "requests": requests,
+        "num_shards": num_shards,
+        "frame_requests": frame_requests,
         "baseline_requests_per_s": requests / best_base,
         "baseline_queries_per_s": requests * queries_per_request / best_base,
         "workers": {},
     }
     window = min(256, max(32, requests // 8))
     for workers in worker_counts:
+        shard_plan = (
+            ShardPlan.by_class(num_classes, num_shards)
+            if num_shards > 1 else None
+        )
         engine = ServingEngine(
             classifier,
             num_workers=workers,
             ring_slots=2 * window,
             max_queries_per_request=queries_per_request,
-            frame_requests=32,
+            frame_requests=frame_requests,
             coalesce_requests=256,
+            shard_plan=shard_plan,
         )
         try:
             # Warm-up: first batches pay fork + first-adoption costs, and
@@ -188,11 +230,103 @@ def bench_throughput(num_classes: int, num_features: int, dim: int,
             "mean_requests_per_batch": (
                 engine.trace.requests_served / max(1, len(engine.trace))
             ),
+            "per_worker": _worker_diagnostics(engine),
         }
         if fleet is not None:
             entry["fleet"] = fleet
         result["workers"][str(workers)] = entry
     return result
+
+
+def bench_word_shard_scale(dim: int, num_classes: int, num_shards: int,
+                           queries_per_request: int, requests: int,
+                           repeats: int) -> dict:
+    """Word-sharded serving at a dimensionality no one worker should scan.
+
+    A random 1-bit model at ``dim`` (10^6 in the full run: ~3 MB of
+    packed words per full scan) served by ``num_shards`` word-sharded
+    workers, each attaching and scanning only ``1/num_shards`` of every
+    model row, with the engine summing the partial-popcount tables.
+    Correctness is asserted against the in-process packed path before
+    timing.
+    """
+    rng = np.random.default_rng(5)
+    model = HDCModel(
+        class_hv=rng.integers(0, 2, (num_classes, dim), dtype=np.uint8)
+    )
+    packed = model.packed()
+    words = packed.words.shape[1]
+    payloads = [
+        rng.integers(0, 1 << 63, (queries_per_request, words),
+                     dtype=np.uint64)
+        for _ in range(min(32, requests))
+    ]
+    payloads = [payloads[i % len(payloads)] for i in range(requests)]
+    reference = [
+        np.argmin(packed.distances(p), axis=1).astype(np.int64)
+        for p in payloads[:8]
+    ]
+    window = 32
+    engine = ServingEngine(
+        model,
+        num_workers=num_shards,
+        ring_slots=2 * window,
+        max_queries_per_request=queries_per_request,
+        frame_requests=window,
+        shard_plan=ShardPlan.by_word(dim, num_shards),
+    )
+    try:
+        for payload, expected in zip(payloads[:8], reference):
+            got = engine.result(engine.submit(payload)).predictions
+            assert (got == expected).all(), \
+                "word-sharded predictions diverged from the packed baseline"
+        best = float("inf")
+        for _ in range(repeats):
+            best = min(best, _drive(engine, payloads, window))
+        diagnostics = _worker_diagnostics(engine)
+    finally:
+        engine.stop()
+    return {
+        "dim": dim,
+        "num_classes": num_classes,
+        "num_shards": num_shards,
+        "queries_per_request": queries_per_request,
+        "requests": requests,
+        "model_bytes": int(packed.nbytes),
+        "shard_bytes_per_worker": int(packed.nbytes // num_shards),
+        "requests_per_s": requests / best,
+        "queries_per_s": requests * queries_per_request / best,
+        "per_worker": diagnostics,
+    }
+
+
+def bench_gpu_roofline(smoke: bool = False) -> dict:
+    """Measured kernel-backend throughput vs the analytic GPU roofline.
+
+    When an accelerator backend (CuPy/torch CUDA) is importable its
+    measured ``distance_table`` queries/s is divided by the
+    :class:`repro.pim.gpu.GPUModel` prediction — the cross-link that
+    calibrates the analytic Figure 2 model against real hardware.  The
+    CPU backend is always measured as a reference point; on hosts with
+    no accelerator the record says so instead of silently omitting it.
+    """
+    kw = dict(dim=1_024, batch=256, repeats=1) if smoke else {}
+    record = {
+        "available_backends": kernels.available_backends(),
+        "cpu": kernels.roofline_validation(kernels.get_backend("numpy"),
+                                           **kw),
+    }
+    accelerator = kernels.best_accelerator_backend()
+    if accelerator is None:
+        record["accelerator"] = None
+        record["note"] = (
+            "no CuPy/torch CUDA backend importable on this host; "
+            "measured-vs-roofline ratio recorded for the CPU backend only"
+        )
+    else:
+        record["accelerator"] = kernels.roofline_validation(accelerator,
+                                                            **kw)
+    return record
 
 
 def bench_live_recovery(num_classes: int, num_features: int, dim: int,
@@ -306,33 +440,61 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
 
 
 def run(smoke: bool, telemetry: bool = False,
-        registry: MetricsRegistry | None = None) -> dict:
+        registry: MetricsRegistry | None = None,
+        shards: int | None = None) -> dict:
     if smoke:
+        shards = shards or 2
         throughput_kw = dict(
             num_classes=6, num_features=16, dim=1_024, levels=8,
             queries_per_request=4, requests=512,
             worker_counts=(1, 2), repeats=1,
         )
+        sharded_kw = dict(throughput_kw, requests=256,
+                          worker_counts=(shards,))
+        word_shard_kw = dict(dim=4_096, num_classes=6, num_shards=shards,
+                             queries_per_request=4, requests=64, repeats=1)
         recovery_kw = dict(num_classes=4, num_features=16, dim=1_000,
                            levels=8, error_rate=0.15, passes=1)
     else:
+        shards = shards or 4
         throughput_kw = dict(
             num_classes=26, num_features=32, dim=10_000, levels=32,
             queries_per_request=4, requests=4_096,
             worker_counts=(1, 2, 4), repeats=3,
         )
+        sharded_kw = dict(throughput_kw, worker_counts=(shards,))
+        word_shard_kw = dict(dim=1_000_000, num_classes=26,
+                             num_shards=shards, queries_per_request=4,
+                             requests=256, repeats=2)
         recovery_kw = dict(num_classes=5, num_features=16, dim=2_000,
                            levels=16, error_rate=0.2, passes=2)
+    throughput = bench_throughput(**throughput_kw, telemetry=telemetry,
+                                  registry=registry)
+    # Same workload, class-sharded: each worker owns a row slice of the
+    # model and large frames amortise dispatch, so the comparison against
+    # the unsharded run at the same worker count is apples-to-apples.
+    sharded = bench_throughput(**sharded_kw, telemetry=telemetry,
+                               registry=registry, num_shards=shards,
+                               frame_requests=256)
+    unsharded_same_workers = throughput["workers"].get(str(shards))
+    if unsharded_same_workers is not None:
+        sharded["speedup_vs_unsharded_same_workers"] = (
+            sharded["workers"][str(shards)]["requests_per_s"]
+            / unsharded_same_workers["requests_per_s"]
+        )
     return {
-        "schema": 2,
+        "schema": 3,
         "generated_by": "benchmarks/bench_serve.py"
         + (" --smoke" if smoke else "")
         + (" --telemetry" if telemetry else ""),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "cpus": len(__import__("os").sched_getaffinity(0)),
-        "throughput": bench_throughput(**throughput_kw, telemetry=telemetry,
-                                       registry=registry),
+        "kernel_backend": kernels.active_backend().name,
+        "throughput": throughput,
+        "throughput_class_sharded": sharded,
+        "throughput_word_sharded": bench_word_shard_scale(**word_shard_kw),
+        "gpu_roofline": bench_gpu_roofline(smoke=smoke),
         "live_recovery": bench_live_recovery(**recovery_kw),
     }
 
@@ -353,11 +515,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the scraped fleet metrics in "
                              "Prometheus text format (implies "
                              "--telemetry)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count for the sharded legs "
+                             "(default: 2 smoke, 4 full)")
     args = parser.parse_args(argv)
+    if args.output is not None and args.output.name == FORBIDDEN_OUTPUT:
+        parser.error(
+            f"{FORBIDDEN_OUTPUT} belongs to benchmarks/bench_serving.py; "
+            f"this script writes {DEFAULT_OUTPUT.name}"
+        )
+    if args.shards is not None and args.shards < 2:
+        parser.error("--shards must be >= 2")
     telemetry = args.telemetry or args.prom_output is not None
 
     registry = MetricsRegistry() if args.prom_output is not None else None
-    results = run(args.smoke, telemetry=telemetry, registry=registry)
+    results = run(args.smoke, telemetry=telemetry, registry=registry,
+                  shards=args.shards)
     text = json.dumps(results, indent=2)
     print(text)
     output = args.output

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.chunks import chunk_similarities, chunk_similarities_batch
 from repro.core.encoder import Encoder
 from repro.core.model import HDCModel
@@ -46,6 +47,9 @@ from repro.core.recovery import RecoveryConfig, RobustHDRecovery
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serving.json"
+# bench_serve.py (the multi-worker engine benchmark) owns this file;
+# refusing it here keeps the near-homonym artifacts unambiguous.
+FORBIDDEN_OUTPUT = "BENCH_serve.json"
 
 
 def _time(fn, repeats: int) -> float:
@@ -179,12 +183,13 @@ def run(quick: bool) -> dict:
         recover_kw = dict(dim=10_000, num_classes=12, num_chunks=20,
                           stream=1_024, repeats=3)
     return {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "benchmarks/bench_serving.py"
         + (" --quick" if quick else ""),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "hardware_popcount": hasattr(np, "bitwise_count"),
+        "kernel_backend": kernels.active_backend().name,
         # Resolved encode block budget (field > REPRO_ENCODE_BLOCK_BYTES env
         # > default); shape-independent, reported for the perf trajectory.
         "encode_block_bytes": Encoder(num_features=1, dim=64,
@@ -205,6 +210,11 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"where to write the JSON "
                              f"(default: {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
+    if args.output is not None and args.output.name == FORBIDDEN_OUTPUT:
+        parser.error(
+            f"{FORBIDDEN_OUTPUT} belongs to benchmarks/bench_serve.py; "
+            f"this script writes {DEFAULT_OUTPUT.name}"
+        )
 
     results = run(args.quick)
     text = json.dumps(results, indent=2)

@@ -34,6 +34,7 @@ against the packed engine in tests or benchmarks — via
 
 from __future__ import annotations
 
+import os
 import sys
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -59,7 +60,12 @@ __all__ = [
 
 _WORD = 64
 _BIG_ENDIAN = sys.byteorder == "big"
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+# REPRO_FORCE_POP16_LUT=1 forces the 16-bit LUT fallback even on
+# NumPy >= 2 — CI uses it to keep the NumPy 1.x popcount path
+# equivalence-tested instead of dead code.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count") and not os.environ.get(
+    "REPRO_FORCE_POP16_LUT"
+)
 # 16-bit popcount lookup table: popcount(w) decomposes into four table
 # lookups per 64-bit word, the fastest portable formulation on NumPy 1.x
 # (NumPy >= 2 exposes the hardware popcount as ``np.bitwise_count``).
@@ -339,36 +345,18 @@ class PackedHypervectors:
         )
 
 
-_ROW_BLOCK = 256
-
-
 def _distance_table(queries: np.ndarray, model: np.ndarray) -> np.ndarray:
     """Hamming distances ``(b, k)`` of query words vs model words.
 
-    Loops classes within cache-sized row blocks: the query block is read
-    from RAM once and re-XORed against every class while resident in L2,
-    instead of streaming the whole batch from memory ``k`` times.  The
-    scratch buffers are reused across blocks, so the only allocations are
-    the output table.
+    Dispatches to the active :mod:`repro.core.kernels` backend (the
+    row-blocked XOR+popcount CPU kernel by default; see
+    ``kernels.set_kernel_backend`` / ``REPRO_KERNEL_BACKEND`` for the
+    accelerator paths).  The import is deferred because ``kernels``
+    imports this module at load time.
     """
-    queries = np.ascontiguousarray(queries)
-    b, k = queries.shape[0], model.shape[0]
-    out = np.empty((b, k), dtype=np.int64)
-    if not _HAS_BITWISE_COUNT:
-        for c in range(k):
-            out[:, c] = packed_popcount(np.bitwise_xor(queries, model[c]))
-        return out
-    rows = min(_ROW_BLOCK, b)
-    xor_buf = np.empty((rows, queries.shape[1]), dtype=np.uint64)
-    count_buf = np.empty((rows, queries.shape[1]), dtype=np.uint8)
-    for lo in range(0, b, rows):
-        block = queries[lo : lo + rows]
-        n = block.shape[0]
-        for c in range(k):
-            np.bitwise_xor(block, model[c], out=xor_buf[:n])
-            np.bitwise_count(xor_buf[:n], out=count_buf[:n])
-            out[lo : lo + n, c] = count_buf[:n].sum(axis=-1, dtype=np.int64)
-    return out
+    from repro.core import kernels
+
+    return kernels.active_backend().distance_table(queries, model)
 
 
 @dataclass(frozen=True)

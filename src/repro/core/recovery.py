@@ -71,6 +71,14 @@ class ModelPublisher(Protocol):
     * :meth:`touch` — called after a block with no model write; a
       heartbeat so readers can distinguish "writer alive, model stable"
       from "writer stalled" (the serve tier's degraded-mode trigger).
+
+    A generation is one logical snapshot but not necessarily one
+    storage object: a sharded publisher
+    (:class:`repro.serve.shm.GenerationPublisher` with a
+    :class:`~repro.serve.shard.ShardPlan`) materialises each generation
+    as one segment per model shard, all written before the generation
+    becomes visible.  The recovery loop neither knows nor cares — one
+    ``publish`` call, one generation number, one model version.
     """
 
     def publish(self, model: HDCModel) -> int:

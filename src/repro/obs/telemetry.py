@@ -64,14 +64,15 @@ __all__ = [
     "slab_words",
 ]
 
-TELEMETRY_SCHEMA = 1
+TELEMETRY_SCHEMA = 2
 
 # ---------------------------------------------------------------------------
 # Slab layout (all uint64 words)
 #
 #   [0]                 seqlock sequence word for the stats section
 #   [1..7]              header: schema, worker_id, pid, started_ns,
-#                       last_batch_ns, (2 reserved)
+#                       last_batch_ns, shard+1 (0 = unsharded),
+#                       (1 reserved)
 #   [counters]          one word per COUNTER_FIELDS entry
 #   [histograms]        per HIST_FIELDS entry: count, sum, min, max,
 #                       then HIST_BINS log2 bins (bin b>=1 holds values
@@ -90,6 +91,8 @@ _WORKER_ID = 2
 _PID = 3
 _STARTED_NS = 4
 _LAST_BATCH_NS = 5
+# Shard id biased by one so an all-zero slab decodes as "unsharded".
+_SHARD_PLUS_1 = 6
 _HEADER_WORDS = 8
 
 COUNTER_FIELDS = (
@@ -109,7 +112,7 @@ _HIST_MIN = 2
 _HIST_MAX = 3
 _HIST_HEADER = 4
 _HIST_WORDS = _HIST_HEADER + HIST_BINS
-HIST_FIELDS = ("batch_duration_ns", "batch_queries")
+HIST_FIELDS = ("batch_duration_ns", "batch_queries", "dispatch_wait_ns")
 _HISTS_OFF = _COUNTERS_OFF + len(COUNTER_FIELDS)
 
 _STATS_WORDS = _HISTS_OFF + len(HIST_FIELDS) * _HIST_WORDS
@@ -225,6 +228,10 @@ class TelemetryWriter:
             a[base + _HIST_MAX] = v
         a[base + _HIST_HEADER + bucket_index(int(v))] += _ONE
 
+    def set_shard(self, shard: int) -> None:
+        """Stamp the shard this worker serves (sharded engines only)."""
+        self._a[_SHARD_PLUS_1] = np.uint64(shard + 1)
+
     def record_batch(
         self,
         *,
@@ -235,6 +242,7 @@ class TelemetryWriter:
         adopted: bool,
         degraded: bool,
         now_ns: int,
+        wait_ns: int = 0,
     ) -> None:
         """One seqlock-stamped stats update per coalesced worker batch."""
         a = self._a
@@ -251,6 +259,7 @@ class TelemetryWriter:
             a[off + 5] += _ONE
         self._observe(0, duration_ns)
         self._observe(1, queries)
+        self._observe(2, wait_ns)
         a[_SEQ] += _ONE  # even: consistent
 
     def record_event(
@@ -281,6 +290,7 @@ class SlabSnapshot:
     counters: dict[str, int]
     histograms: dict[str, dict]
     torn: bool = False
+    shard: int = -1
 
     def histogram_bins(self, name: str) -> np.ndarray:
         return np.asarray(self.histograms[name]["bins"], dtype=np.int64)
@@ -336,6 +346,7 @@ def _decode_stats(words: np.ndarray, torn: bool) -> SlabSnapshot:
         counters=counters,
         histograms=histograms,
         torn=torn,
+        shard=int(words[_SHARD_PLUS_1]) - 1,
     )
 
 
@@ -485,6 +496,23 @@ class TelemetryAggregator:
             sum(1 for snap in merged["workers"].values()
                 if snap.counters["batches"]),
         )
+        # Per-shard rollups (sharded engines only): batches/queries per
+        # shard, delta-merged like the fleet counters — the load signal
+        # the engine's shard dispatcher balances on.
+        shards: dict[int, dict[str, int]] = {}
+        for snap in merged["workers"].values():
+            if snap.shard < 0:
+                continue
+            agg = shards.setdefault(snap.shard, {"batches": 0, "queries": 0})
+            agg["batches"] += snap.counters["batches"]
+            agg["queries"] += snap.counters["queries"]
+        for shard in sorted(shards):
+            for name, value in shards[shard].items():
+                key = f"serve.fleet.shard{shard}.{name}"
+                delta = value - self._scraped.get(key, 0)
+                self._scraped[key] = value
+                if delta:
+                    registry.inc(key, delta)
         return merged
 
 

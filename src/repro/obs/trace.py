@@ -336,6 +336,12 @@ class ServeBatchEvent:
     queue_depth: int
     duration_s: float
     trace_id: int = -1
+    # Sharded-serving diagnostics (PR 7): which model shard the worker
+    # serves (-1 unsharded), how long it sat waiting for dispatch before
+    # this batch, and how many model bytes the batch's queries streamed.
+    shard: int = -1
+    dispatch_wait_s: float = 0.0
+    bytes_scanned: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -357,8 +363,12 @@ class ServeBatchEvent:
             queue_depth=int(data["queue_depth"]),
             duration_s=float(data["duration_s"]),
             # Back-compat: events recorded before trace correlation have
-            # no trace_id; decode them with the -1 sentinel.
+            # no trace_id; decode them with the -1 sentinel.  Likewise
+            # the shard diagnostics predate sharded serving.
             trace_id=int(data.get("trace_id", -1)),
+            shard=int(data.get("shard", -1)),
+            dispatch_wait_s=float(data.get("dispatch_wait_s", 0.0)),
+            bytes_scanned=int(data.get("bytes_scanned", 0)),
         )
 
 

@@ -42,6 +42,11 @@ from repro.serve.engine import (
     ServeResult,
     ServingEngine,
 )
+from repro.serve.shard import (
+    ShardPlan,
+    combine_class_tables,
+    reduce_partial_tables,
+)
 from repro.serve.shm import (
     ControlBlock,
     GenerationPublisher,
@@ -58,8 +63,11 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "ServingEngine",
+    "ShardPlan",
     "ShmArray",
     "attach_generation",
+    "combine_class_tables",
+    "reduce_partial_tables",
     "unique_name",
     "worker_main",
 ]

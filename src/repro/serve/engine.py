@@ -70,6 +70,11 @@ from repro.obs.telemetry import (
     slab_words,
 )
 from repro.obs.trace import ServeBatchEvent, ServeTrace
+from repro.serve.shard import (
+    ShardPlan,
+    combine_class_tables,
+    reduce_partial_tables,
+)
 from repro.serve.shm import (
     ControlBlock,
     GenerationPublisher,
@@ -110,6 +115,13 @@ class ServeConfig:
     # writable when a prefix is set; None disables worker telemetry.
     telemetry_prefix: str | None = None
     flight_slots: int = 0
+    # Shard geometry (static for the engine's lifetime).  With
+    # num_shards > 1 worker w serves shard ``w % num_shards``, attaches
+    # only that shard's generation segments, and returns partial
+    # distance tables the engine combines.
+    shard_kind: str | None = None
+    shard_bounds: tuple = ()
+    num_shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -126,12 +138,19 @@ class ServeResult:
 
 
 class _Pending:
-    """Client-side bookkeeping for one in-flight request."""
+    """Client-side bookkeeping for one in-flight request.
+
+    The wait event is allocated lazily, only when a caller blocks in
+    :meth:`ServingEngine.result` before the request resolves: the common
+    windowed-client pattern finds results already resolved, and a
+    ``threading.Event`` per submit is a measurable share of the
+    per-request cost.
+    """
 
     __slots__ = ("event", "result", "slot")
 
     def __init__(self, slot: int) -> None:
-        self.event = threading.Event()
+        self.event: threading.Event | None = None
         self.result: ServeResult | None = None
         self.slot = slot
 
@@ -179,6 +198,15 @@ class ServingEngine:
         Flight-recorder ring capacity (events retained per worker).
     mp_context:
         ``multiprocessing`` start-method name (default ``"fork"``).
+    shard_plan:
+        Optional :class:`~repro.serve.shard.ShardPlan`.  When set,
+        worker ``w`` serves shard ``w % num_shards`` (so ``num_workers``
+        must be a multiple of the shard count), each generation is
+        published as per-shard segments, frames fan out to one
+        least-loaded replica of every shard, and the collector combines
+        the partial distance tables (class-shard concat or word-shard
+        partial-popcount reduce tree) into predictions bit-identical to
+        the unsharded path.
     """
 
     def __init__(
@@ -196,6 +224,7 @@ class ServingEngine:
         telemetry: bool = True,
         flight_slots: int = 256,
         mp_context: str = "fork",
+        shard_plan: ShardPlan | None = None,
     ) -> None:
         if isinstance(model, HDCClassifier):
             if encoder is None:
@@ -211,6 +240,16 @@ class ServingEngine:
                 f"got {max_queries_per_request}"
             )
         packed = model.packed()
+        self.shard_plan = shard_plan
+        num_shards = 1 if shard_plan is None else shard_plan.num_shards
+        if shard_plan is not None:
+            shard_plan.validate(packed.num_classes, packed.dim)
+            if num_workers % num_shards:
+                raise ValueError(
+                    f"num_workers ({num_workers}) must be a multiple of "
+                    f"num_shards ({num_shards}) so every shard has equal "
+                    "replicas"
+                )
         self.model = model
         self.encoder = encoder
         self.dim = packed.dim
@@ -275,7 +314,8 @@ class ServingEngine:
             self.flight_recorder = FlightRecorder(readers)
 
         self.publisher = GenerationPublisher(
-            prefix, self.control, trace_source=self._last_trace_id
+            prefix, self.control, trace_source=self._last_trace_id,
+            shard_plan=shard_plan,
         )
         self.publisher.publish_packed(packed)  # generation 1
         # No recovery writer is running yet: deregister so an idle
@@ -299,6 +339,9 @@ class ServingEngine:
             high=cfg_high,
             telemetry_prefix=telemetry_prefix,
             flight_slots=flight_slots if telemetry else 0,
+            shard_kind=None if shard_plan is None else shard_plan.kind,
+            shard_bounds=() if shard_plan is None else shard_plan.bounds,
+            num_shards=num_shards,
         )
 
         ctx = mp.get_context(mp_context)
@@ -307,24 +350,45 @@ class ServingEngine:
         # survivors.  A shared queue would let a SIGKILLed worker die
         # holding the queue's reader lock and wedge every sibling.
         self._queues = [ctx.Queue() for _ in range(num_workers)]
-        self._result_q = ctx.Queue()
+        # Results are per-worker queues too, for the write-side mirror of
+        # the same hazard: a SIGKILL landing while a worker's queue
+        # feeder thread holds a *shared* result queue's write lock (the
+        # feeder releases it microseconds after the pipe write, but on a
+        # loaded host it can sit descheduled in that window for tens of
+        # milliseconds) would deadlock every sibling's next result.  With
+        # one queue per worker a kill can only tear the victim's own
+        # stream, which no survivor touches.
+        self._result_qs = [ctx.Queue() for _ in range(num_workers)]
         self._free_slots = list(range(ring_slots))
         self._slot_sem = threading.Semaphore(ring_slots)
         self._lock = threading.Lock()
         self._next_request_id = 0
-        self._next_worker = 0
         self._pending: dict[int, _Pending] = {}
         self._dispatched: dict[int, tuple[int, tuple]] = {}
         self._dead: set[int] = set()
         self._outbox: list[tuple] = []
         self._frame_requests = max(1, frame_requests)
+        # Load-aware dispatch state: requests outstanding per worker
+        # (incremented per dispatched frame entry, decremented as its
+        # results/partials arrive) — the same queue-depth quantity the
+        # ``serve.fleet.shard*`` telemetry reports, tracked engine-side
+        # so picking a replica never races a slab scrape.
+        self._depth = [0] * num_workers
+        self._replicas = {
+            s: [w for w in range(num_workers) if w % num_shards == s]
+            for s in range(num_shards)
+        }
+        self._rr = {s: 0 for s in range(num_shards)}
+        # Sharded frames awaiting their full partial set, by frame seq.
+        self._next_frame_seq = 0
+        self._frames: dict[int, dict] = {}
 
         # Workers fork before the collector thread starts, so the children
         # never inherit a half-held thread state.
         self.workers = [
             ctx.Process(
                 target=worker_main,
-                args=(i, self.config, self._queues[i], self._result_q),
+                args=(i, self.config, self._queues[i], self._result_qs[i]),
                 daemon=True,
                 name=f"repro-serve-worker-{i}",
             )
@@ -332,10 +396,15 @@ class ServingEngine:
         ]
         for worker in self.workers:
             worker.start()
-        self._collector = threading.Thread(
-            target=self._collect, name="repro-serve-collector", daemon=True
-        )
-        self._collector.start()
+        self._collectors = [
+            threading.Thread(
+                target=self._collect, args=(i,),
+                name=f"repro-serve-collector-{i}", daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for collector in self._collectors:
+            collector.start()
         self._monitor = threading.Thread(
             target=self._watch_workers, name="repro-serve-monitor",
             daemon=True,
@@ -476,29 +545,80 @@ class ServingEngine:
             self._dispatch(frame)
 
     def _dispatch(self, frame: list[tuple]) -> None:
-        """Route one frame to a live worker, recording the assignment.
+        """Route one frame to its worker(s), recording the assignment.
 
-        Assignments are what lets :meth:`_handle_worker_death` re-route a
-        crashed worker's unserved requests — their payloads still sit in
-        the ring (slots are freed only on resolution), so a survivor can
-        serve them from the same slots.
+        Unsharded: the frame goes to the least-loaded live worker.
+        Sharded: the same frame goes to one replica of *every* shard —
+        each serves its partial table, and the collector combines them
+        once the full set (on one generation) is in.  Assignments are
+        what lets :meth:`_handle_worker_death` re-route a crashed
+        worker's unserved work — request payloads still sit in the ring
+        (slots are freed only on resolution), so a survivor can serve
+        them from the same slots.
         """
+        if self.shard_plan is None:
+            with self._lock:
+                target = self._pick_replica(0)
+                if target is None:
+                    target = 0  # all dead; monitor/stop fail the requests
+                for entry in frame:
+                    self._dispatched[entry[0]] = (target, entry)
+                self._depth[target] += len(frame)
+            self._queues[target].put(frame)
+            return
         with self._lock:
-            target = self._pick_worker()
-            for entry in frame:
-                self._dispatched[entry[0]] = (target, entry)
-        self._queues[target].put(frame)
+            frame_seq = self._next_frame_seq
+            self._next_frame_seq += 1
+            targets: dict[int, int] = {}
+            for shard in self._replicas:
+                worker = self._pick_replica(shard)
+                if worker is None:
+                    break  # a shard has no live replica: unservable
+                targets[shard] = worker
+            if len(targets) < len(self._replicas):
+                self._fail_requests([entry[0] for entry in frame])
+                return
+            for worker in targets.values():
+                self._depth[worker] += len(frame)
+            self._frames[frame_seq] = {
+                "entries": frame,
+                "partials": {},
+                "workers": targets,
+            }
+        for worker in targets.values():
+            self._queues[worker].put((frame_seq, frame))
 
-    def _pick_worker(self) -> int:
-        """Round-robin over live workers (caller holds the lock)."""
-        for _ in range(len(self.workers)):
-            target = self._next_worker
-            self._next_worker = (self._next_worker + 1) % len(self.workers)
-            if target not in self._dead:
-                return target
-        # Every worker is dead: the monitor has already failed whatever
-        # was in flight, and stop() fails anything submitted after this.
-        return 0
+    def _pick_replica(self, shard: int) -> int | None:
+        """Least-loaded live replica of a shard (caller holds the lock).
+
+        Depth is outstanding requests (see ``_depth``); ties break
+        round-robin so equal-load replicas still alternate.
+        """
+        replicas = self._replicas[shard]
+        start = self._rr[shard] % len(replicas)
+        self._rr[shard] += 1
+        best = None
+        for i in range(len(replicas)):
+            worker = replicas[(start + i) % len(replicas)]
+            if worker in self._dead:
+                continue
+            if best is None or self._depth[worker] < self._depth[best]:
+                best = worker
+        return best
+
+    def _fail_requests(self, request_ids) -> None:
+        """Resolve requests as expired (caller holds the lock)."""
+        for request_id in request_ids:
+            pending = self._pending.get(request_id)
+            if pending is None or pending.result is not None:
+                continue
+            pending.result = ServeResult(
+                request_id=request_id, predictions=None, expired=True
+            )
+            self._free_slots.append(pending.slot)
+            self._slot_sem.release()
+            if pending.event is not None:
+                pending.event.set()
 
     # ------------------------------------------------------------------
     # Results
@@ -509,15 +629,22 @@ class ServingEngine:
         pending = self._pending.get(request_id)
         if pending is None:
             raise KeyError(f"unknown or already-collected request {request_id}")
-        if not pending.event.wait(timeout):
-            raise TimeoutError(
-                f"request {request_id} unresolved after {timeout}s"
-                + (
-                    f" (worker errors: {self._worker_errors})"
-                    if self._worker_errors
-                    else ""
+        if pending.result is None:
+            # Resolvers set ``result`` under the lock, so after this
+            # block either the result is in or an event exists for the
+            # resolver to signal.
+            with self._lock:
+                if pending.result is None and pending.event is None:
+                    pending.event = threading.Event()
+            if pending.result is None and not pending.event.wait(timeout):
+                raise TimeoutError(
+                    f"request {request_id} unresolved after {timeout}s"
+                    + (
+                        f" (worker errors: {self._worker_errors})"
+                        if self._worker_errors
+                        else ""
+                    )
                 )
-            )
         with self._lock:
             self._pending.pop(request_id, None)
         assert pending.result is not None
@@ -579,10 +706,16 @@ class ServingEngine:
     # Collector
     # ------------------------------------------------------------------
 
-    def _collect(self) -> None:
+    def _collect(self, worker_idx: int) -> None:
+        """Drain one worker's result queue (one thread per worker).
+
+        Per-worker collectors mean a worker killed mid-message can stall
+        only its own (now-useless) stream; all shared mutation below is
+        serialised by ``self._lock`` regardless of which thread runs it.
+        """
         metrics = _metrics()
         while True:
-            message = self._result_q.get()
+            message = self._result_qs[worker_idx].get()
             if message is None:
                 return
             if message[0] == "error":
@@ -591,9 +724,13 @@ class ServingEngine:
                 if metrics.enabled:
                     metrics.inc("serve.worker_errors")
                 continue
+            if message[0] == "partials":
+                self._collect_partials(message, metrics)
+                continue
             _, worker_id, outputs, event_dict = message
             expired_count = 0
             with self._lock:
+                self._depth[worker_id] -= len(outputs)
                 for request_id, predictions, expired in outputs:
                     pending = self._pending.get(request_id)
                     if pending is None or pending.result is not None:
@@ -610,10 +747,11 @@ class ServingEngine:
                     self._free_slots.append(pending.slot)
                     self._slot_sem.release()
                     expired_count += int(expired)
-                    pending.event.set()
+                    if pending.event is not None:
+                        pending.event.set()
                 event_dict = dict(event_dict)
-                event_dict["queue_depth"] = len(
-                    [p for p in self._pending.values() if not p.event.is_set()]
+                event_dict["queue_depth"] = sum(
+                    1 for p in self._pending.values() if p.result is None
                 )
                 event = ServeBatchEvent.from_dict(event_dict)
                 self.trace.record(event)
@@ -629,6 +767,135 @@ class ServingEngine:
                     )
                 if event.degraded:
                     metrics.inc("serve.degraded_batches")
+
+    def _collect_partials(self, message, metrics) -> None:
+        """Fold one shard's partial table into its frame; combine when full.
+
+        A frame resolves only once every shard has reported *on the same
+        generation*: combining across generations would mix model
+        snapshots and break the live-recovery bit-identity contract.
+        When partials disagree, the laggards (generations are monotonic,
+        so the stale ones) are re-dispatched; their replicas adopt the
+        newest generation before re-serving, so the retry converges.
+        """
+        (_, worker_id, frame_seq, shard, generation,
+         ok, expired_ids, table, event_dict) = message
+        refire: list[tuple[int, list, int]] = []
+        with self._lock:
+            self._depth[worker_id] -= len(ok) + len(expired_ids)
+            frame = self._frames.get(frame_seq)
+            if frame is not None:
+                frame["partials"][shard] = (generation, ok, expired_ids,
+                                            table)
+                if len(frame["partials"]) == len(self._replicas):
+                    refire = self._combine_frame(frame_seq, frame, metrics)
+            event_dict = dict(event_dict)
+            event_dict["queue_depth"] = sum(
+                1 for p in self._pending.values() if p.result is None
+            )
+            event = ServeBatchEvent.from_dict(event_dict)
+            self.trace.record(event)
+        for frame_seq, entries, worker in refire:
+            self._queues[worker].put((frame_seq, entries))
+        if metrics.enabled:
+            metrics.inc("serve.batches")
+            metrics.gauge("serve.queue_depth", event.queue_depth)
+            metrics.gauge("serve.staleness_s", event.staleness_s)
+            if event.adopted:
+                metrics.inc("serve.adoptions")
+                metrics.observe("serve.adoption_lag_s", event.adoption_lag_s)
+            if event.degraded:
+                metrics.inc("serve.degraded_batches")
+
+    def _combine_frame(self, frame_seq, frame, metrics) -> list:
+        """Resolve a frame with a full partial set (caller holds the lock).
+
+        Returns re-dispatch instructions ``(frame_seq, entries, worker)``
+        for stale shards (queue puts happen outside the lock).
+        """
+        partials = frame["partials"]
+        newest = max(generation for generation, _, _, _ in
+                     partials.values())
+        stale = [s for s, (generation, _, _, _) in partials.items()
+                 if generation < newest]
+        if stale:
+            refire = []
+            for shard in stale:
+                del partials[shard]
+                worker = self._pick_replica(shard)
+                if worker is None:
+                    # The shard lost its last replica; the frame can
+                    # never complete.
+                    self._fail_requests([e[0] for e in frame["entries"]])
+                    self._frames.pop(frame_seq, None)
+                    return []
+                frame["workers"][shard] = worker
+                self._depth[worker] += len(frame["entries"])
+                refire.append((frame_seq, frame["entries"], worker))
+            if metrics.enabled:
+                metrics.inc("serve.shard_redispatches", len(refire))
+            return refire
+
+        shard_order = sorted(partials)
+        ok0 = partials[shard_order[0]][1]
+        aligned = all(partials[s][1] == ok0 for s in shard_order[1:])
+        if aligned:
+            served = ok0
+            tables = [partials[s][3] for s in shard_order]
+        else:
+            # Deadline evaluations diverged across shards: only requests
+            # computed by every shard can be combined; the rest expire.
+            ok_sets = [
+                {req_id: i for i, (req_id, _) in enumerate(partials[s][1])}
+                for s in shard_order
+            ]
+            served = [
+                (req_id, n) for req_id, n in ok0
+                if all(req_id in ids for ids in ok_sets[1:])
+            ]
+            tables = []
+            for s, ids in zip(shard_order, ok_sets):
+                offsets = np.zeros(len(partials[s][1]) + 1, dtype=np.int64)
+                np.cumsum(
+                    [n for _, n in partials[s][1]], out=offsets[1:]
+                )
+                table = partials[s][3]
+                tables.append(np.concatenate([
+                    table[offsets[ids[req_id]]:offsets[ids[req_id]] + n]
+                    for req_id, n in served
+                ]) if served else table[:0])
+        expired_count = 0
+        if served:
+            if self.shard_plan.kind == "class":
+                full = combine_class_tables(tables)
+            else:
+                full = reduce_partial_tables(tables)
+            predictions = np.argmin(full, axis=1).astype(np.int64)
+            offset = 0
+            for req_id, n in served:
+                pending = self._pending.get(req_id)
+                if pending is not None and pending.result is None:
+                    pending.result = ServeResult(
+                        request_id=req_id,
+                        predictions=predictions[offset:offset + n],
+                        expired=False,
+                    )
+                    self._free_slots.append(pending.slot)
+                    self._slot_sem.release()
+                    if pending.event is not None:
+                        pending.event.set()
+                offset += n
+        served_ids = {req_id for req_id, _ in served}
+        expired = [e[0] for e in frame["entries"]
+                   if e[0] not in served_ids]
+        expired_count = len(expired)
+        self._fail_requests(expired)
+        self._frames.pop(frame_seq, None)
+        if metrics.enabled:
+            metrics.inc("serve.frames_combined")
+            if expired_count:
+                metrics.inc("serve.deadline_expired", expired_count)
+        return []
 
     # ------------------------------------------------------------------
     # Worker liveness
@@ -664,6 +931,9 @@ class ServingEngine:
         metrics = _metrics()
         if metrics.enabled:
             metrics.inc("serve.worker_deaths")
+        if self.shard_plan is not None:
+            self._handle_shard_worker_death(worker_idx)
+            return
         frame: list[tuple] = []
         with self._lock:
             stale = [
@@ -685,9 +955,38 @@ class ServingEngine:
                     )
                     self._free_slots.append(pending.slot)
                     self._slot_sem.release()
-                    pending.event.set()
+                    if pending.event is not None:
+                        pending.event.set()
         if frame:
             self._dispatch(frame)
+
+    def _handle_shard_worker_death(self, worker_idx: int) -> None:
+        """Re-route a dead replica's unanswered shard work.
+
+        Frames whose partial from this worker's shard is still missing
+        go to a surviving replica of the *same* shard (the shard's
+        segments outlive the worker, and the request payloads sit in
+        the ring).  A partial already received from the dead worker
+        stays valid.  With no surviving replica the frame can never
+        combine, so its requests fail immediately.
+        """
+        shard = worker_idx % len(self._replicas)
+        refire: list[tuple[int, list, int]] = []
+        with self._lock:
+            for frame_seq, frame in list(self._frames.items()):
+                if (frame["workers"].get(shard) != worker_idx
+                        or shard in frame["partials"]):
+                    continue
+                replacement = self._pick_replica(shard)
+                if replacement is None:
+                    self._fail_requests([e[0] for e in frame["entries"]])
+                    self._frames.pop(frame_seq, None)
+                    continue
+                frame["workers"][shard] = replacement
+                self._depth[replacement] += len(frame["entries"])
+                refire.append((frame_seq, frame["entries"], replacement))
+        for frame_seq, entries, worker in refire:
+            self._queues[worker].put((frame_seq, entries))
 
     def scrape_telemetry(self, registry=None) -> dict:
         """Scrape every worker slab into ``registry`` (default: installed).
@@ -721,8 +1020,12 @@ class ServingEngine:
                 if worker.is_alive():  # pragma: no cover - last resort
                     worker.kill()
                     worker.join(timeout=1.0)
-        self._result_q.put(None)
-        self._collector.join(timeout=timeout)
+        for q in self._result_qs:
+            q.put(None)
+        for collector in self._collectors:
+            # A collector stuck on a dead worker's torn stream never sees
+            # its sentinel; it is a daemon thread, so leave it behind.
+            collector.join(timeout=max(0.1, deadline - time.monotonic()))
         self._monitor.join(timeout=timeout)
         # Fail anything a dead worker left unresolved so callers can't
         # block forever on a request that will never be answered.
@@ -732,8 +1035,9 @@ class ServingEngine:
                     pending.result = ServeResult(
                         request_id=-1, predictions=None, expired=True
                     )
-                    pending.event.set()
-        for q in (*self._queues, self._result_q):
+                    if pending.event is not None:
+                        pending.event.set()
+        for q in (*self._queues, *self._result_qs):
             q.close()
             q.cancel_join_thread()
         # Final telemetry scrape (workers are stopped, so this is the

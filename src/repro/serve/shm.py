@@ -278,31 +278,55 @@ _FIELD_INDEX = {
 }
 
 
-def generation_segment(prefix: str, generation: int) -> str:
-    """Deterministic segment name for generation ``N`` under a prefix."""
-    return f"{prefix}-g{generation}"
+def generation_segment(
+    prefix: str, generation: int, shard: int | None = None
+) -> str:
+    """Deterministic segment name for generation ``N`` under a prefix.
+
+    Sharded publishes split each generation into one segment per shard,
+    suffixed ``-s{shard}``; unsharded generations keep the bare name.
+    """
+    name = f"{prefix}-g{generation}"
+    return name if shard is None else f"{name}-s{shard}"
 
 
 def attach_generation(
-    prefix: str, snapshot: ControlSnapshot
+    prefix: str,
+    snapshot: ControlSnapshot,
+    shard_plan: "ShardPlan | None" = None,
+    shard: int | None = None,
 ) -> tuple[ShmArray, PackedModel]:
     """Map the generation a control snapshot points at, zero-copy.
 
     Returns the segment handle (the caller closes it on the next
     adoption) and a read-only :class:`~repro.core.packed.PackedModel`
-    over its words.  May raise ``FileNotFoundError`` if the generation
-    was retired between the control read and this call — callers re-read
-    the control block and retry on the (newer) generation it now names.
+    over its words.  With a :class:`~repro.serve.shard.ShardPlan`, maps
+    only shard ``shard``'s segment: a class shard's model covers its
+    row range at full width, a word shard's covers every class over its
+    word columns (its ``dim`` is the shard's bit span — partial
+    distances against it are exact partial popcounts).  May raise
+    ``FileNotFoundError`` if the generation was retired between the
+    control read and this call — callers re-read the control block and
+    retry on the (newer) generation it now names.
     """
-    words = -(-snapshot.dim // 64)
+    if shard_plan is None:
+        shape = (snapshot.num_classes, -(-snapshot.dim // 64))
+        dim = snapshot.dim
+    else:
+        shape = shard_plan.shard_shape(
+            snapshot.num_classes, snapshot.dim, shard
+        )
+        dim = shard_plan.shard_dim(snapshot.dim, shard)
     segment = ShmArray.attach(
-        generation_segment(prefix, snapshot.generation),
-        (snapshot.num_classes, words),
+        generation_segment(
+            prefix, snapshot.generation,
+            None if shard_plan is None else shard,
+        ),
+        shape,
         np.uint64,
     )
     packed = PackedModel.from_buffer(
-        segment.array, snapshot.num_classes, snapshot.dim,
-        version=snapshot.model_version,
+        segment.array, shape[0], dim, version=snapshot.model_version,
     )
     return segment, packed
 
@@ -331,6 +355,7 @@ class GenerationPublisher:
         control: ControlBlock,
         retire_lag: int = 2,
         trace_source: "callable | None" = None,
+        shard_plan: "ShardPlan | None" = None,
     ) -> None:
         if retire_lag < 1:
             raise ValueError(f"retire_lag must be >= 1, got {retire_lag}")
@@ -339,9 +364,10 @@ class GenerationPublisher:
         self.retire_lag = retire_lag
         self.generation = 0
         self.trace_source = trace_source
+        self.shard_plan = shard_plan
         self.publish_log: list[dict] = []
         self.last_publish_trace_id: int | None = None
-        self._segments: dict[int, ShmArray] = {}
+        self._segments: dict[int, list[ShmArray]] = {}
 
     def publish(self, model: HDCModel) -> int:
         """Snapshot ``model.packed()`` as the next generation."""
@@ -349,9 +375,25 @@ class GenerationPublisher:
 
     def publish_packed(self, packed: PackedModel) -> int:
         generation = self.generation + 1
-        segment = ShmArray.create(
-            generation_segment(self.prefix, generation), packed.words
-        )
+        if self.shard_plan is None:
+            segments = [ShmArray.create(
+                generation_segment(self.prefix, generation), packed.words
+            )]
+        else:
+            # One immutable segment per shard, all fully written before
+            # the control flip below — a generation is visible only as a
+            # complete set, so no worker can combine across generations
+            # by attaching early.
+            self.shard_plan.validate(packed.num_classes, packed.dim)
+            segments = [
+                ShmArray.create(
+                    generation_segment(self.prefix, generation, shard),
+                    np.ascontiguousarray(
+                        self.shard_plan.shard_words(packed.words, shard)
+                    ),
+                )
+                for shard in range(self.shard_plan.num_shards)
+            ]
         now = time.monotonic_ns()
         # Segment contents are complete before the control block names
         # the generation — readers can never map a half-written model.
@@ -364,7 +406,7 @@ class GenerationPublisher:
             heartbeat_ns=now,
             writer_active=1,
         )
-        self._segments[generation] = segment
+        self._segments[generation] = segments
         self.generation = generation
         trace_id = (
             int(self.trace_source())
@@ -379,8 +421,7 @@ class GenerationPublisher:
             "publish_ns": now,
         })
         retired = generation - self.retire_lag
-        old = self._segments.pop(retired, None)
-        if old is not None:
+        for old in self._segments.pop(retired, ()):
             old.unlink()
         metrics = _metrics()
         if metrics.enabled:
@@ -400,6 +441,7 @@ class GenerationPublisher:
 
     def close(self) -> None:
         """Unlink every live generation segment.  Idempotent."""
-        for segment in self._segments.values():
-            segment.unlink()
+        for segments in self._segments.values():
+            for segment in segments:
+                segment.unlink()
         self._segments.clear()

@@ -63,6 +63,7 @@ from repro.obs.telemetry import (
     TelemetryWriter,
     slab_words,
 )
+from repro.serve.shard import ShardPlan
 from repro.serve.shm import ControlBlock, ShmArray, attach_generation
 
 __all__ = ["PAYLOAD_FEATURES", "PAYLOAD_PACKED", "worker_main"]
@@ -70,6 +71,46 @@ __all__ = ["PAYLOAD_FEATURES", "PAYLOAD_PACKED", "worker_main"]
 # Per-request payload kinds, as stored in request tuples.
 PAYLOAD_PACKED = 0  # ring slot holds (n_queries, words) uint64 query words
 PAYLOAD_FEATURES = 1  # ring slot holds (n_queries, num_features) float64
+
+
+def _gather_queries(ring, live, words, cfg, codebook, word_lo, word_hi):
+    """Assemble the batch's query words ``(total_q, scan_words)``.
+
+    ``live`` rows are ``(req_id, slot, n_queries, kind)``; ``words`` is
+    the full-width word count queries are stored at, and
+    ``[word_lo, word_hi)`` the column range this worker scans (the full
+    range when unsharded or class-sharded).  The common case — every
+    live request packed with the same query count — gathers with one
+    fancy index over the ring instead of a Python-level slice per
+    request; mixed batches fall back to the per-request path.
+    """
+    n0 = live[0][2]
+    if all(kind == PAYLOAD_PACKED and n == n0 for _, _, n, kind in live):
+        slots = np.fromiter(
+            (slot for _, slot, _, _ in live), dtype=np.intp, count=len(live)
+        )
+        block = ring.array[slots, : n0 * words].reshape(-1, words)
+        return block[:, word_lo:word_hi]
+    rows = []
+    for _, slot, n_queries, kind in live:
+        if kind == PAYLOAD_PACKED:
+            rows.append(
+                ring.array[slot, : n_queries * words]
+                .reshape(n_queries, words)[:, word_lo:word_hi]
+            )
+        else:
+            feats = (
+                ring.array[slot, : n_queries * cfg.num_features]
+                .view(np.float64)
+                .reshape(n_queries, cfg.num_features)
+            )
+            idx = quantize_features(feats, cfg.levels, cfg.low, cfg.high)
+            rows.append(
+                encode_words_from_codebook(
+                    codebook.array[:, :, word_lo:word_hi], idx
+                )
+            )
+    return rows[0] if len(rows) == 1 else np.concatenate(rows)
 
 
 def _drain(request_q, first, coalesce: int):
@@ -130,18 +171,44 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
             telemetry_segment.array, worker_id,
             pid=os.getpid(), started_ns=time.monotonic_ns(),
         )
+    # Sharded engines map worker -> shard by residue; each worker
+    # attaches only its shard's generation segments and serves exactly
+    # one frame per batch (frame compositions must match across shards
+    # for the engine's combine, so cross-frame coalescing is the
+    # engine's job — it sizes frames up instead).
+    sharded = cfg.num_shards > 1
+    plan = (
+        ShardPlan(kind=cfg.shard_kind, bounds=cfg.shard_bounds)
+        if sharded
+        else None
+    )
+    shard = worker_id % cfg.num_shards if sharded else -1
+    full_words = -(-cfg.dim // 64)
+    if plan is not None and plan.kind == "word":
+        word_lo, word_hi = plan.bounds[shard]
+    else:
+        word_lo, word_hi = 0, full_words
+    if telemetry is not None and sharded:
+        telemetry.set_shard(shard)
     segment = None
     packed = None
     generation = 0
     batch_index = 0
     try:
         while True:
+            wait0 = time.perf_counter()
             frame = request_q.get()
+            wait_s = time.perf_counter() - wait0
             if frame is None:
                 break
-            requests, saw_sentinel = _drain(
-                request_q, frame, cfg.coalesce_requests
-            )
+            if sharded:
+                frame_seq, requests = frame
+                saw_sentinel = False
+            else:
+                frame_seq = -1
+                requests, saw_sentinel = _drain(
+                    request_q, frame, cfg.coalesce_requests
+                )
             t0 = time.perf_counter()
             now = time.monotonic_ns()
             # Lowest trace id in the batch: the correlation join key.
@@ -163,7 +230,8 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 while True:
                     try:
                         new_segment, new_packed = attach_generation(
-                            cfg.prefix, snapshot
+                            cfg.prefix, snapshot, plan,
+                            shard if sharded else None,
                         )
                         break
                     except FileNotFoundError:
@@ -210,53 +278,46 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                     expired.append((req_id, trace_id))
                 else:
                     live.append((req_id, slot, n_queries, kind))
-            total_queries = 0
+            total_queries = sum(n for _, _, n, _ in live)
             outputs = []  # (req_id, predictions | None, expired?)
+            table = None  # sharded mode ships the distance table instead
             if live:
-                model_words = packed.words.shape[1]
-                rows = []
-                for _, slot, n_queries, kind in live:
-                    if kind == PAYLOAD_PACKED:
-                        rows.append(
-                            ring.array[slot, : n_queries * model_words]
-                            .reshape(n_queries, model_words)
-                        )
-                    else:
-                        feats = (
-                            ring.array[slot, : n_queries * cfg.num_features]
-                            .view(np.float64)
-                            .reshape(n_queries, cfg.num_features)
-                        )
-                        idx = quantize_features(
-                            feats, cfg.levels, cfg.low, cfg.high
-                        )
-                        rows.append(
-                            encode_words_from_codebook(codebook.array, idx)
-                        )
-                    total_queries += n_queries
-                query_words = (
-                    rows[0] if len(rows) == 1 else np.concatenate(rows)
+                query_words = _gather_queries(
+                    ring, live, full_words, cfg, codebook, word_lo, word_hi
                 )
-                # Min-distance argmin matches HDCModel.predict's argmax
-                # over similarities, including first-index tie order.
-                predictions = np.argmin(
-                    packed.distances(query_words), axis=1
-                ).astype(np.int64)
-                offset = 0
-                for req_id, _, n_queries, _ in live:
-                    outputs.append(
-                        (req_id, predictions[offset : offset + n_queries],
-                         False)
-                    )
-                    offset += n_queries
+                if sharded:
+                    # Partial table only: a class shard's columns cover
+                    # its class rows, a word shard's are partial
+                    # popcounts over its word columns.  One contiguous
+                    # array per frame — the engine combines and argmins.
+                    table = packed.distances(query_words)
+                else:
+                    # Min-distance argmin matches HDCModel.predict's
+                    # argmax over similarities, including first-index
+                    # tie order.
+                    predictions = np.argmin(
+                        packed.distances(query_words), axis=1
+                    ).astype(np.int64)
+                    offset = 0
+                    for req_id, _, n_queries, _ in live:
+                        outputs.append(
+                            (req_id,
+                             predictions[offset : offset + n_queries],
+                             False)
+                        )
+                        offset += n_queries
             for req_id, trace_id in expired:
-                outputs.append((req_id, None, True))
+                if not sharded:
+                    outputs.append((req_id, None, True))
                 if telemetry is not None:
                     telemetry.record_event(
                         EV_DEADLINE_MISS, now, req_id, max(0, trace_id)
                     )
 
             duration_s = time.perf_counter() - t0
+            # Model bytes streamed for this batch: every query scans the
+            # attached word matrix once — the quantity sharding shrinks.
+            bytes_scanned = total_queries * int(packed.words.nbytes)
             event = {
                 "worker_id": worker_id,
                 "batch_index": batch_index,
@@ -271,6 +332,9 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 "degraded": degraded,
                 "duration_s": duration_s,
                 "trace_id": batch_trace_id,
+                "shard": shard,
+                "dispatch_wait_s": wait_s,
+                "bytes_scanned": bytes_scanned,
             }
             if telemetry is not None:
                 end_ns = time.monotonic_ns()
@@ -286,8 +350,17 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                     adopted=adopted,
                     degraded=degraded,
                     now_ns=end_ns,
+                    wait_ns=int(wait_s * 1e9),
                 )
-            result_q.put(("batch", worker_id, outputs, event))
+            if sharded:
+                result_q.put((
+                    "partials", worker_id, frame_seq, shard, generation,
+                    [(req_id, n) for req_id, _, n, _ in live],
+                    [req_id for req_id, _ in expired],
+                    table, event,
+                ))
+            else:
+                result_q.put(("batch", worker_id, outputs, event))
             batch_index += 1
             if saw_sentinel:
                 break  # in-hand work served; now shut down
