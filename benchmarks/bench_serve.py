@@ -54,7 +54,15 @@ from repro.core.recovery import RecoveryConfig
 from repro.datasets.synthetic import make_prototype_classification
 from repro.obs.export import write_prometheus
 from repro.obs.metrics import MetricsRegistry
-from repro.serve import ServingEngine, ShardPlan
+from repro.serve import (
+    AsyncGatewayClient,
+    GatewayServer,
+    ServeRequest,
+    ServingEngine,
+    ShardPlan,
+    TenantRegistry,
+)
+from repro.serve.autoscale import WorkerAutoscaler
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
@@ -117,18 +125,53 @@ def _drive(engine: ServingEngine, requests: list[np.ndarray],
     backpressure.
     """
     start = time.perf_counter()
-    ids: list[int] = []
+    futures = []
     for payload in requests:
-        ids.append(engine.submit(payload, flush=False))
-        if len(ids) >= window:
+        futures.append(engine.submit(ServeRequest(payload), flush=False))
+        if len(futures) >= window:
             engine.flush()
-            for request_id in ids:
-                engine.result(request_id)
-            ids = []
+            for future in futures:
+                future.result()
+            futures = []
     engine.flush()
-    for request_id in ids:
-        engine.result(request_id)
+    for future in futures:
+        future.result()
     return time.perf_counter() - start
+
+
+class _Recorder:
+    """Minimal in-process ModelPublisher for sequential reference runs."""
+
+    def __init__(self):
+        self.words = None
+        self.version = 0
+        self.generations = 0
+
+    def publish(self, model):
+        packed = model.packed()
+        self.words = packed.words.copy()
+        self.version = packed.version
+        self.generations += 1
+        return self.generations
+
+    def touch(self):
+        pass
+
+
+def _predict_bulk(engine: ServingEngine, words: np.ndarray,
+                  tenant: str | None = None) -> np.ndarray:
+    """Ordered bulk predict over the unified ServeRequest surface."""
+    step = engine.max_queries_per_request
+    futures = []
+    for start in range(0, words.shape[0], step):
+        futures.append(engine.submit(
+            ServeRequest(words[start : start + step], tenant=tenant),
+            flush=False,
+        ))
+    engine.flush()
+    return np.concatenate([
+        future.result(timeout=60.0).predictions for future in futures
+    ])
 
 
 def bench_throughput(num_classes: int, num_features: int, dim: int,
@@ -194,13 +237,13 @@ def bench_throughput(num_classes: int, num_features: int, dim: int,
         try:
             # Warm-up: first batches pay fork + first-adoption costs, and
             # double as a correctness check against the baseline.
-            check_ids = [
-                engine.submit(payload, flush=False)
+            check = [
+                engine.submit(ServeRequest(payload), flush=False)
                 for payload in payloads[:window]
             ]
             engine.flush()
-            for request_id, expected in zip(check_ids, reference):
-                got = engine.result(request_id).predictions
+            for future, expected in zip(check, reference):
+                got = future.result().predictions
                 assert (got == expected).all(), \
                     "engine predictions diverged from the packed baseline"
             best = float("inf")
@@ -277,7 +320,7 @@ def bench_word_shard_scale(dim: int, num_classes: int, num_shards: int,
     )
     try:
         for payload, expected in zip(payloads[:8], reference):
-            got = engine.result(engine.submit(payload)).predictions
+            got = engine.submit(ServeRequest(payload)).result().predictions
             assert (got == expected).all(), \
                 "word-sharded predictions diverged from the packed baseline"
         best = float("inf")
@@ -347,29 +390,11 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
         num_train=num_classes * 40, num_test=200, seed=0,
     )
 
-    class Recorder:
-        """Minimal in-process ModelPublisher for the reference run."""
-
-        def __init__(self):
-            self.words = None
-            self.version = 0
-            self.generations = 0
-
-        def publish(self, model):
-            packed = model.packed()
-            self.words = packed.words.copy()
-            self.version = packed.version
-            self.generations += 1
-            return self.generations
-
-        def touch(self):
-            pass
-
     def experiment():
         return RecoveryExperiment(dataset=task, dim=dim, epochs=2,
                                   levels=levels, seed=7)
 
-    recorder = Recorder()
+    recorder = _Recorder()
     reference = experiment()
     ref_outcome = reference.attack_and_recover(
         error_rate, config=RecoveryConfig(), passes=passes, seed=11,
@@ -386,7 +411,7 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
     def traffic():
         nonlocal served_rounds
         while not stop.is_set():
-            engine.predict(eval_words)
+            _predict_bulk(engine, eval_words)
             served_rounds += 1
 
     thread = threading.Thread(target=traffic, daemon=True)
@@ -401,7 +426,7 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
         stop.set()
         thread.join()
     recover_s = time.perf_counter() - start
-    final_predictions = engine.predict(eval_words)
+    final_predictions = _predict_bulk(engine, eval_words)
     generations = engine.publisher.generation
     trace = engine.trace
     engine.stop()
@@ -439,9 +464,291 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
     }
 
 
+def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
+                  error_rate: float, passes: int, num_workers: int = 4,
+                  max_workers: int = 6, min_soak_s: float = 3.0,
+                  registry: MetricsRegistry | None = None) -> dict:
+    """Multi-tenant soak through the TCP gateway.
+
+    ``tenants`` independent models share one engine behind one
+    :class:`GatewayServer`.  An async client pipelines mixed-tenant
+    traffic the whole time while tenant 0 is attacked and recovered
+    concurrently through its own publisher stream, with the
+    :class:`WorkerAutoscaler` running.  Every non-attacked tenant's
+    response is checked bit-identical to its sequential reference on
+    every round (hot-swap isolation); tenant 0 must match its own
+    sequential attack-and-recover reference once recovery lands.  Two
+    admission facts are asserted and recorded: zero shed under the
+    generously-provisioned soak, and a non-zero typed shed counter
+    under a deliberately tiny in-flight cap (the overload sub-leg).
+    """
+    import asyncio
+    import threading
+
+    from repro.obs.metrics import set_metrics
+    from repro.serve import GatewayRejected
+    from repro.serve.protocol import RejectCode
+
+    if tenants < 2:
+        raise ValueError("the gateway leg needs >= 2 tenants")
+    qpr = 8
+    names = [f"tenant{i}" for i in range(tenants)]
+    tasks = [
+        make_prototype_classification(
+            f"bench-gateway-{i}", num_features=num_features,
+            num_classes=4 + i, num_train=(4 + i) * 40, num_test=64,
+            seed=100 + i,
+        )
+        for i in range(tenants)
+    ]
+
+    def experiment(i):
+        return RecoveryExperiment(dataset=tasks[i], dim=dim, epochs=2,
+                                  levels=levels, seed=200 + i)
+
+    experiments = [experiment(i) for i in range(tenants)]
+
+    # Sequential reference for the attacked tenant: identical
+    # attack-and-recover replayed into an in-process recorder.
+    recorder = _Recorder()
+    ref_outcome = experiment(0).attack_and_recover(
+        error_rate, config=RecoveryConfig(), passes=passes, seed=11,
+        publisher=recorder,
+    )
+    eval_words = [exp._eval_packed.words for exp in experiments]
+    ref_predictions = np.argmin(
+        np.bitwise_count(
+            recorder.words[None, :, :] ^ eval_words[0][:, None, :]
+        ).sum(axis=2),
+        axis=1,
+    ).astype(np.int64)
+    # Fixed references for the tenants that are never touched.
+    expected = {
+        names[i]: np.argmin(
+            experiments[i].classifier.model.packed()
+            .distances(eval_words[i][:qpr]),
+            axis=1,
+        ).astype(np.int64)
+        for i in range(1, tenants)
+    }
+    payloads = {names[i]: eval_words[i][:qpr] for i in range(tenants)}
+
+    tenant_registry = TenantRegistry()
+    for name, exp in zip(names, experiments):
+        tenant_registry.add(name, exp.classifier)
+    previous_metrics = set_metrics(registry) if registry is not None else None
+    engine = ServingEngine(
+        tenant_registry, num_workers=num_workers, min_workers=2,
+        max_workers=max_workers, ring_slots=128,
+        max_queries_per_request=qpr,
+    )
+    server = GatewayServer(engine).start()
+    scaler = WorkerAutoscaler(engine, interval_s=0.1).start()
+    done = threading.Event()
+    recovery: dict = {}
+
+    def recover():
+        try:
+            recovery["outcome"] = experiments[0].attack_and_recover(
+                error_rate, config=RecoveryConfig(), passes=passes, seed=11,
+                publisher=engine.publisher_for(names[0]),
+            )
+        finally:
+            done.set()
+
+    async def drive():
+        client = await AsyncGatewayClient.connect("127.0.0.1", server.port)
+        served = dict.fromkeys(names, 0)
+        window = 4 * tenants
+        rotate = 0
+        # Recovery on a small task can land almost instantly; keep the
+        # soak going for a floor duration so the record reflects
+        # sustained mixed-tenant traffic (and the autoscaler gets real
+        # ticks), not a single burst.
+        soak_until = time.perf_counter() + min_soak_s
+        try:
+            while not done.is_set() or time.perf_counter() < soak_until:
+                # Captured before issuing: only requests submitted after
+                # the final generation published may be held to the
+                # recovered reference.
+                settled = done.is_set()
+                batch = [names[(rotate + k) % tenants]
+                         for k in range(window)]
+                rotate += 1
+                results = await asyncio.gather(
+                    *[client.predict(payloads[n], tenant=n) for n in batch]
+                )
+                for name, got in zip(batch, results):
+                    served[name] += 1
+                    if name != names[0]:
+                        assert (got == expected[name]).all(), (
+                            f"{name} diverged from its sequential "
+                            f"reference while tenant 0 was hot-swapping"
+                        )
+                    elif settled:
+                        # Recovery landed: the attacked tenant is pinned
+                        # to its final snapshot from here on.
+                        assert (got == ref_predictions[:qpr]).all(), (
+                            "tenant 0 diverged from its recovered "
+                            "reference after recovery completed"
+                        )
+            # Recovery has landed: the attacked tenant must now serve
+            # its sequential reference bit-for-bit, through the gateway.
+            chunks = [eval_words[0][s : s + qpr]
+                      for s in range(0, eval_words[0].shape[0], qpr)]
+            parts = await asyncio.gather(
+                *[client.predict(c, tenant=names[0]) for c in chunks]
+            )
+            return served, np.concatenate(parts)
+        finally:
+            await client.close()
+
+    thread = threading.Thread(target=recover, daemon=True)
+    start = time.perf_counter()
+    thread.start()
+    try:
+        served, final_predictions = asyncio.run(drive())
+    finally:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    outcome = recovery["outcome"]
+    model_identical = bool(
+        outcome.accuracy_trace == ref_outcome.accuracy_trace
+    )
+    predictions_identical = bool(
+        (final_predictions == ref_predictions).all()
+    )
+    assert model_identical, \
+        "gateway-concurrent recovery diverged from the sequential reference"
+    assert predictions_identical, \
+        "attacked tenant's served predictions diverged from the reference"
+    admitted = server.admission.admitted
+    shed_total = server.admission.shed_total
+    assert shed_total == 0, \
+        f"soak shed {shed_total} requests despite generous admission"
+    scaler.stop()
+    generations = engine.publisher_for(names[0]).generation
+    batch_ps = engine.telemetry.percentiles(
+        "batch_duration_ns", (50.0, 95.0)
+    )
+    wait_ps = engine.telemetry.percentiles("dispatch_wait_ns", (95.0,))
+    if registry is not None:
+        engine.scrape_telemetry(registry)
+    workers_final = engine.live_workers
+    server.stop()
+    engine.stop()
+
+    # Overload sub-leg: a deliberately tiny in-flight cap under async
+    # pipelining must shed with a typed OVERLOADED reject while every
+    # admitted request still resolves correctly.
+    flood_requests = 40
+    sub_engine = ServingEngine(
+        experiments[1].classifier, num_workers=1, ring_slots=2,
+        max_queries_per_request=qpr,
+    )
+    sub_server = GatewayServer(sub_engine, max_inflight=1).start()
+
+    async def flood():
+        client = await AsyncGatewayClient.connect(
+            "127.0.0.1", sub_server.port
+        )
+        try:
+            return await asyncio.gather(
+                *[client.predict(payloads[names[1]], tenant="default")
+                  for _ in range(flood_requests)],
+                return_exceptions=True,
+            )
+        finally:
+            await client.close()
+
+    try:
+        outcomes = asyncio.run(flood())
+    finally:
+        sub_server.stop()
+        sub_engine.stop()
+        if previous_metrics is not None:
+            set_metrics(previous_metrics)
+    flood_served = [o for o in outcomes if isinstance(o, np.ndarray)]
+    flood_shed = [o for o in outcomes if isinstance(o, GatewayRejected)]
+    assert flood_served, "overload sub-leg starved every request"
+    for got in flood_served:
+        assert (got == expected[names[1]]).all(), \
+            "overload sub-leg served wrong predictions"
+    assert flood_shed, "overload sub-leg shed nothing; cap not enforced"
+    assert {exc.code for exc in flood_shed} == {RejectCode.OVERLOADED}
+
+    total = sum(served.values())
+    return {
+        "tenants": tenants,
+        "tenant_ids": names,
+        "dim": dim,
+        "queries_per_request": qpr,
+        "workers": {
+            "initial": num_workers,
+            "min": 2,
+            "max": max_workers,
+            "final": workers_final,
+        },
+        "duration_s": wall,
+        "requests_served": total,
+        "requests_per_s": total / wall,
+        "per_tenant_requests": served,
+        "admission": {
+            "admitted": admitted,
+            "shed_total": shed_total,
+            "shed_rate": shed_total / max(1, admitted + shed_total),
+            "zero_shed_at_low_load": shed_total == 0,
+        },
+        "autoscale": {
+            "scale_ups": sum(
+                1 for e in scaler.events if e["action"] == "up"
+            ),
+            "scale_downs": sum(
+                1 for e in scaler.events if e["action"] == "down"
+            ),
+            "events": scaler.events[:32],
+        },
+        "fleet": {
+            "batch_duration_ms_p50": batch_ps[50.0] / 1e6,
+            "batch_duration_ms_p95": batch_ps[95.0] / 1e6,
+            "dispatch_wait_ms_p95": wait_ps[95.0] / 1e6,
+        },
+        "recovery": {
+            "tenant": names[0],
+            "error_rate": error_rate,
+            "passes": passes,
+            "recovered_accuracy": outcome.recovered_accuracy,
+            "generations_published": generations,
+            "model_bit_identical": model_identical,
+            "final_predictions_bit_identical": predictions_identical,
+            "other_tenants_bit_identical_throughout": True,
+        },
+        "overload": {
+            "requests": flood_requests,
+            "served": len(flood_served),
+            "shed": len(flood_shed),
+            "shed_rate": len(flood_shed) / flood_requests,
+            "reject_code": "OVERLOADED",
+        },
+    }
+
+
+def gateway_kwargs(smoke: bool, tenants: int = 2) -> dict:
+    """Gateway soak sizing shared by ``run`` and ``--gateway-only``."""
+    if smoke:
+        return dict(tenants=tenants, num_features=16, dim=1_000, levels=8,
+                    error_rate=0.15, passes=1, num_workers=2,
+                    max_workers=3, min_soak_s=0.75)
+    return dict(tenants=tenants, num_features=16, dim=2_000, levels=16,
+                error_rate=0.2, passes=2, num_workers=4, max_workers=6,
+                min_soak_s=3.0)
+
+
 def run(smoke: bool, telemetry: bool = False,
         registry: MetricsRegistry | None = None,
-        shards: int | None = None) -> dict:
+        shards: int | None = None, gateway: bool = False,
+        tenants: int = 2) -> dict:
     if smoke:
         shards = shards or 2
         throughput_kw = dict(
@@ -482,11 +789,12 @@ def run(smoke: bool, telemetry: bool = False,
             sharded["workers"][str(shards)]["requests_per_s"]
             / unsharded_same_workers["requests_per_s"]
         )
-    return {
-        "schema": 3,
+    results = {
+        "schema": 4,
         "generated_by": "benchmarks/bench_serve.py"
         + (" --smoke" if smoke else "")
-        + (" --telemetry" if telemetry else ""),
+        + (" --telemetry" if telemetry else "")
+        + (" --gateway" if gateway else ""),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "cpus": len(__import__("os").sched_getaffinity(0)),
@@ -497,6 +805,11 @@ def run(smoke: bool, telemetry: bool = False,
         "gpu_roofline": bench_gpu_roofline(smoke=smoke),
         "live_recovery": bench_live_recovery(**recovery_kw),
     }
+    if gateway:
+        results["gateway"] = bench_gateway(
+            **gateway_kwargs(smoke, tenants), registry=registry
+        )
+    return results
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -518,6 +831,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None,
                         help="shard count for the sharded legs "
                              "(default: 2 smoke, 4 full)")
+    parser.add_argument("--gateway", action="store_true",
+                        help="also run the multi-tenant TCP gateway soak "
+                             "(admission + autoscaling + concurrent "
+                             "recovery on one tenant)")
+    parser.add_argument("--tenants", type=int, default=2,
+                        help="tenant count for the gateway leg "
+                             "(default: 2)")
+    parser.add_argument("--gateway-only", action="store_true",
+                        help="run just the gateway leg and merge its "
+                             "record into the existing output JSON")
     args = parser.parse_args(argv)
     if args.output is not None and args.output.name == FORBIDDEN_OUTPUT:
         parser.error(
@@ -526,18 +849,32 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.shards is not None and args.shards < 2:
         parser.error("--shards must be >= 2")
+    if args.tenants < 2:
+        parser.error("--tenants must be >= 2")
     telemetry = args.telemetry or args.prom_output is not None
 
     registry = MetricsRegistry() if args.prom_output is not None else None
-    results = run(args.smoke, telemetry=telemetry, registry=registry,
-                  shards=args.shards)
-    text = json.dumps(results, indent=2)
-    print(text)
-    output = args.output
-    if output is None and not args.smoke:
-        output = DEFAULT_OUTPUT
+    if args.gateway_only:
+        record = bench_gateway(
+            **gateway_kwargs(args.smoke, args.tenants), registry=registry
+        )
+        output = args.output or (None if args.smoke else DEFAULT_OUTPUT)
+        results = {}
+        if output is not None and output.exists():
+            results = json.loads(output.read_text())
+        results["schema"] = 4
+        results["gateway"] = record
+        print(json.dumps(record, indent=2))
+    else:
+        results = run(args.smoke, telemetry=telemetry, registry=registry,
+                      shards=args.shards, gateway=args.gateway,
+                      tenants=args.tenants)
+        output = args.output
+        if output is None and not args.smoke:
+            output = DEFAULT_OUTPUT
+        print(json.dumps(results, indent=2))
     if output is not None:
-        output.write_text(text + "\n")
+        output.write_text(json.dumps(results, indent=2) + "\n")
         print(f"\nwrote {output}", file=sys.stderr)
     if args.prom_output is not None:
         write_prometheus(registry, args.prom_output)

@@ -342,6 +342,8 @@ class ServeBatchEvent:
     shard: int = -1
     dispatch_wait_s: float = 0.0
     bytes_scanned: int = 0
+    # Multi-tenant serving (PR 8): distinct tenants served in the batch.
+    tenants: int = 1
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -369,6 +371,7 @@ class ServeBatchEvent:
             shard=int(data.get("shard", -1)),
             dispatch_wait_s=float(data.get("dispatch_wait_s", 0.0)),
             bytes_scanned=int(data.get("bytes_scanned", 0)),
+            tenants=int(data.get("tenants", 1)),
         )
 
 

@@ -1,30 +1,43 @@
-"""Concurrent multi-worker serving for packed HDC models.
+"""Concurrent multi-worker, multi-tenant serving for packed HDC models.
 
 The serving tier the ROADMAP's "as fast as the hardware allows" north
-star calls for, built from three layers:
+star calls for, built in layers:
 
 * :mod:`repro.serve.shm` — the shared-memory substrate: named-segment
-  arrays with an idempotent close/unlink lifecycle (:class:`ShmArray`),
-  a seqlock-guarded control block, and the single-writer
-  :class:`GenerationPublisher` that snapshots each repaired model
-  version as an immutable generation.
+  arrays with an idempotent close/unlink lifecycle (``ShmArray``), a
+  seqlock-guarded control block, and the single-writer
+  ``GenerationPublisher`` that snapshots each repaired model version as
+  an immutable generation.
 * :mod:`repro.serve.worker` — the worker-process loop: dequeue +
-  coalesce request frames, adopt the newest published generation
-  between batches, degrade (serve-on-stale-snapshot) rather than block
-  when the recovery writer stalls, answer with one packed XOR+popcount
-  distance computation per batch.
-* :mod:`repro.serve.engine` — the client-facing
-  :class:`ServingEngine`: bounded-ring submission with backpressure,
-  per-request deadlines, frame-batched dispatch, ordered bulk
-  ``predict``/``predict_features``, and a :class:`~repro.obs.trace.ServeTrace`
-  of per-batch events.
+  coalesce request frames, adopt the newest published generation of
+  every referenced tenant between batches, degrade
+  (serve-on-stale-snapshot) rather than block when a recovery writer
+  stalls, answer with one packed XOR+popcount distance computation per
+  tenant per batch.
+* :mod:`repro.serve.registry` + :mod:`repro.serve.engine` — the
+  client-facing :class:`ServingEngine` hosting a
+  :class:`TenantRegistry` of models: bounded-ring submission with
+  backpressure, the unified ``submit(ServeRequest) -> ServeFuture``
+  surface, per-request deadlines, frame-batched dispatch, an elastic
+  worker pool (``add_worker``/``remove_worker``), and a
+  :class:`~repro.obs.trace.ServeTrace` of per-batch events.
+* :mod:`repro.serve.protocol` + :mod:`repro.serve.gateway` +
+  :mod:`repro.serve.client` — the network front door: a
+  length-prefixed binary frame protocol, the asyncio
+  :class:`GatewayServer` with per-tenant token-bucket admission and
+  global load shedding, and :class:`GatewayClient` /
+  ``AsyncGatewayClient`` as the canonical remote callers.
+* :mod:`repro.serve.autoscale` — ``WorkerAutoscaler`` steering the
+  worker pool on windowed dispatch-wait p95 from the ``serve.fleet.*``
+  telemetry, bounded by ``ServeConfig.min_workers``/``max_workers``.
 
-Online recovery plugs in through :attr:`ServingEngine.publisher`, which
-satisfies the :class:`repro.core.recovery.ModelPublisher` protocol —
-hand it to :class:`~repro.core.recovery.RobustHDRecovery` or
+Online recovery plugs in per tenant through
+:meth:`ServingEngine.publisher_for`, which satisfies the
+:class:`repro.core.recovery.ModelPublisher` protocol — hand it to
+:class:`~repro.core.recovery.RobustHDRecovery` or
 :meth:`repro.core.pipeline.RecoveryExperiment.attack_and_recover` and
 workers adopt each repaired generation live, bit-identical to the
-sequential reference run.
+sequential reference run, without perturbing any other tenant.
 
 Cross-process telemetry (on by default) rides on the same substrate:
 each worker stamps a shared-memory telemetry slab
@@ -34,40 +47,48 @@ crash-surviving flight-recorder ring decodable post-mortem
 (:attr:`ServingEngine.flight_recorder`) and per-request trace ids that
 :func:`repro.obs.telemetry.correlate` joins against recovery publish
 announcements.
+
+``__all__`` below is the *stable public surface* — everything else
+remains importable from its defining submodule but carries no stability
+promise.
 """
 
-from repro.serve.engine import (
+from repro.serve.client import (  # noqa: F401  (stable surface re-exports)
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayError,
+    GatewayRejected,
+)
+from repro.serve.engine import (  # noqa: F401
     Backpressure,
     ServeConfig,
+    ServeFuture,
+    ServeRequest,
     ServeResult,
     ServingEngine,
 )
-from repro.serve.shard import (
+from repro.serve.gateway import GatewayServer  # noqa: F401
+from repro.serve.registry import Tenant, TenantRegistry  # noqa: F401
+from repro.serve.shard import (  # noqa: F401
     ShardPlan,
     combine_class_tables,
     reduce_partial_tables,
 )
-from repro.serve.shm import (
+from repro.serve.shm import (  # noqa: F401
     ControlBlock,
     GenerationPublisher,
     ShmArray,
     attach_generation,
     unique_name,
 )
-from repro.serve.worker import worker_main
+from repro.serve.worker import worker_main  # noqa: F401
 
 __all__ = [
-    "Backpressure",
-    "ControlBlock",
-    "GenerationPublisher",
+    "GatewayClient",
+    "GatewayServer",
     "ServeConfig",
-    "ServeResult",
+    "ServeRequest",
     "ServingEngine",
     "ShardPlan",
-    "ShmArray",
-    "attach_generation",
-    "combine_class_tables",
-    "reduce_partial_tables",
-    "unique_name",
-    "worker_main",
+    "TenantRegistry",
 ]

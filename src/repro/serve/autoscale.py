@@ -1,0 +1,203 @@
+"""Metrics-driven worker-pool autoscaler for the serving engine.
+
+:class:`WorkerAutoscaler` closes the loop between the ``serve.fleet.*``
+telemetry and the engine's elastic worker pool
+(:meth:`~repro.serve.engine.ServingEngine.add_worker` /
+:meth:`~repro.serve.engine.ServingEngine.remove_worker`), bounded by
+``ServeConfig.min_workers`` / ``max_workers``.
+
+The control signal is the *windowed* cross-worker p95 of
+``dispatch_wait_ns`` — how long workers' frames sat queued before a
+worker picked them up, over only the batches since the previous tick
+(:meth:`~repro.obs.telemetry.TelemetryAggregator.window_percentile`;
+lifetime percentiles converge and stop responding, which makes them
+useless for control).  Dispatch wait is the right signal because it
+measures *queueing*, not service time: a saturated pool shows rising
+wait at constant batch cost, while a big-but-slow batch alone does not
+trigger scaling.
+
+Policy (evaluated every ``interval_s``):
+
+* **Scale up** when the windowed p95 exceeds ``scale_up_p95_s`` for
+  ``sustain_up`` consecutive ticks — sustained queueing, not one
+  spike — and the cooldown since the last action has passed.
+* **Scale down** when the pool is idle (no new batches in the window)
+  or the p95 is under ``scale_down_p95_s`` for ``sustain_down``
+  consecutive ticks, with the same cooldown.  The engine refuses to go
+  below ``min_workers`` (or below one live replica per shard), so the
+  autoscaler can propose freely.
+* Every action appends to :attr:`events` and bumps the
+  ``serve.autoscale.scale_ups`` / ``serve.autoscale.scale_downs``
+  counters; the current pool size is the engine's
+  ``serve.workers_live`` gauge.
+
+The autoscaler is a daemon thread owned by whoever built it (the
+gateway benchmark, a service wrapper); ``start()``/``stop()`` bound its
+lifetime and it never outlives the engine — a stopped engine ends the
+loop on its next tick.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import current as _metrics
+from repro.serve.engine import ServingEngine
+
+__all__ = ["WorkerAutoscaler"]
+
+
+class WorkerAutoscaler:
+    """Scale a :class:`ServingEngine`'s worker pool on queueing pressure.
+
+    Parameters
+    ----------
+    engine:
+        The engine to steer; must have telemetry enabled (the windowed
+        percentile comes from its worker slabs).
+    interval_s:
+        Tick period.
+    scale_up_p95_s / scale_down_p95_s:
+        Windowed dispatch-wait p95 thresholds (seconds).
+    sustain_up / sustain_down:
+        Consecutive ticks a threshold must hold before acting.
+    cooldown_s:
+        Minimum time between consecutive scaling actions, so the pool
+        settles (and the window refills) before the next decision.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        *,
+        interval_s: float = 0.25,
+        scale_up_p95_s: float = 0.010,
+        scale_down_p95_s: float = 0.001,
+        sustain_up: int = 3,
+        sustain_down: int = 8,
+        cooldown_s: float = 1.0,
+    ) -> None:
+        if engine.telemetry is None:
+            raise ValueError(
+                "autoscaling needs the engine's telemetry "
+                "(ServingEngine(telemetry=True))"
+            )
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if scale_down_p95_s >= scale_up_p95_s:
+            raise ValueError(
+                "scale_down_p95_s must be < scale_up_p95_s, got "
+                f"{scale_down_p95_s} >= {scale_up_p95_s}"
+            )
+        self.engine = engine
+        self.interval_s = interval_s
+        self.scale_up_p95_s = scale_up_p95_s
+        self.scale_down_p95_s = scale_down_p95_s
+        self.sustain_up = max(1, sustain_up)
+        self.sustain_down = max(1, sustain_down)
+        self.cooldown_s = cooldown_s
+        self.events: list[dict] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_action = 0.0
+        self._ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WorkerAutoscaler":
+        if self._thread is not None:
+            raise RuntimeError("autoscaler already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "WorkerAutoscaler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if self.engine._stopped:
+                return
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - engine racing stop
+                return
+
+    # -- control loop --------------------------------------------------
+
+    def tick(self) -> dict | None:
+        """Evaluate one control step; returns the action event, if any.
+
+        Public so tests (and step-driven benchmarks) can drive the
+        policy deterministically without the timer thread.
+        """
+        self._ticks += 1
+        p95_ns = self.engine.telemetry.window_percentile(
+            "dispatch_wait_ns", 95.0
+        )
+        p95_s = None if p95_ns is None else p95_ns / 1e9
+        if p95_s is not None and p95_s > self.scale_up_p95_s:
+            self._up_streak += 1
+            self._down_streak = 0
+        elif p95_s is None or p95_s < self.scale_down_p95_s:
+            # An empty window is an idle pool: count it toward shrink.
+            self._down_streak += 1
+            self._up_streak = 0
+        else:
+            self._up_streak = 0
+            self._down_streak = 0
+        now = time.monotonic()
+        if now - self._last_action < self.cooldown_s:
+            return None
+        metrics = _metrics()
+        if (self._up_streak >= self.sustain_up
+                and not self._at_ceiling()):
+            self.engine.add_worker()
+            self._after_action(now)
+            if metrics.enabled:
+                metrics.inc("serve.autoscale.scale_ups")
+            return self._record("up", p95_s)
+        if self._down_streak >= self.sustain_down:
+            retired = self.engine.remove_worker()
+            if retired is None:
+                # Already at the floor; keep the streak so a later
+                # ceiling change could still act, but do nothing now.
+                return None
+            self._after_action(now)
+            if metrics.enabled:
+                metrics.inc("serve.autoscale.scale_downs")
+            return self._record("down", p95_s)
+        return None
+
+    def _at_ceiling(self) -> bool:
+        maximum = self.engine.config.max_workers
+        return maximum is not None and self.engine.live_workers >= maximum
+
+    def _after_action(self, now: float) -> None:
+        self._last_action = now
+        self._up_streak = 0
+        self._down_streak = 0
+
+    def _record(self, action: str, p95_s: float | None) -> dict:
+        event = {
+            "action": action,
+            "tick": self._ticks,
+            "dispatch_wait_p95_s": p95_s,
+            "workers_live": self.engine.live_workers,
+        }
+        self.events.append(event)
+        return event

@@ -1,0 +1,315 @@
+"""Gateway clients: blocking :class:`GatewayClient` and
+:class:`AsyncGatewayClient`.
+
+Both speak the frame protocol of :mod:`repro.serve.protocol` against a
+running :class:`~repro.serve.gateway.GatewayServer` and surface the
+gateway's typed refusals as exceptions:
+
+* :class:`GatewayRejected` — admission control shed the request
+  (``.code`` is a :class:`~repro.serve.protocol.RejectCode`: rate
+  limited, overloaded, unknown tenant, shutting down).  Retryable by
+  design — the request never entered the engine.
+* :class:`GatewayError` — the request was admitted but failed
+  (``.code`` is an :class:`~repro.serve.protocol.ErrorCode`: bad
+  request, deadline expired, internal).
+
+The sync client is deliberately one-request-at-a-time (request →
+response on a plain blocking socket): the simplest possible caller, and
+what most tests and scripts want.  The async client pipelines — many
+``predict`` coroutines share one connection, matched to responses by
+``trace_id`` — and is what load generators and services should use.
+
+Usage (sync)::
+
+    with GatewayClient("127.0.0.1", server.port) as client:
+        predictions = client.predict(query_words, tenant="alpha")
+
+Usage (async)::
+
+    client = await AsyncGatewayClient.connect("127.0.0.1", server.port)
+    predictions = await client.predict(query_words, tenant="alpha")
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import numpy as np
+
+from repro.serve.protocol import (
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
+    RejectCode,
+    decode_predictions,
+    decode_status,
+    encode_array,
+    encode_frame,
+)
+
+__all__ = ["AsyncGatewayClient", "GatewayClient", "GatewayError",
+           "GatewayRejected"]
+
+
+class GatewayRejected(RuntimeError):
+    """Admission control shed the request before it entered the engine."""
+
+    def __init__(self, code: int, detail: str) -> None:
+        try:
+            self.code = RejectCode(code)
+            name = self.code.name
+        except ValueError:  # future server, unknown code
+            self.code = code
+            name = f"code {code}"
+        super().__init__(f"gateway rejected request ({name}): {detail}")
+
+
+class GatewayError(RuntimeError):
+    """The request was admitted but the gateway reports it failed."""
+
+    def __init__(self, code: int, detail: str) -> None:
+        try:
+            self.code = ErrorCode(code)
+            name = self.code.name
+        except ValueError:
+            self.code = code
+            name = f"code {code}"
+        super().__init__(f"gateway request failed ({name}): {detail}")
+
+
+def _request_frame(
+    payload: np.ndarray,
+    *,
+    tenant: str,
+    features: bool,
+    deadline: float | None,
+    trace_id: int,
+) -> bytes:
+    kind = FrameKind.FEATURES if features else FrameKind.PACKED
+    return encode_frame(Frame(
+        kind,
+        tenant=tenant,
+        trace_id=trace_id,
+        deadline_ns=int(deadline * 1e9) if deadline else 0,
+        payload=encode_array(kind, payload),
+    ))
+
+
+def _decode_reply(frame: Frame) -> np.ndarray:
+    if frame.kind == FrameKind.RESPONSE:
+        return decode_predictions(frame.payload)
+    if frame.kind == FrameKind.REJECT:
+        raise GatewayRejected(*decode_status(frame.payload))
+    if frame.kind == FrameKind.ERROR:
+        raise GatewayError(*decode_status(frame.payload))
+    raise ProtocolError(f"unexpected reply frame kind {frame.kind.name}")
+
+
+class GatewayClient:
+    """Blocking single-connection, single-outstanding-request client."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder()
+        self._lock = threading.Lock()
+        self._next_trace = 0
+
+    def predict(
+        self,
+        payload: np.ndarray,
+        *,
+        tenant: str = "",
+        features: bool = False,
+        deadline: float | None = None,
+    ) -> np.ndarray:
+        """One request, one reply; raises the typed gateway exceptions."""
+        with self._lock:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            self._sock.sendall(_request_frame(
+                payload,
+                tenant=tenant,
+                features=features,
+                deadline=deadline,
+                trace_id=trace_id,
+            ))
+            frame = self._read_frame()
+        if frame.trace_id != trace_id and frame.kind == FrameKind.PONG:
+            raise ProtocolError("interleaved PONG on a sync connection")
+        return _decode_reply(frame)
+
+    def ping(self) -> None:
+        """Round-trip a PING (liveness check)."""
+        with self._lock:
+            self._sock.sendall(encode_frame(Frame(FrameKind.PING)))
+            frame = self._read_frame()
+        if frame.kind != FrameKind.PONG:
+            raise ProtocolError(
+                f"expected PONG, got {frame.kind.name}"
+            )
+
+    def _read_frame(self) -> Frame:
+        while True:
+            frames = self._decoder.feed(self._recv())
+            if frames:
+                if len(frames) > 1:
+                    raise ProtocolError(
+                        "multiple replies to a single outstanding request"
+                    )
+                return frames[0]
+
+    def _recv(self) -> bytes:
+        data = self._sock.recv(1 << 16)
+        if not data:
+            raise ConnectionError("gateway closed the connection")
+        return data
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncGatewayClient:
+    """Pipelining asyncio client: many in-flight requests, one socket.
+
+    Replies are matched to callers by ``trace_id``; a background reader
+    task demultiplexes the stream.  Create with :meth:`connect`.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._next_trace = 0
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, timeout: float = 30.0
+    ) -> "AsyncGatewayClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(reader, writer)
+
+    async def predict(
+        self,
+        payload: np.ndarray,
+        *,
+        tenant: str = "",
+        features: bool = False,
+        deadline: float | None = None,
+    ) -> np.ndarray:
+        """Submit one request; awaits its predictions.
+
+        Raises :class:`GatewayRejected` / :class:`GatewayError` with the
+        server's typed code, mirroring the sync client.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        loop = asyncio.get_running_loop()
+        trace_id = self._next_trace
+        self._next_trace += 1
+        future: asyncio.Future = loop.create_future()
+        self._waiters[trace_id] = future
+        try:
+            self._writer.write(_request_frame(
+                payload,
+                tenant=tenant,
+                features=features,
+                deadline=deadline,
+                trace_id=trace_id,
+            ))
+            await self._writer.drain()
+            frame = await future
+        finally:
+            self._waiters.pop(trace_id, None)
+        return _decode_reply(frame)
+
+    async def ping(self) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        loop = asyncio.get_running_loop()
+        trace_id = self._next_trace
+        self._next_trace += 1
+        future: asyncio.Future = loop.create_future()
+        self._waiters[trace_id] = future
+        try:
+            self._writer.write(encode_frame(Frame(
+                FrameKind.PING, trace_id=trace_id
+            )))
+            await self._writer.drain()
+            frame = await future
+        finally:
+            self._waiters.pop(trace_id, None)
+        if frame.kind != FrameKind.PONG:
+            raise ProtocolError(f"expected PONG, got {frame.kind.name}")
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(1 << 16)
+                if not data:
+                    self._fail_waiters(
+                        ConnectionError("gateway closed the connection")
+                    )
+                    return
+                for frame in self._decoder.feed(data):
+                    waiter = self._waiters.get(frame.trace_id)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(frame)
+        except asyncio.CancelledError:
+            self._fail_waiters(ConnectionError("client closed"))
+        except ProtocolError as exc:
+            self._fail_waiters(exc)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        self._closed = True
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,52 +1,61 @@
-"""Multi-worker serving engine with live-recovery snapshot adoption.
+"""Multi-tenant, multi-worker serving engine with live-recovery snapshots.
 
-:class:`ServingEngine` owns the shared-memory substrate (control block,
-request payload ring, exported bound codebook, packed-model generations)
-and a pool of worker processes running
-:func:`repro.serve.worker.worker_main`.  Clients interact through three
-calls:
+:class:`ServingEngine` owns the shared-memory substrate (per-tenant
+control blocks, request payload ring, exported bound codebooks,
+packed-model generations) and a pool of worker processes running
+:func:`repro.serve.worker.worker_main`.  The canonical client surface is
+one call:
 
-* :meth:`ServingEngine.submit` / :meth:`~ServingEngine.submit_features`
-  — write one request's payload into a free ring slot and enqueue it.
-  The ring is the bounded buffer: when every slot is in flight, submit
-  blocks (bounded by ``backpressure_timeout``) and then raises
-  :class:`Backpressure` — load is shed at the front door, not by
-  unbounded queueing.
-* :meth:`ServingEngine.result` — wait for one request's
-  :class:`ServeResult` (predictions, or a deadline expiry).
-* :meth:`ServingEngine.predict` / :meth:`~ServingEngine.predict_features`
-  — bulk convenience: shard a query matrix into requests, frame-batch
-  them through the queue, and reassemble predictions in order.
+* :meth:`ServingEngine.submit` — takes a :class:`ServeRequest` (encoded
+  words or raw features, deadline, tenant, client trace id) and returns
+  a :class:`ServeFuture`.  The ring is the bounded buffer: when every
+  slot is in flight, submit blocks (bounded by ``backpressure_timeout``)
+  and then raises :class:`Backpressure` — load is shed at the front
+  door, not by unbounded queueing.
+
+The pre-gateway entry points — ``submit(query_words)``,
+``submit_features``, ``predict``, ``predict_features`` — survive as
+thin shims that emit :class:`DeprecationWarning` and delegate to the
+:class:`ServeRequest` path, bit-identical by construction.
 
 Requests are *frame-batched*: submits accumulate into one queue message
 (default 8 requests) so the per-message IPC cost — the dominant per-item
 cost at micro-batch sizes — is amortised; workers then coalesce multiple
-frames into a single packed distance computation.  Those two batching
-layers are what deliver multi-worker throughput even when workers share
-cores with the client.
+frames into a single packed distance computation per tenant.
 
-Live recovery plugs in through :attr:`ServingEngine.publisher`
-(a :class:`~repro.serve.shm.GenerationPublisher`, satisfying
-:class:`repro.core.recovery.ModelPublisher`): pass it to
+**Multi-tenant serving** hangs off a
+:class:`~repro.serve.registry.TenantRegistry`: each tenant is an
+independent model with its own control block and
+:class:`~repro.serve.shm.GenerationPublisher` stream
+(:meth:`ServingEngine.publisher_for`), so a live recovery pass
+hot-swaps one tenant's generations without touching any other tenant's
+snapshots.  A bare model still works — it becomes the single
+``"default"`` tenant, and :attr:`ServingEngine.publisher` keeps meaning
+that tenant's publisher.
+
+Live recovery plugs in through those publishers (each satisfies
+:class:`repro.core.recovery.ModelPublisher`): pass one to
 :meth:`repro.core.pipeline.RecoveryExperiment.attack_and_recover` and
 every repaired model version is snapshotted as a new immutable
 generation that workers adopt between batches.  Requests submitted after
-a publish returns are always served on that generation or newer — the
-queue hand-off orders the control-block write before the worker's read —
-which is what makes a concurrent attack-and-recover run bit-identical to
-its sequential reference.
+a publish returns are always served on that generation or newer — which
+is what makes a concurrent attack-and-recover run bit-identical to its
+sequential reference, per tenant.
+
+The worker pool is elastic: :meth:`ServingEngine.add_worker` spawns and
+attaches a new worker live, :meth:`ServingEngine.remove_worker` retires
+one gracefully (it drains, then exits; its unserved frames re-route to
+survivors).  :class:`~repro.serve.autoscale.WorkerAutoscaler` drives
+both from the ``serve.fleet.*`` telemetry, bounded by
+``ServeConfig.min_workers`` / ``max_workers``.
 
 With telemetry enabled (the default) the engine also owns one
-shared-memory telemetry slab per worker (:mod:`repro.obs.telemetry`):
-workers stamp counters, log2-bucketed latency bins and flight-recorder
-events into their slab lock-free, and the engine scrapes the fleet view
-through :attr:`ServingEngine.telemetry` /
-:meth:`ServingEngine.scrape_telemetry` and decodes crash post-mortems
-through :attr:`ServingEngine.flight_recorder`.  Every submit is stamped
-with a monotonically increasing ``trace_id`` that flows through worker
-batches into :class:`~repro.obs.trace.ServeBatchEvent` and is echoed on
-publish announcements, so :func:`repro.obs.telemetry.correlate` can join
-serving traffic against the recovery generations published under it.
+shared-memory telemetry slab per worker (:mod:`repro.obs.telemetry`),
+scraped through :attr:`ServingEngine.telemetry` /
+:meth:`ServingEngine.scrape_telemetry`, with crash post-mortems through
+:attr:`ServingEngine.flight_recorder` and monotonic ``trace_id``
+correlation against recovery publishes
+(:func:`repro.obs.telemetry.correlate`).
 """
 
 from __future__ import annotations
@@ -54,8 +63,9 @@ from __future__ import annotations
 import multiprocessing as mp
 import threading
 import time
+import warnings
 import weakref
-from dataclasses import dataclass
+from dataclasses import KW_ONLY, dataclass, field
 from multiprocessing import connection
 
 import numpy as np
@@ -70,6 +80,7 @@ from repro.obs.telemetry import (
     slab_words,
 )
 from repro.obs.trace import ServeBatchEvent, ServeTrace
+from repro.serve.registry import DEFAULT_TENANT, TenantRegistry
 from repro.serve.shard import (
     ShardPlan,
     combine_class_tables,
@@ -79,11 +90,20 @@ from repro.serve.shm import (
     ControlBlock,
     GenerationPublisher,
     ShmArray,
+    tenant_prefix,
     unique_name,
 )
 from repro.serve.worker import PAYLOAD_FEATURES, PAYLOAD_PACKED, worker_main
 
-__all__ = ["Backpressure", "ServeConfig", "ServeResult", "ServingEngine"]
+__all__ = [
+    "Backpressure",
+    "ServeConfig",
+    "ServeFuture",
+    "ServeRequest",
+    "ServeResult",
+    "ServingEngine",
+    "TenantSlot",
+]
 
 
 class Backpressure(RuntimeError):
@@ -91,26 +111,54 @@ class Backpressure(RuntimeError):
 
 
 @dataclass(frozen=True)
-class ServeConfig:
-    """Everything a worker needs to attach to the engine's shared state.
+class TenantSlot:
+    """One tenant's share of the engine's shared-memory geometry.
 
-    Pickled once into each worker at spawn; all mutable coordination
-    happens through the control block and the queues, never through this.
+    Pickled into workers as part of :class:`ServeConfig`; everything a
+    worker needs to attach this tenant's control block, codebook and
+    generation segments by name.
     """
 
+    _: KW_ONLY
+    index: int
+    tenant_id: str
     prefix: str
     control_name: str
-    ring_name: str
-    ring_slots: int
-    slot_bytes: int
     dim: int
-    coalesce_requests: int
-    stall_ns: int
+    num_classes: int
     codebook_name: str | None = None
     num_features: int = 0
     levels: int = 0
     low: float = 0.0
     high: float = 1.0
+
+    @property
+    def words(self) -> int:
+        """Packed uint64 words per hypervector row."""
+        return -(-self.dim // 64)
+
+
+def _config_error(name: str, message: str) -> ValueError:
+    return ValueError(f"ServeConfig.{name} {message}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServeConfig:
+    """Everything a worker needs to attach to the engine's shared state.
+
+    Keyword-only and validated: every constraint violation raises a
+    :class:`ValueError` that names the offending field.  Pickled once
+    into each worker at spawn; all mutable coordination happens through
+    the control blocks and the queues, never through this.
+    """
+
+    prefix: str
+    ring_name: str
+    ring_slots: int
+    slot_bytes: int
+    coalesce_requests: int
+    stall_ns: int
+    tenants: tuple[TenantSlot, ...] = ()
     # Telemetry-slab geometry: workers attach {telemetry_prefix}-w{id}
     # writable when a prefix is set; None disables worker telemetry.
     telemetry_prefix: str | None = None
@@ -122,6 +170,151 @@ class ServeConfig:
     shard_kind: str | None = None
     shard_bounds: tuple = ()
     num_shards: int = 1
+    # Elastic worker-pool bounds enforced by add_worker/remove_worker
+    # (and hence the autoscaler).
+    min_workers: int = 1
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prefix:
+            raise _config_error("prefix", "must be a non-empty string")
+        if self.ring_slots < 1:
+            raise _config_error(
+                "ring_slots", f"must be >= 1, got {self.ring_slots}"
+            )
+        if self.slot_bytes < 8 or self.slot_bytes % 8:
+            raise _config_error(
+                "slot_bytes",
+                f"must be a positive multiple of 8, got {self.slot_bytes}",
+            )
+        if self.coalesce_requests < 1:
+            raise _config_error(
+                "coalesce_requests",
+                f"must be >= 1, got {self.coalesce_requests}",
+            )
+        if self.stall_ns < 0:
+            raise _config_error(
+                "stall_ns", f"must be >= 0, got {self.stall_ns}"
+            )
+        if not self.tenants:
+            raise _config_error("tenants", "must name at least one tenant")
+        if self.flight_slots < 0:
+            raise _config_error(
+                "flight_slots", f"must be >= 0, got {self.flight_slots}"
+            )
+        if self.num_shards < 1:
+            raise _config_error(
+                "num_shards", f"must be >= 1, got {self.num_shards}"
+            )
+        if self.num_shards > 1 and len(self.tenants) > 1:
+            raise _config_error(
+                "num_shards",
+                "sharded serving supports a single tenant; got "
+                f"{self.num_shards} shards with {len(self.tenants)} tenants",
+            )
+        if self.min_workers < 1:
+            raise _config_error(
+                "min_workers", f"must be >= 1, got {self.min_workers}"
+            )
+        if self.max_workers is not None and self.max_workers < self.min_workers:
+            raise _config_error(
+                "max_workers",
+                f"must be >= min_workers ({self.min_workers}), "
+                f"got {self.max_workers}",
+            )
+
+    # -- single-tenant back-compat views -------------------------------
+
+    @property
+    def control_name(self) -> str:
+        """Tenant slot 0's control block (pre-multi-tenant callers)."""
+        return self.tenants[0].control_name
+
+    @property
+    def dim(self) -> int:
+        return self.tenants[0].dim
+
+    @property
+    def num_features(self) -> int:
+        return self.tenants[0].num_features
+
+    @property
+    def codebook_name(self) -> str | None:
+        return self.tenants[0].codebook_name
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One request on the unified submit surface.
+
+    ``payload`` is either packed query words ``(n, words)`` uint64
+    (``features=False``) or raw feature rows ``(n, num_features)``
+    float (``features=True``, needs the tenant to have an encoder).
+    ``deadline`` is seconds from submit; ``tenant`` defaults to the
+    engine's first tenant; ``trace_id`` is an optional *client*
+    correlation id echoed on the returned future (the engine always
+    assigns its own monotonic internal trace id for telemetry
+    correlation).
+    """
+
+    payload: np.ndarray
+    _: KW_ONLY
+    features: bool = False
+    deadline: float | None = None
+    tenant: str | None = None
+    trace_id: int | None = None
+
+
+class ServeFuture:
+    """Handle to one in-flight :class:`ServeRequest`.
+
+    ``result()`` blocks for the terminal :class:`ServeResult` (and is
+    repeatable — the first call caches).  ``add_done_callback``
+    registers a ``fn(result)`` invoked exactly once when the request
+    resolves — possibly immediately, possibly from an engine collector
+    thread, so callbacks must be quick and non-blocking (the gateway
+    uses ``loop.call_soon_threadsafe``).
+    """
+
+    __slots__ = ("_engine", "_result", "client_trace_id", "request_id",
+                 "tenant")
+
+    def __init__(
+        self,
+        engine: "ServingEngine",
+        request_id: int,
+        *,
+        tenant: str,
+        client_trace_id: int | None = None,
+    ) -> None:
+        self._engine = engine
+        self.request_id = request_id
+        self.tenant = tenant
+        self.client_trace_id = client_trace_id
+        self._result: ServeResult | None = None
+
+    def done(self) -> bool:
+        if self._result is not None:
+            return True
+        pending = self._engine._pending.get(self.request_id)
+        return pending is not None and pending.result is not None
+
+    def result(self, timeout: float | None = 30.0) -> "ServeResult":
+        if self._result is None:
+            self._result = self._engine.result(
+                self.request_id, timeout=timeout
+            )
+        return self._result
+
+    def add_done_callback(self, fn) -> None:
+        self._engine._add_done_callback(self.request_id, fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "done" if self.done() else "pending"
+        return (
+            f"ServeFuture(request_id={self.request_id}, "
+            f"tenant={self.tenant!r}, {state})"
+        )
 
 
 @dataclass(frozen=True)
@@ -144,14 +337,16 @@ class _Pending:
     :meth:`ServingEngine.result` before the request resolves: the common
     windowed-client pattern finds results already resolved, and a
     ``threading.Event`` per submit is a measurable share of the
-    per-request cost.
+    per-request cost.  ``callbacks`` likewise starts None and is only
+    grown by :meth:`ServeFuture.add_done_callback`.
     """
 
-    __slots__ = ("event", "result", "slot")
+    __slots__ = ("callbacks", "event", "result", "slot")
 
     def __init__(self, slot: int) -> None:
         self.event: threading.Event | None = None
         self.result: ServeResult | None = None
+        self.callbacks: list | None = None
         self.slot = slot
 
 
@@ -161,16 +356,19 @@ class ServingEngine:
     Parameters
     ----------
     model:
-        The 1-bit model to serve — an :class:`~repro.core.model.HDCModel`
-        or a fitted :class:`~repro.core.model.HDCClassifier` (whose
-        encoder is adopted unless ``encoder`` overrides it).  Its current
-        packed snapshot becomes generation 1.
+        What to serve: an :class:`~repro.core.model.HDCModel`, a fitted
+        :class:`~repro.core.model.HDCClassifier` (whose encoder is
+        adopted unless ``encoder`` overrides it), or a
+        :class:`~repro.serve.registry.TenantRegistry` hosting many of
+        them.  Each tenant's current packed snapshot becomes its
+        generation 1.
     encoder:
-        Optional :class:`~repro.core.encoder.Encoder`; when given, its
-        packed bound codebook is exported to shared memory and workers
-        accept raw-feature requests (:meth:`submit_features`).
+        Optional :class:`~repro.core.encoder.Encoder` for the bare-model
+        form; with a registry, encoders are per-tenant and this must be
+        None.
     num_workers:
-        Worker process count.
+        Initial worker process count (the pool is elastic between
+        ``min_workers`` and ``max_workers``).
     ring_slots:
         Bound on concurrently in-flight requests (the backpressure
         limit).
@@ -179,39 +377,31 @@ class ServingEngine:
     frame_requests:
         Requests accumulated into one queue message before auto-flush.
     coalesce_requests:
-        Upper bound on requests a worker folds into one distance
-        computation.
+        Upper bound on requests a worker folds into one batch.
     backpressure_timeout:
         Seconds :meth:`submit` waits for a free slot before raising
         :class:`Backpressure`; ``None`` waits forever.
     stall_timeout:
         Writer-heartbeat age (seconds) beyond which workers mark batches
         ``degraded``.
-    telemetry:
-        Give each worker a shared-memory telemetry slab (counters,
-        latency bins, flight-recorder ring — :mod:`repro.obs.telemetry`),
-        scraped through :attr:`ServingEngine.telemetry` and decoded by
-        :attr:`ServingEngine.flight_recorder`.  Recording is RNG-free
-        and batch-granular: telemetry on vs off is bit-identical for
-        seeded runs.
-    flight_slots:
-        Flight-recorder ring capacity (events retained per worker).
+    telemetry / flight_slots:
+        Per-worker shared-memory telemetry slabs (see
+        :mod:`repro.obs.telemetry`); recording is RNG-free and
+        batch-granular, so telemetry on vs off is bit-identical.
     mp_context:
         ``multiprocessing`` start-method name (default ``"fork"``).
     shard_plan:
-        Optional :class:`~repro.serve.shard.ShardPlan`.  When set,
-        worker ``w`` serves shard ``w % num_shards`` (so ``num_workers``
-        must be a multiple of the shard count), each generation is
-        published as per-shard segments, frames fan out to one
-        least-loaded replica of every shard, and the collector combines
-        the partial distance tables (class-shard concat or word-shard
-        partial-popcount reduce tree) into predictions bit-identical to
-        the unsharded path.
+        Optional :class:`~repro.serve.shard.ShardPlan` (single-tenant
+        engines only).  Worker ``w`` serves shard ``w % num_shards``.
+    min_workers / max_workers:
+        Elastic-pool bounds for :meth:`add_worker` /
+        :meth:`remove_worker` (and the autoscaler).  ``max_workers``
+        defaults to unbounded.
     """
 
     def __init__(
         self,
-        model: HDCModel | HDCClassifier,
+        model: HDCModel | HDCClassifier | TenantRegistry,
         *,
         encoder: Encoder | None = None,
         num_workers: int = 2,
@@ -225,11 +415,20 @@ class ServingEngine:
         flight_slots: int = 256,
         mp_context: str = "fork",
         shard_plan: ShardPlan | None = None,
+        min_workers: int = 1,
+        max_workers: int | None = None,
     ) -> None:
-        if isinstance(model, HDCClassifier):
-            if encoder is None:
-                encoder = model.encoder
-            model = model._require_model()
+        if isinstance(model, TenantRegistry):
+            if encoder is not None:
+                raise ValueError(
+                    "encoder is per-tenant when serving a TenantRegistry; "
+                    "pass it to TenantRegistry.add instead"
+                )
+            registry = model
+        else:
+            registry = TenantRegistry.single(
+                DEFAULT_TENANT, model, encoder=encoder
+            )
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if ring_slots < 1:
@@ -239,126 +438,138 @@ class ServingEngine:
                 "max_queries_per_request must be >= 1, "
                 f"got {max_queries_per_request}"
             )
-        packed = model.packed()
+        tenants = registry._attach()
+        self.registry = registry
+        packed0 = tenants[0].model.packed()
         self.shard_plan = shard_plan
         num_shards = 1 if shard_plan is None else shard_plan.num_shards
         if shard_plan is not None:
-            shard_plan.validate(packed.num_classes, packed.dim)
+            if len(tenants) > 1:
+                raise ValueError(
+                    "shard_plan requires a single-tenant engine; got "
+                    f"{len(tenants)} tenants"
+                )
+            shard_plan.validate(packed0.num_classes, packed0.dim)
             if num_workers % num_shards:
                 raise ValueError(
                     f"num_workers ({num_workers}) must be a multiple of "
                     f"num_shards ({num_shards}) so every shard has equal "
                     "replicas"
                 )
-        self.model = model
-        self.encoder = encoder
-        self.dim = packed.dim
-        self.num_classes = packed.num_classes
+        self.model = tenants[0].model
+        self.encoder = tenants[0].encoder
+        self.dim = packed0.dim
+        self.num_classes = packed0.num_classes
         self.max_queries_per_request = max_queries_per_request
         self.backpressure_timeout = backpressure_timeout
         self.trace = ServeTrace()
         self._stopped = False
+        self._stop_lock = threading.Lock()
         self._worker_errors: list[tuple[int, str]] = []
 
         prefix = unique_name()
-        words = packed.words.shape[1]
-        slot_words = max_queries_per_request * words
-        codebook_name = None
-        cfg_features = 0
-        cfg_levels = 0
-        cfg_low = 0.0
-        cfg_high = 1.0
-        self._codebook_segment: ShmArray | None = None
-        if encoder is not None:
-            if encoder.dim != self.dim:
-                raise ValueError(
-                    f"encoder dim {encoder.dim} != model dim {self.dim}"
+        self._owned_segments: list[ShmArray] = []
+        self._controls: list[ControlBlock] = []
+        self._publishers: list[GenerationPublisher] = []
+        self._tenant_index: dict[str, int] = {}
+        self._next_trace_id = 0
+        slot_words = 0
+        tenant_slots: list[TenantSlot] = []
+        for i, tenant in enumerate(tenants):
+            packed = tenant.model.packed()
+            words = packed.words.shape[1]
+            slot_words = max(slot_words, max_queries_per_request * words)
+            t_prefix = tenant_prefix(prefix, i)
+            codebook_name = None
+            num_features = 0
+            levels = 0
+            low = 0.0
+            high = 1.0
+            if tenant.encoder is not None:
+                codebook_name = f"{t_prefix}-codebook"
+                self._owned_segments.append(ShmArray.create(
+                    codebook_name, tenant.encoder.packed_codebook().words
+                ))
+                num_features = tenant.encoder.num_features
+                levels = tenant.encoder.levels
+                low = tenant.encoder.low
+                high = tenant.encoder.high
+                slot_words = max(
+                    slot_words, max_queries_per_request * num_features
                 )
-            codebook_name = f"{prefix}-codebook"
-            self._codebook_segment = ShmArray.create(
-                codebook_name, encoder.packed_codebook().words
+            control = ControlBlock.create(f"{t_prefix}-control")
+            publisher = GenerationPublisher(
+                t_prefix, control, trace_source=self._last_trace_id,
+                shard_plan=shard_plan,
             )
-            cfg_features = encoder.num_features
-            cfg_levels = encoder.levels
-            cfg_low = encoder.low
-            cfg_high = encoder.high
-            slot_words = max(
-                slot_words, max_queries_per_request * encoder.num_features
-            )
+            publisher.publish_packed(packed)  # generation 1
+            # No recovery writer is running yet: deregister so an idle
+            # serving-only engine never trips the stall detector.  The
+            # next publish()/touch() (a recovery loop starting)
+            # re-registers.
+            publisher.end_writing()
+            self._controls.append(control)
+            self._publishers.append(publisher)
+            self._tenant_index[tenant.tenant_id] = i
+            tenant_slots.append(TenantSlot(
+                index=i,
+                tenant_id=tenant.tenant_id,
+                prefix=t_prefix,
+                control_name=control.name,
+                dim=packed.dim,
+                num_classes=packed.num_classes,
+                codebook_name=codebook_name,
+                num_features=num_features,
+                levels=levels,
+                low=low,
+                high=high,
+            ))
+        self.tenants = tuple(slot.tenant_id for slot in tenant_slots)
 
-        control_name = f"{prefix}-control"
         ring_name = f"{prefix}-ring"
-        self.control = ControlBlock.create(control_name)
         self._ring = ShmArray.zeros(
             ring_name, (ring_slots, slot_words), np.uint64
         )
+        self._owned_segments.append(self._ring)
 
         # Telemetry slabs: engine-owned (so flight rings survive worker
-        # SIGKILL), one per worker, workers attach writable.
-        self._next_trace_id = 0
-        telemetry_prefix = None
-        self._telemetry_segments: list[ShmArray] = []
+        # SIGKILL), one per worker, workers attach writable.  Workers
+        # added later get their slab from _make_telemetry_slab.
+        telemetry_prefix = f"{prefix}-telemetry" if telemetry else None
+        self._telemetry_prefix = telemetry_prefix
+        self._flight_slots = flight_slots if telemetry else 0
         self.telemetry: TelemetryAggregator | None = None
         self.flight_recorder: FlightRecorder | None = None
         if telemetry:
-            telemetry_prefix = f"{prefix}-telemetry"
-            words = slab_words(flight_slots)
-            readers = {}
-            for i in range(num_workers):
-                slab = ShmArray.zeros(
-                    f"{telemetry_prefix}-w{i}", (words,), np.uint64
-                )
-                self._telemetry_segments.append(slab)
-                readers[i] = TelemetrySlabReader(slab.array)
-            self.telemetry = TelemetryAggregator(readers)
-            self.flight_recorder = FlightRecorder(readers)
-
-        self.publisher = GenerationPublisher(
-            prefix, self.control, trace_source=self._last_trace_id,
-            shard_plan=shard_plan,
-        )
-        self.publisher.publish_packed(packed)  # generation 1
-        # No recovery writer is running yet: deregister so an idle
-        # serving-only engine never trips the stall detector.  The next
-        # publish()/touch() (a recovery loop starting) re-registers.
-        self.publisher.end_writing()
+            self.telemetry = TelemetryAggregator({})
+            self.flight_recorder = FlightRecorder({})
 
         self.config = ServeConfig(
             prefix=prefix,
-            control_name=control_name,
             ring_name=ring_name,
             ring_slots=ring_slots,
             slot_bytes=slot_words * 8,
-            dim=self.dim,
             coalesce_requests=coalesce_requests,
             stall_ns=int(stall_timeout * 1e9),
-            codebook_name=codebook_name,
-            num_features=cfg_features,
-            levels=cfg_levels,
-            low=cfg_low,
-            high=cfg_high,
+            tenants=tuple(tenant_slots),
             telemetry_prefix=telemetry_prefix,
-            flight_slots=flight_slots if telemetry else 0,
+            flight_slots=self._flight_slots,
             shard_kind=None if shard_plan is None else shard_plan.kind,
             shard_bounds=() if shard_plan is None else shard_plan.bounds,
             num_shards=num_shards,
+            min_workers=min_workers,
+            max_workers=max_workers,
         )
 
-        ctx = mp.get_context(mp_context)
+        self._ctx = mp.get_context(mp_context)
         # One private request queue per worker: frames are round-robined
         # across them and a dead worker's unserved frames re-routed to
         # survivors.  A shared queue would let a SIGKILLed worker die
         # holding the queue's reader lock and wedge every sibling.
-        self._queues = [ctx.Queue() for _ in range(num_workers)]
-        # Results are per-worker queues too, for the write-side mirror of
-        # the same hazard: a SIGKILL landing while a worker's queue
-        # feeder thread holds a *shared* result queue's write lock (the
-        # feeder releases it microseconds after the pipe write, but on a
-        # loaded host it can sit descheduled in that window for tens of
-        # milliseconds) would deadlock every sibling's next result.  With
-        # one queue per worker a kill can only tear the victim's own
-        # stream, which no survivor touches.
-        self._result_qs = [ctx.Queue() for _ in range(num_workers)]
+        # Results are per-worker queues too, for the write-side mirror
+        # of the same hazard.
+        self._queues: list = []
+        self._result_qs: list = []
         self._free_slots = list(range(ring_slots))
         self._slot_sem = threading.Semaphore(ring_slots)
         self._lock = threading.Lock()
@@ -366,6 +577,7 @@ class ServingEngine:
         self._pending: dict[int, _Pending] = {}
         self._dispatched: dict[int, tuple[int, tuple]] = {}
         self._dead: set[int] = set()
+        self._retiring: set[int] = set()
         self._outbox: list[tuple] = []
         self._frame_requests = max(1, frame_requests)
         # Load-aware dispatch state: requests outstanding per worker
@@ -373,38 +585,25 @@ class ServingEngine:
         # results/partials arrive) — the same queue-depth quantity the
         # ``serve.fleet.shard*`` telemetry reports, tracked engine-side
         # so picking a replica never races a slab scrape.
-        self._depth = [0] * num_workers
-        self._replicas = {
-            s: [w for w in range(num_workers) if w % num_shards == s]
-            for s in range(num_shards)
+        self._depth: list[int] = []
+        self._replicas: dict[int, list[int]] = {
+            s: [] for s in range(num_shards)
         }
         self._rr = {s: 0 for s in range(num_shards)}
         # Sharded frames awaiting their full partial set, by frame seq.
         self._next_frame_seq = 0
         self._frames: dict[int, dict] = {}
 
-        # Workers fork before the collector thread starts, so the children
-        # never inherit a half-held thread state.
-        self.workers = [
-            ctx.Process(
-                target=worker_main,
-                args=(i, self.config, self._queues[i], self._result_qs[i]),
-                daemon=True,
-                name=f"repro-serve-worker-{i}",
-            )
-            for i in range(num_workers)
-        ]
+        self.workers: list = []
+        self._collectors: list[threading.Thread] = []
+        # Initial workers fork before the collector threads start, so
+        # the children never inherit a half-held thread state.
+        for _ in range(num_workers):
+            self._spawn_worker(start_collector=False)
         for worker in self.workers:
             worker.start()
-        self._collectors = [
-            threading.Thread(
-                target=self._collect, args=(i,),
-                name=f"repro-serve-collector-{i}", daemon=True,
-            )
-            for i in range(num_workers)
-        ]
-        for collector in self._collectors:
-            collector.start()
+        for i in range(num_workers):
+            self._start_collector(i)
         self._monitor = threading.Thread(
             target=self._watch_workers, name="repro-serve-monitor",
             daemon=True,
@@ -414,20 +613,52 @@ class ServingEngine:
             self,
             _emergency_cleanup,
             self.workers,
-            [self._ring, self._codebook_segment, *self._telemetry_segments],
-            self.publisher,
-            self.control,
+            self._owned_segments,
+            self._publishers,
+            self._controls,
         )
 
     def _last_trace_id(self) -> int:
         """The most recently assigned trace id (-1 before any submit).
 
-        Wired into the publisher as its ``trace_source``: each generation
-        publish is stamped with this value, so every request submitted
-        afterwards (a strictly greater trace id) is known to be served on
-        that generation or newer.
+        Wired into every tenant publisher as its ``trace_source``: each
+        generation publish is stamped with this value, so every request
+        submitted afterwards (a strictly greater trace id) is known to
+        be served on that generation or newer.
         """
         return self._next_trace_id - 1
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+
+    @property
+    def publisher(self) -> GenerationPublisher:
+        """The first tenant's publisher (single-tenant back-compat)."""
+        return self._publishers[0]
+
+    @property
+    def control(self) -> ControlBlock:
+        """The first tenant's control block (back-compat)."""
+        return self._controls[0]
+
+    def publisher_for(self, tenant: str) -> GenerationPublisher:
+        """The :class:`GenerationPublisher` of one tenant's stream.
+
+        Hand it to a recovery pass to hot-swap that tenant's model live
+        without touching any other tenant.
+        """
+        return self._publishers[self._require_tenant(tenant)]
+
+    def _require_tenant(self, tenant: str | None) -> int:
+        if tenant is None:
+            return 0
+        index = self._tenant_index.get(tenant)
+        if index is None:
+            raise KeyError(
+                f"unknown tenant {tenant!r}; engine hosts {self.tenants}"
+            )
+        return index
 
     # ------------------------------------------------------------------
     # Submission
@@ -435,26 +666,38 @@ class ServingEngine:
 
     def submit(
         self,
-        query_words: np.ndarray,
+        request: "ServeRequest | np.ndarray",
         *,
         deadline: float | None = None,
         flush: bool = True,
-    ) -> int:
-        """Enqueue packed query words ``(n, words)``; returns a request id.
+    ):
+        """Enqueue one :class:`ServeRequest`; returns a :class:`ServeFuture`.
 
-        ``deadline`` is seconds from now; a request still queued when it
-        passes is answered expired instead of computed.  ``flush=False``
-        leaves the request in the current frame so callers issuing many
-        submits amortise the queue hand-off (the frame auto-flushes every
-        ``frame_requests`` submits; call :meth:`flush` after the last
-        one).
+        ``flush=False`` leaves the request in the current frame so
+        callers issuing many submits amortise the queue hand-off (the
+        frame auto-flushes every ``frame_requests`` submits; call
+        :meth:`flush` after the last one).
+
+        Passing a raw ``(n, words)`` array instead of a
+        :class:`ServeRequest` is deprecated and returns the request id
+        (the pre-:class:`ServeRequest` contract).
         """
-        query_words = np.ascontiguousarray(query_words, dtype=np.uint64)
-        if query_words.ndim != 2:
-            raise ValueError(
-                f"expected (n, words) query words, got {query_words.shape}"
-            )
-        return self._submit(query_words, PAYLOAD_PACKED, deadline, flush)
+        if isinstance(request, ServeRequest):
+            if deadline is not None:
+                raise TypeError(
+                    "deadline belongs on the ServeRequest, not submit()"
+                )
+            return self._submit_request(request, flush=flush)
+        warnings.warn(
+            "submit(query_words) is deprecated; use "
+            "submit(ServeRequest(payload)) which returns a ServeFuture",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        future = self._submit_request(
+            ServeRequest(request, deadline=deadline), flush=flush
+        )
+        return future.request_id
 
     def submit_features(
         self,
@@ -463,23 +706,57 @@ class ServingEngine:
         deadline: float | None = None,
         flush: bool = True,
     ) -> int:
-        """Enqueue raw feature rows ``(n, num_features)`` for encoding.
+        """Deprecated shim: raw-feature submit for the first tenant."""
+        warnings.warn(
+            "submit_features() is deprecated; use "
+            "submit(ServeRequest(features_array, features=True))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        future = self._submit_request(
+            ServeRequest(features, features=True, deadline=deadline),
+            flush=flush,
+        )
+        return future.request_id
 
-        Requires the engine to have been built with an ``encoder`` (its
-        bound codebook is what the workers encode against).
-        """
-        if self.config.codebook_name is None:
-            raise ValueError(
-                "feature requests need an engine built with an encoder"
+    def _submit_request(
+        self, request: ServeRequest, *, flush: bool = True
+    ) -> ServeFuture:
+        tenant_idx = self._require_tenant(request.tenant)
+        slot_cfg = self.config.tenants[tenant_idx]
+        if request.features:
+            if slot_cfg.codebook_name is None:
+                raise ValueError(
+                    f"tenant {slot_cfg.tenant_id!r}: feature requests need "
+                    "an engine built with an encoder"
+                )
+            payload = np.ascontiguousarray(request.payload, dtype=np.float64)
+            if (payload.ndim != 2
+                    or payload.shape[1] != slot_cfg.num_features):
+                raise ValueError(
+                    f"expected (n, {slot_cfg.num_features}) features, "
+                    f"got {payload.shape}"
+                )
+            payload_words = payload.view(np.uint64)
+            kind = PAYLOAD_FEATURES
+        else:
+            payload_words = np.ascontiguousarray(
+                request.payload, dtype=np.uint64
             )
-        features = np.ascontiguousarray(features, dtype=np.float64)
-        if features.ndim != 2 or features.shape[1] != self.config.num_features:
-            raise ValueError(
-                f"expected (n, {self.config.num_features}) features, "
-                f"got {features.shape}"
-            )
-        return self._submit(
-            features.view(np.uint64), PAYLOAD_FEATURES, deadline, flush
+            if (payload_words.ndim != 2
+                    or payload_words.shape[1] != slot_cfg.words):
+                raise ValueError(
+                    f"expected (n, {slot_cfg.words}) query words, "
+                    f"got {payload_words.shape}"
+                )
+            kind = PAYLOAD_PACKED
+        request_id = self._submit(
+            payload_words, kind, request.deadline, flush, tenant_idx
+        )
+        return ServeFuture(
+            self, request_id,
+            tenant=slot_cfg.tenant_id,
+            client_trace_id=request.trace_id,
         )
 
     def _submit(
@@ -488,6 +765,7 @@ class ServingEngine:
         kind: int,
         deadline: float | None,
         flush: bool,
+        tenant_idx: int,
     ) -> int:
         if self._stopped:
             raise RuntimeError("engine is stopped")
@@ -521,7 +799,8 @@ class ServingEngine:
             self._ring.array[slot, : flat.shape[0]] = flat
             self._pending[request_id] = _Pending(slot)
             self._outbox.append(
-                (request_id, slot, n_queries, deadline_ns, kind, trace_id)
+                (request_id, slot, n_queries, deadline_ns, kind, trace_id,
+                 tenant_idx)
             )
             should_flush = flush or len(self._outbox) >= self._frame_requests
             frame = self._take_outbox() if should_flush else None
@@ -543,6 +822,14 @@ class ServingEngine:
             frame = self._take_outbox()
         if frame:
             self._dispatch(frame)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet resolved (gateway queue depth)."""
+        with self._lock:
+            return sum(
+                1 for p in self._pending.values() if p.result is None
+            )
 
     def _dispatch(self, frame: list[tuple]) -> None:
         """Route one frame to its worker(s), recording the assignment.
@@ -592,33 +879,84 @@ class ServingEngine:
         """Least-loaded live replica of a shard (caller holds the lock).
 
         Depth is outstanding requests (see ``_depth``); ties break
-        round-robin so equal-load replicas still alternate.
+        round-robin so equal-load replicas still alternate.  Retiring
+        workers (graceful scale-down) take no new frames.
         """
         replicas = self._replicas[shard]
+        if not replicas:
+            return None
         start = self._rr[shard] % len(replicas)
         self._rr[shard] += 1
         best = None
         for i in range(len(replicas)):
             worker = replicas[(start + i) % len(replicas)]
-            if worker in self._dead:
+            if worker in self._dead or worker in self._retiring:
                 continue
             if best is None or self._depth[worker] < self._depth[best]:
                 best = worker
         return best
 
+    def _resolve_locked(
+        self,
+        request_id: int,
+        pending: _Pending,
+        *,
+        predictions: np.ndarray | None,
+        expired: bool,
+        release_slot: bool = True,
+    ) -> bool:
+        """Resolve one pending request (caller holds the lock).
+
+        Releases the ring slot, wakes blocked waiters and fires done
+        callbacks (which must be non-blocking — the gateway only hops
+        onto its event loop).  Returns False if already resolved.
+        """
+        if pending.result is not None:
+            return False
+        pending.result = ServeResult(
+            request_id=request_id, predictions=predictions, expired=expired
+        )
+        if release_slot:
+            self._free_slots.append(pending.slot)
+            self._slot_sem.release()
+        if pending.event is not None:
+            pending.event.set()
+        if pending.callbacks:
+            callbacks, pending.callbacks = pending.callbacks, None
+            for fn in callbacks:
+                try:
+                    fn(pending.result)
+                except Exception:  # pragma: no cover - callback hygiene
+                    pass
+        return True
+
     def _fail_requests(self, request_ids) -> None:
         """Resolve requests as expired (caller holds the lock)."""
         for request_id in request_ids:
             pending = self._pending.get(request_id)
-            if pending is None or pending.result is not None:
+            if pending is None:
                 continue
-            pending.result = ServeResult(
-                request_id=request_id, predictions=None, expired=True
+            self._resolve_locked(
+                request_id, pending, predictions=None, expired=True
             )
-            self._free_slots.append(pending.slot)
-            self._slot_sem.release()
-            if pending.event is not None:
-                pending.event.set()
+
+    def _add_done_callback(self, request_id: int, fn) -> None:
+        """Register ``fn(result)`` on a request; fire now if resolved."""
+        result = None
+        with self._lock:
+            pending = self._pending.get(request_id)
+            if pending is None:
+                raise KeyError(
+                    f"unknown or already-collected request {request_id}"
+                )
+            if pending.result is not None:
+                result = pending.result
+            else:
+                if pending.callbacks is None:
+                    pending.callbacks = []
+                pending.callbacks.append(fn)
+        if result is not None:
+            fn(result)
 
     # ------------------------------------------------------------------
     # Results
@@ -653,51 +991,69 @@ class ServingEngine:
     def predict(
         self, query_words: np.ndarray, *, timeout: float | None = 60.0
     ) -> np.ndarray:
-        """Serve a packed query matrix ``(b, words)`` through the pool.
+        """Deprecated shim: bulk packed predict for the first tenant.
 
         Shards into ``max_queries_per_request``-row requests, frame-
         batches the submits, and reassembles predictions in input order.
+        Use :meth:`submit` with :class:`ServeRequest` per micro-batch
+        instead.
         """
-        return self._bulk(np.ascontiguousarray(query_words, np.uint64),
-                          self.submit, timeout)
+        warnings.warn(
+            "predict() is deprecated; submit ServeRequests and gather "
+            "their ServeFutures",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._bulk(
+            np.ascontiguousarray(query_words, np.uint64), False, timeout
+        )
 
     def predict_features(
         self, features: np.ndarray, *, timeout: float | None = 60.0
     ) -> np.ndarray:
-        """Serve raw features ``(b, num_features)`` through the pool."""
-        return self._bulk(np.ascontiguousarray(features, np.float64),
-                          self.submit_features, timeout)
+        """Deprecated shim: bulk raw-feature predict for the first tenant."""
+        warnings.warn(
+            "predict_features() is deprecated; submit "
+            "ServeRequest(..., features=True) and gather the futures",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._bulk(
+            np.ascontiguousarray(features, np.float64), True, timeout
+        )
 
-    def _bulk(self, matrix: np.ndarray, submit, timeout) -> np.ndarray:
+    def _bulk(self, matrix: np.ndarray, features: bool, timeout) -> np.ndarray:
         step = self.max_queries_per_request
-        ids = []
+        futures: list[ServeFuture] = []
         parts = []
         start = 0
         while start < matrix.shape[0]:
             chunk = matrix[start : start + step]
-            ids.append(submit(chunk, flush=False))
+            futures.append(self._submit_request(
+                ServeRequest(chunk, features=features), flush=False
+            ))
             start += step
             # Collect eagerly once enough requests are in flight to keep
             # the ring from self-deadlocking on large inputs.
-            if len(ids) >= self.config.ring_slots // 2:
+            if len(futures) >= self.config.ring_slots // 2:
                 self.flush()
-                parts.extend(self._gather(ids, timeout))
-                ids = []
+                parts.extend(self._gather(futures, timeout))
+                futures = []
         self.flush()
-        parts.extend(self._gather(ids, timeout))
+        parts.extend(self._gather(futures, timeout))
         return (
             np.concatenate(parts)
             if parts
             else np.empty((0,), dtype=np.int64)
         )
 
-    def _gather(self, ids, timeout) -> list[np.ndarray]:
+    def _gather(self, futures, timeout) -> list[np.ndarray]:
         parts = []
-        for request_id in ids:
-            result = self.result(request_id, timeout=timeout)
+        for future in futures:
+            result = future.result(timeout=timeout)
             if result.predictions is None:
                 raise TimeoutError(
-                    f"request {request_id} expired before being served"
+                    f"request {future.request_id} expired before being served"
                 )
             parts.append(result.predictions)
         return parts
@@ -739,16 +1095,11 @@ class ServingEngine:
                         # and the original result arrived late anyway).
                         continue
                     self._dispatched.pop(request_id, None)
-                    pending.result = ServeResult(
-                        request_id=request_id,
-                        predictions=predictions,
-                        expired=bool(expired),
-                    )
-                    self._free_slots.append(pending.slot)
-                    self._slot_sem.release()
-                    expired_count += int(expired)
-                    if pending.event is not None:
-                        pending.event.set()
+                    if self._resolve_locked(
+                        request_id, pending,
+                        predictions=predictions, expired=bool(expired),
+                    ):
+                        expired_count += int(expired)
                 event_dict = dict(event_dict)
                 event_dict["queue_depth"] = sum(
                     1 for p in self._pending.values() if p.result is None
@@ -874,16 +1225,12 @@ class ServingEngine:
             offset = 0
             for req_id, n in served:
                 pending = self._pending.get(req_id)
-                if pending is not None and pending.result is None:
-                    pending.result = ServeResult(
-                        request_id=req_id,
+                if pending is not None:
+                    self._resolve_locked(
+                        req_id, pending,
                         predictions=predictions[offset:offset + n],
                         expired=False,
                     )
-                    self._free_slots.append(pending.slot)
-                    self._slot_sem.release()
-                    if pending.event is not None:
-                        pending.event.set()
                 offset += n
         served_ids = {req_id for req_id, _ in served}
         expired = [e[0] for e in frame["entries"]
@@ -898,19 +1245,138 @@ class ServingEngine:
         return []
 
     # ------------------------------------------------------------------
-    # Worker liveness
+    # Worker pool (spawn / retire / liveness)
     # ------------------------------------------------------------------
+
+    def _spawn_worker(self, start_collector: bool = True) -> int:
+        """Create queues, telemetry slab and process for one new worker.
+
+        ``start_collector=False`` is the construction-time path: initial
+        workers fork before any collector thread exists (children must
+        not inherit a half-held thread state), then the engine starts
+        processes and collectors in bulk.  Live additions start
+        everything here.
+        """
+        idx = len(self.workers)
+        q = self._ctx.Queue()
+        rq = self._ctx.Queue()
+        self._queues.append(q)
+        self._result_qs.append(rq)
+        if self._telemetry_prefix is not None:
+            slab = ShmArray.zeros(
+                f"{self._telemetry_prefix}-w{idx}",
+                (slab_words(self._flight_slots),),
+                np.uint64,
+            )
+            self._owned_segments.append(slab)
+            reader = TelemetrySlabReader(slab.array)
+            self.telemetry.add_reader(idx, reader)
+            self.flight_recorder.add_reader(idx, reader)
+        worker = self._ctx.Process(
+            target=worker_main,
+            args=(idx, self.config, q, rq),
+            daemon=True,
+            name=f"repro-serve-worker-{idx}",
+        )
+        self.workers.append(worker)
+        with self._lock:
+            self._depth.append(0)
+            self._replicas[idx % self.config.num_shards].append(idx)
+        if start_collector:
+            worker.start()
+            self._start_collector(idx)
+        return idx
+
+    def _start_collector(self, idx: int) -> None:
+        collector = threading.Thread(
+            target=self._collect, args=(idx,),
+            name=f"repro-serve-collector-{idx}", daemon=True,
+        )
+        self._collectors.append(collector)
+        collector.start()
+
+    @property
+    def live_workers(self) -> int:
+        """Workers accepting new frames (not dead, not retiring)."""
+        with self._lock:
+            return sum(
+                1 for i in range(len(self.workers))
+                if i not in self._dead and i not in self._retiring
+            )
+
+    def add_worker(self) -> int:
+        """Spawn and attach one more worker live; returns its index.
+
+        Bounded by ``ServeConfig.max_workers``.  The new worker attaches
+        the existing shared segments and starts taking frames as soon as
+        the dispatcher sees it (its load-aware depth starts at zero, so
+        it naturally absorbs queued pressure).
+        """
+        if self._stopped:
+            raise RuntimeError("engine is stopped")
+        maximum = self.config.max_workers
+        if maximum is not None and self.live_workers >= maximum:
+            raise RuntimeError(
+                f"worker pool already at max_workers ({maximum})"
+            )
+        idx = self._spawn_worker(start_collector=True)
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("serve.workers_added")
+            metrics.gauge("serve.workers_live", self.live_workers)
+        return idx
+
+    def remove_worker(self) -> int | None:
+        """Gracefully retire one worker (highest-index live one).
+
+        The worker stops receiving frames immediately, drains what it
+        already holds, serves it, and exits; the monitor then reaps it.
+        Never drops below ``ServeConfig.min_workers`` (or below one live
+        replica per shard) — returns None when no worker can be
+        retired.
+        """
+        if self._stopped:
+            raise RuntimeError("engine is stopped")
+        with self._lock:
+            live = [
+                i for i in range(len(self.workers))
+                if i not in self._dead and i not in self._retiring
+            ]
+            floor = max(self.config.min_workers, self.config.num_shards)
+            if len(live) <= floor:
+                return None
+            idx = live[-1]
+            if self.config.num_shards > 1:
+                # Keep shards balanced: only retire if the victim's
+                # shard keeps at least one live replica.
+                shard = idx % self.config.num_shards
+                replicas = [
+                    w for w in live
+                    if w % self.config.num_shards == shard and w != idx
+                ]
+                if not replicas:
+                    return None
+            self._retiring.add(idx)
+        self._queues[idx].put(None)  # drain-then-exit sentinel
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("serve.workers_retired")
+            metrics.gauge("serve.workers_live", self.live_workers)
+        return idx
 
     def _watch_workers(self) -> None:
         """Detect worker deaths and re-route their unserved requests."""
         while not self._stopped:
             sentinels = {
                 worker.sentinel: i
-                for i, worker in enumerate(self.workers)
-                if i not in self._dead
+                for i, worker in enumerate(list(self.workers))
+                if i not in self._dead and worker.pid is not None
             }
             if not sentinels:
-                return
+                if self._stopped:
+                    return
+                time.sleep(0.05)
+                continue
             for sentinel in connection.wait(list(sentinels), timeout=0.1):
                 if self._stopped:
                     return
@@ -918,18 +1384,23 @@ class ServingEngine:
                 self.workers[worker_idx].join(timeout=0.1)  # reap
                 with self._lock:
                     self._dead.add(worker_idx)
-                self._handle_worker_death(worker_idx)
+                    planned = worker_idx in self._retiring
+                self._handle_worker_death(worker_idx, planned=planned)
 
-    def _handle_worker_death(self, worker_idx: int) -> None:
+    def _handle_worker_death(
+        self, worker_idx: int, planned: bool = False
+    ) -> None:
         """Recover the requests a dead worker was holding.
 
         Their payloads are still in the ring (slots free only on
         resolution), so with survivors left they are simply re-framed to
         a live worker; with none left they are failed immediately so no
-        caller blocks on a result that can never arrive.
+        caller blocks on a result that can never arrive.  ``planned``
+        marks a graceful retirement (scale-down), which re-routes the
+        same way but is not counted as a crash.
         """
         metrics = _metrics()
-        if metrics.enabled:
+        if metrics.enabled and not planned:
             metrics.inc("serve.worker_deaths")
         if self.shard_plan is not None:
             self._handle_shard_worker_death(worker_idx)
@@ -941,7 +1412,9 @@ class ServingEngine:
                 for request_id, (owner, entry) in self._dispatched.items()
                 if owner == worker_idx
             ]
-            any_alive = len(self._dead) < len(self.workers)
+            any_alive = any(
+                i not in self._dead for i in range(len(self.workers))
+            )
             for request_id, entry in stale:
                 self._dispatched.pop(request_id, None)
                 pending = self._pending.get(request_id)
@@ -950,13 +1423,9 @@ class ServingEngine:
                 if any_alive:
                     frame.append(entry)
                 else:
-                    pending.result = ServeResult(
-                        request_id=request_id, predictions=None, expired=True
+                    self._resolve_locked(
+                        request_id, pending, predictions=None, expired=True
                     )
-                    self._free_slots.append(pending.slot)
-                    self._slot_sem.release()
-                    if pending.event is not None:
-                        pending.event.set()
         if frame:
             self._dispatch(frame)
 
@@ -1004,61 +1473,74 @@ class ServingEngine:
     # ------------------------------------------------------------------
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Drain, stop workers, release every shared segment.  Idempotent."""
-        if self._stopped:
+        """Drain, stop workers, release every shared segment.
+
+        Idempotent *and* re-entrancy safe: a second call — including one
+        arriving from an ``atexit`` hook or a signal handler that
+        interrupts a stop already in progress (e.g. while a gateway is
+        still draining) — returns immediately without re-unlinking shm
+        segments or re-freezing telemetry.
+        """
+        if not self._stop_lock.acquire(blocking=False):
+            # A stop is already running on another thread, or this very
+            # thread was interrupted mid-stop by a signal handler that
+            # re-entered; either way the first call owns the teardown.
             return
-        self._stopped = True
-        self.flush()
-        for q in self._queues:
-            q.put(None)
-        deadline = time.monotonic() + timeout
-        for worker in self.workers:
-            worker.join(timeout=max(0.1, deadline - time.monotonic()))
-            if worker.is_alive():
-                worker.terminate()
-                worker.join(timeout=1.0)
-                if worker.is_alive():  # pragma: no cover - last resort
-                    worker.kill()
+        try:
+            if self._stopped:
+                return
+            self._stopped = True
+            self.flush()
+            for q in self._queues:
+                q.put(None)
+            deadline = time.monotonic() + timeout
+            for worker in self.workers:
+                worker.join(timeout=max(0.1, deadline - time.monotonic()))
+                if worker.is_alive():
+                    worker.terminate()
                     worker.join(timeout=1.0)
-        for q in self._result_qs:
-            q.put(None)
-        for collector in self._collectors:
-            # A collector stuck on a dead worker's torn stream never sees
-            # its sentinel; it is a daemon thread, so leave it behind.
-            collector.join(timeout=max(0.1, deadline - time.monotonic()))
-        self._monitor.join(timeout=timeout)
-        # Fail anything a dead worker left unresolved so callers can't
-        # block forever on a request that will never be answered.
-        with self._lock:
-            for pending in self._pending.values():
-                if pending.result is None:
-                    pending.result = ServeResult(
-                        request_id=-1, predictions=None, expired=True
+                    if worker.is_alive():  # pragma: no cover - last resort
+                        worker.kill()
+                        worker.join(timeout=1.0)
+            for q in self._result_qs:
+                q.put(None)
+            for collector in self._collectors:
+                # A collector stuck on a dead worker's torn stream never
+                # sees its sentinel; it is a daemon thread, so leave it
+                # behind.
+                collector.join(timeout=max(0.1, deadline - time.monotonic()))
+            self._monitor.join(timeout=timeout)
+            # Fail anything a dead worker left unresolved so callers
+            # can't block forever on a request that will never be
+            # answered.
+            with self._lock:
+                for request_id, pending in self._pending.items():
+                    self._resolve_locked(
+                        request_id, pending,
+                        predictions=None, expired=True, release_slot=False,
                     )
-                    if pending.event is not None:
-                        pending.event.set()
-        for q in (*self._queues, *self._result_qs):
-            q.close()
-            q.cancel_join_thread()
-        # Final telemetry scrape (workers are stopped, so this is the
-        # complete picture), then freeze the readers onto private copies
-        # so post-stop scrapes and post-mortems stay valid, and release
-        # the slabs.
-        if self.telemetry is not None:
-            metrics = _metrics()
-            if metrics.enabled:
-                self.telemetry.scrape_into(metrics)
-            self.telemetry.freeze()
-        for slab in self._telemetry_segments:
-            slab.unlink()
-        self.publisher.end_writing = lambda: None  # control is going away
-        self.publisher.close()
-        if self._codebook_segment is not None:
-            self._codebook_segment.close()
-            self._codebook_segment.unlink()
-        self._ring.unlink()
-        self.control.unlink()
-        self._finalizer.detach()
+            for q in (*self._queues, *self._result_qs):
+                q.close()
+                q.cancel_join_thread()
+            # Final telemetry scrape (workers are stopped, so this is
+            # the complete picture), then freeze the readers onto
+            # private copies so post-stop scrapes and post-mortems stay
+            # valid, and release the slabs.
+            if self.telemetry is not None:
+                metrics = _metrics()
+                if metrics.enabled:
+                    self.telemetry.scrape_into(metrics)
+                self.telemetry.freeze()
+            for segment in self._owned_segments:
+                segment.unlink()
+            for publisher in self._publishers:
+                publisher.end_writing = lambda: None  # control going away
+                publisher.close()
+            for control in self._controls:
+                control.unlink()
+            self._finalizer.detach()
+        finally:
+            self._stop_lock.release()
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -1072,7 +1554,7 @@ class ServingEngine:
         return list(self._worker_errors)
 
 
-def _emergency_cleanup(workers, segments, publisher, control) -> None:
+def _emergency_cleanup(workers, segments, publishers, controls) -> None:
     """GC/interpreter-exit safety net: never leak processes or segments."""
     for worker in workers:
         if worker.is_alive():
@@ -1083,11 +1565,13 @@ def _emergency_cleanup(workers, segments, publisher, control) -> None:
                 segment.unlink()
             except Exception:
                 pass
-    try:
-        publisher.close()
-    except Exception:
-        pass
-    try:
-        control.unlink()
-    except Exception:
-        pass
+    for publisher in publishers:
+        try:
+            publisher.close()
+        except Exception:
+            pass
+    for control in controls:
+        try:
+            control.unlink()
+        except Exception:
+            pass

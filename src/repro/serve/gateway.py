@@ -1,0 +1,483 @@
+"""Asyncio TCP ingress for the multi-tenant serving engine.
+
+:class:`GatewayServer` is the network front door: it speaks the
+length-prefixed binary frame protocol (:mod:`repro.serve.protocol`),
+admits or sheds each request (:class:`AdmissionController`), and feeds
+admitted work into a :class:`~repro.serve.engine.ServingEngine` through
+the unified :class:`~repro.serve.engine.ServeRequest` surface.  Replies
+ride :class:`~repro.serve.engine.ServeFuture` done-callbacks back onto
+the event loop, so a slow engine never blocks the acceptor and one
+connection's stall never delays another's responses.
+
+The server hosts its own event loop on a daemon thread —
+``start()``/``stop()`` are plain synchronous calls, usable from tests,
+benchmarks and ``with`` blocks, while everything network-facing stays
+async inside.
+
+**Admission policy** (checked in this order, each with a typed
+:class:`~repro.serve.protocol.RejectCode`):
+
+1. ``SHUTTING_DOWN`` — the server is draining; nothing new gets in.
+2. ``UNKNOWN_TENANT`` — the frame names a tenant the engine does not
+   host.
+3. ``RATE_LIMITED`` — the tenant's token bucket is empty.  Each tenant
+   gets ``rate_limit`` tokens/s with ``burst`` capacity, so one noisy
+   tenant is throttled at the door instead of starving the others
+   inside the engine.
+4. ``OVERLOADED`` — the gateway-wide in-flight cap (at most the
+   engine's ring capacity) is reached.  Shedding here keeps
+   ``engine.submit`` non-blocking: a free in-flight token implies a
+   free ring slot, because the engine releases slots strictly before
+   the gateway releases tokens.
+
+Every shed is counted (``gateway.shed`` + per-code metrics and
+:attr:`AdmissionController.shed` totals) — the CI smoke leg asserts
+zero shed at low load and non-zero under deliberate overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.obs.metrics import current as _metrics
+from repro.serve.engine import Backpressure, ServeRequest, ServingEngine
+from repro.serve.protocol import (
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
+    RejectCode,
+    decode_array,
+    encode_array,  # noqa: F401  (re-exported for gateway users)
+    encode_frame,
+    encode_predictions,
+    encode_status,
+)
+
+__all__ = ["AdmissionController", "GatewayServer", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    Monotonic-clock lazy refill; ``try_take`` is the only operation.
+    Not thread-safe on its own — the admission controller serialises
+    access under its lock.
+    """
+
+    __slots__ = ("_last", "_tokens", "burst", "rate")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate and burst must be > 0, got rate={rate} burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = time.monotonic()
+
+    def try_take(self, now: float | None = None) -> bool:
+        if now is None:
+            now = time.monotonic()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Token-bucket rate limiting per tenant + global load shedding.
+
+    ``max_inflight`` bounds requests admitted but not yet resolved;
+    the gateway caps it at the engine's ring capacity so an admitted
+    request always finds a free ring slot (``engine.submit`` never
+    blocks the event loop).
+    """
+
+    def __init__(
+        self,
+        tenants,
+        *,
+        max_inflight: int,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self._lock = threading.Lock()
+        self._tenants = set(tenants)
+        self._buckets: dict[str, TokenBucket] = {}
+        if rate_limit is not None:
+            if burst is None:
+                burst = max(1.0, rate_limit)
+            self._buckets = {
+                tenant: TokenBucket(rate_limit, burst)
+                for tenant in self._tenants
+            }
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self.draining = False
+        self.admitted = 0
+        self.shed: dict[RejectCode, int] = {code: 0 for code in RejectCode}
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self.shed.values())
+
+    def admit(self, tenant: str) -> RejectCode | None:
+        """Admit one request for ``tenant``; a code means *shed*.
+
+        An admitted request holds one in-flight token the caller MUST
+        return via :meth:`release` exactly once.
+        """
+        with self._lock:
+            code = None
+            if self.draining:
+                code = RejectCode.SHUTTING_DOWN
+            elif tenant not in self._tenants:
+                code = RejectCode.UNKNOWN_TENANT
+            elif (bucket := self._buckets.get(tenant)) is not None \
+                    and not bucket.try_take():
+                code = RejectCode.RATE_LIMITED
+            elif self._inflight >= self.max_inflight:
+                code = RejectCode.OVERLOADED
+            if code is not None:
+                self.shed[code] += 1
+                metrics = _metrics()
+                if metrics.enabled:
+                    metrics.inc("gateway.shed")
+                    metrics.inc(f"gateway.shed.{code.name.lower()}")
+                return code
+            self._inflight += 1
+            self.admitted += 1
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("gateway.admitted")
+            metrics.gauge("gateway.inflight", self._inflight)
+        return None
+
+    def release(self) -> None:
+        """Return one admitted request's in-flight token."""
+        with self._lock:
+            self._inflight -= 1
+
+    def drain(self) -> None:
+        """Reject everything from now on (server shutdown)."""
+        with self._lock:
+            self.draining = True
+
+
+class GatewayServer:
+    """TCP gateway in front of one :class:`ServingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The (already-running) engine to serve.  The gateway does not
+        own it: ``stop()`` drains the gateway but leaves the engine up.
+    host, port:
+        Listen address; port 0 picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    rate_limit, burst:
+        Per-tenant token bucket (tokens/s, capacity).  ``None`` rate
+        disables rate limiting.
+    max_inflight:
+        Global admitted-but-unresolved cap; clamped to the engine's
+        ring capacity (see :class:`AdmissionController`).
+    max_frame_bytes:
+        Inbound frame-size cap per connection.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        max_inflight: int | None = None,
+        max_frame_bytes: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self._requested_port = port
+        cap = engine.config.ring_slots
+        self.admission = AdmissionController(
+            engine.tenants,
+            max_inflight=min(max_inflight, cap) if max_inflight else cap,
+            rate_limit=rate_limit,
+            burst=burst,
+        )
+        self._max_frame = max_frame_bytes
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, timeout: float = 10.0) -> "GatewayServer":
+        """Spin up the loop thread and start listening; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError(f"gateway failed to start within {timeout}s")
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"gateway failed to start: {self._start_error!r}"
+            )
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        try:
+            self._server = loop.run_until_complete(asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port
+            ))
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException as exc:  # surface bind errors to start()
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            # Cancel whatever survived the drain, then let the loop
+            # unwind the cancellations before closing.
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.run_until_complete(
+                loop.shutdown_asyncgens()
+            )
+            loop.run_until_complete(asyncio.sleep(0))
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain in-flight requests, close connections, stop the loop.
+
+        Idempotent.  New requests are shed ``SHUTTING_DOWN`` the moment
+        this is called; already-admitted ones get their responses
+        (bounded by ``timeout``).
+        """
+        if self._thread is None or self.loop is None:
+            return
+        self.admission.drain()
+        deadline = time.monotonic() + timeout
+        while (self.admission.inflight > 0
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        loop = self.loop
+        if loop.is_running():
+            async def _shutdown() -> None:
+                if self._server is not None:
+                    self._server.close()
+                    await self._server.wait_closed()
+                for task in list(self._connections):
+                    task.cancel()
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    _shutdown(), loop
+                ).result(timeout=timeout)
+            except Exception:
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        # One writer coroutine per connection serialises every reply —
+        # engine done-callbacks only ever enqueue, so responses can
+        # never interleave mid-frame.
+        outbox: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_replies(outbox, writer)
+        )
+        decoder = (
+            FrameDecoder(self._max_frame)
+            if self._max_frame
+            else FrameDecoder()
+        )
+        try:
+            while True:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    # Typed error back, then hang up: past a framing
+                    # error the stream cannot be trusted.
+                    await outbox.put(encode_frame(Frame(
+                        FrameKind.ERROR,
+                        payload=encode_status(
+                            ErrorCode.BAD_REQUEST, str(exc)
+                        ),
+                    )))
+                    break
+                for frame in frames:
+                    self._handle_frame(frame, outbox)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            self._connections.discard(task)
+            outbox.put_nowait(None)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            # close() without awaiting wait_closed(): awaiting here can
+            # itself be cancelled during loop shutdown and escape the
+            # handler as a task exception; the transport finishes the
+            # close on its own.
+            writer.close()
+
+    async def _write_replies(
+        self, outbox: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            item = await outbox.get()
+            if item is None:
+                return
+            try:
+                writer.write(item)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+
+    def _handle_frame(self, frame: Frame, outbox: asyncio.Queue) -> None:
+        if frame.kind == FrameKind.PING:
+            outbox.put_nowait(encode_frame(Frame(
+                FrameKind.PONG, trace_id=frame.trace_id
+            )))
+            return
+        if frame.kind not in (FrameKind.PACKED, FrameKind.FEATURES):
+            outbox.put_nowait(encode_frame(Frame(
+                FrameKind.ERROR,
+                trace_id=frame.trace_id,
+                payload=encode_status(
+                    ErrorCode.BAD_REQUEST,
+                    f"gateway does not accept {frame.kind.name} frames",
+                ),
+            )))
+            return
+        tenant = frame.tenant or self.engine.tenants[0]
+        code = self.admission.admit(tenant)
+        if code is not None:
+            outbox.put_nowait(encode_frame(Frame(
+                FrameKind.REJECT,
+                tenant=tenant,
+                trace_id=frame.trace_id,
+                payload=encode_status(code, code.name),
+            )))
+            return
+        loop = asyncio.get_running_loop()
+        trace_id = frame.trace_id
+        try:
+            payload = decode_array(frame.kind, frame.payload)
+            request = ServeRequest(
+                payload,
+                features=frame.kind == FrameKind.FEATURES,
+                deadline=(
+                    frame.deadline_ns / 1e9 if frame.deadline_ns else None
+                ),
+                tenant=tenant,
+                trace_id=trace_id,
+            )
+            future = self.engine.submit(request)
+        except (ProtocolError, ValueError) as exc:
+            self.admission.release()
+            outbox.put_nowait(encode_frame(Frame(
+                FrameKind.ERROR,
+                tenant=tenant,
+                trace_id=trace_id,
+                payload=encode_status(ErrorCode.BAD_REQUEST, str(exc)),
+            )))
+            return
+        except Backpressure as exc:
+            # Should not happen (the in-flight cap <= ring slots), but
+            # the engine may be shared with non-gateway submitters.
+            self.admission.release()
+            outbox.put_nowait(encode_frame(Frame(
+                FrameKind.REJECT,
+                tenant=tenant,
+                trace_id=trace_id,
+                payload=encode_status(RejectCode.OVERLOADED, str(exc)),
+            )))
+            return
+        except RuntimeError as exc:  # engine stopped underneath us
+            self.admission.release()
+            outbox.put_nowait(encode_frame(Frame(
+                FrameKind.REJECT,
+                tenant=tenant,
+                trace_id=trace_id,
+                payload=encode_status(RejectCode.SHUTTING_DOWN, str(exc)),
+            )))
+            return
+
+        def _on_done(result) -> None:
+            # Runs on an engine collector thread: hop onto the loop.
+            self.admission.release()
+            if result.predictions is not None:
+                reply = encode_frame(Frame(
+                    FrameKind.RESPONSE,
+                    tenant=tenant,
+                    trace_id=trace_id,
+                    payload=encode_predictions(result.predictions),
+                ))
+            else:
+                reply = encode_frame(Frame(
+                    FrameKind.ERROR,
+                    tenant=tenant,
+                    trace_id=trace_id,
+                    payload=encode_status(
+                        ErrorCode.EXPIRED,
+                        "deadline passed before the engine served the "
+                        "request",
+                    ),
+                ))
+            try:
+                loop.call_soon_threadsafe(outbox.put_nowait, reply)
+            except RuntimeError:
+                pass  # loop already closed (connection torn down)
+
+        future.add_done_callback(_on_done)

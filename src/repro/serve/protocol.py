@@ -1,0 +1,355 @@
+"""Length-prefixed binary frame protocol for the serving gateway.
+
+One frame on the wire is::
+
+    u32  length        big-endian, bytes after this prefix (header+body)
+    u16  magic         0x5247 ("RG")
+    u8   version       1
+    u8   kind          FrameKind
+    u16  tenant_len    bytes of UTF-8 tenant id following the header
+    u16  reserved      0 on send; ignored on receive (future flags)
+    u64  trace_id      client correlation id, echoed verbatim in replies
+    u64  deadline_ns   request budget in nanoseconds (0 = none)
+    ...  tenant        tenant_len bytes UTF-8
+    ...  payload       kind-specific body
+
+Integer header fields are network byte order; bulk array payloads are
+little-endian (numpy native on every platform this repo targets) so
+encode/decode is a buffer view, not a byte swap.  The ``version`` byte
+is checked on every frame — a future v2 can change the body layout
+behind the same prefix.
+
+Request payloads (``PACKED``/``FEATURES``) carry their own geometry —
+``u32 rows, u32 cols`` then the row-major array bytes (uint64 query
+words or float64 features) — so the server validates shape against the
+tenant's geometry instead of trusting the client.  ``RESPONSE`` bodies
+are ``u32 rows`` + int64 predictions; ``REJECT``/``ERROR`` bodies are a
+:class:`RejectCode`/error byte + UTF-8 detail string.
+
+Decoding is *incremental* (:class:`FrameDecoder`): feed it arbitrary
+byte chunks, get complete frames out.  Malformed input raises a typed
+:class:`ProtocolError` subclass and consumes **exactly** the bad frame
+— never bytes beyond it — so a server can reply with a typed ERROR
+frame and keep the connection's remaining stream intact when the
+framing itself is still sound (bad magic/garbage headers are not
+resyncable: the decoder refuses further input and the connection must
+close).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+import numpy as np
+
+__all__ = [
+    "FrameTooLarge",
+    "BadMagic",
+    "BadVersion",
+    "BadFrame",
+    "Frame",
+    "FrameDecoder",
+    "FrameKind",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "RejectCode",
+    "VERSION",
+    "decode_array",
+    "decode_predictions",
+    "decode_status",
+    "encode_array",
+    "encode_frame",
+    "encode_predictions",
+    "encode_status",
+]
+
+MAGIC = 0x5247  # "RG"
+VERSION = 1
+
+# Default inbound frame-size cap: large enough for a max-size request
+# (64 queries x ~1M-bit vectors ~= 8 MiB) with headroom, small enough
+# that a hostile length prefix cannot balloon server memory.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_HEADER = struct.Struct(">HBBHHQQ")
+_LEN = struct.Struct(">I")
+_DIMS = struct.Struct(">II")
+
+
+class FrameKind(enum.IntEnum):
+    """Frame discriminator (the header ``kind`` byte)."""
+
+    PACKED = 1  # request: packed query words, (rows, words) uint64
+    FEATURES = 2  # request: raw features, (rows, num_features) float64
+    RESPONSE = 3  # reply: int64 predictions for one request
+    REJECT = 4  # reply: admission control refused the request
+    ERROR = 5  # reply: request failed (bad shape, expired, ...)
+    PING = 6  # liveness probe
+    PONG = 7  # liveness reply
+
+
+class RejectCode(enum.IntEnum):
+    """Why admission control refused a request (REJECT body byte)."""
+
+    RATE_LIMITED = 1  # tenant token bucket empty
+    OVERLOADED = 2  # global in-flight cap reached (load shed)
+    UNKNOWN_TENANT = 3
+    SHUTTING_DOWN = 4
+
+
+class ErrorCode(enum.IntEnum):
+    """Why a request failed after admission (ERROR body byte)."""
+
+    BAD_REQUEST = 1  # malformed frame or payload shape
+    EXPIRED = 2  # deadline passed before the engine served it
+    INTERNAL = 3
+
+
+class ProtocolError(Exception):
+    """Base of every frame-decode failure."""
+
+
+class FrameTooLarge(ProtocolError):
+    """Length prefix exceeds the frame-size cap."""
+
+
+class BadMagic(ProtocolError):
+    """Frame does not start with the protocol magic (stream corrupt)."""
+
+
+class BadVersion(ProtocolError):
+    """Frame speaks a protocol version this decoder does not."""
+
+
+class BadFrame(ProtocolError):
+    """Frame is internally inconsistent (header/body lengths disagree)."""
+
+
+class Frame:
+    """One decoded (or to-be-encoded) protocol frame."""
+
+    __slots__ = ("deadline_ns", "kind", "payload", "tenant", "trace_id")
+
+    def __init__(
+        self,
+        kind: int,
+        *,
+        tenant: str = "",
+        trace_id: int = 0,
+        deadline_ns: int = 0,
+        payload: bytes = b"",
+    ) -> None:
+        self.kind = FrameKind(kind)
+        self.tenant = tenant
+        self.trace_id = trace_id
+        self.deadline_ns = deadline_ns
+        self.payload = payload
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Frame)
+            and self.kind == other.kind
+            and self.tenant == other.tenant
+            and self.trace_id == other.trace_id
+            and self.deadline_ns == other.deadline_ns
+            and self.payload == other.payload
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Frame({self.kind.name}, tenant={self.tenant!r}, "
+            f"trace_id={self.trace_id}, deadline_ns={self.deadline_ns}, "
+            f"payload={len(self.payload)}B)"
+        )
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise one frame, length prefix included."""
+    tenant = frame.tenant.encode("utf-8")
+    if len(tenant) > 0xFFFF:
+        raise ValueError(f"tenant id too long ({len(tenant)} bytes)")
+    if not 0 <= frame.trace_id <= 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"trace_id out of u64 range: {frame.trace_id}")
+    if not 0 <= frame.deadline_ns <= 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"deadline_ns out of u64 range: {frame.deadline_ns}")
+    header = _HEADER.pack(
+        MAGIC, VERSION, int(frame.kind), len(tenant), 0,
+        frame.trace_id, frame.deadline_ns,
+    )
+    body = header + tenant + frame.payload
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary chunking of the stream.
+
+    ``feed(data)`` buffers and returns every newly-complete
+    :class:`Frame`.  On malformed input it raises a typed
+    :class:`ProtocolError`: recoverable errors (unknown kind, length
+    mismatches inside a sound length prefix) consume exactly the bad
+    frame, so the next ``feed`` continues with the following frame;
+    unrecoverable ones (:class:`BadMagic`, :class:`BadVersion`,
+    :class:`FrameTooLarge` — the stream itself can no longer be
+    trusted) poison the decoder, which then refuses all further input.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buf = bytearray()
+        self._max = max_frame_bytes
+        self._poisoned: ProtocolError | None = None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a complete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        if self._poisoned is not None:
+            raise ProtocolError(
+                f"decoder poisoned by earlier error: {self._poisoned}"
+            )
+        self._buf += data
+        frames: list[Frame] = []
+        while True:
+            frame = self._next()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next(self) -> Frame | None:
+        buf = self._buf
+        if len(buf) < _LEN.size:
+            return None
+        (length,) = _LEN.unpack_from(buf)
+        if length > self._max:
+            # The body may be gigabytes; do not wait for (or buffer) it.
+            raise self._poison(FrameTooLarge(
+                f"frame of {length} bytes exceeds cap {self._max}"
+            ))
+        if length < _HEADER.size:
+            raise self._poison(BadFrame(
+                f"length prefix {length} shorter than the {_HEADER.size}"
+                "-byte header"
+            ))
+        if len(buf) < _LEN.size + length:
+            return None  # incomplete; keep buffering
+        start = _LEN.size
+        (magic, version, kind, tenant_len, _reserved, trace_id,
+         deadline_ns) = _HEADER.unpack_from(buf, start)
+        if magic != MAGIC:
+            raise self._poison(BadMagic(
+                f"expected magic 0x{MAGIC:04x}, got 0x{magic:04x}"
+            ))
+        if version != VERSION:
+            raise self._poison(BadVersion(
+                f"protocol version {version} unsupported (speak {VERSION})"
+            ))
+        # From here on the framing is sound: errors consume exactly this
+        # frame so the stream stays decodable.
+        end = start + length
+        try:
+            if _HEADER.size + tenant_len > length:
+                raise BadFrame(
+                    f"tenant_len {tenant_len} overruns the "
+                    f"{length}-byte frame"
+                )
+            try:
+                kind = FrameKind(kind)
+            except ValueError:
+                raise BadFrame(f"unknown frame kind {kind}") from None
+            tenant_start = start + _HEADER.size
+            try:
+                tenant = bytes(
+                    buf[tenant_start : tenant_start + tenant_len]
+                ).decode("utf-8")
+            except UnicodeDecodeError:
+                raise BadFrame("tenant id is not valid UTF-8") from None
+            payload = bytes(buf[tenant_start + tenant_len : end])
+        finally:
+            del buf[:end]
+        return Frame(
+            kind,
+            tenant=tenant,
+            trace_id=trace_id,
+            deadline_ns=deadline_ns,
+            payload=payload,
+        )
+
+    def _poison(self, error: ProtocolError) -> ProtocolError:
+        self._poisoned = error
+        return error
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+
+_REQUEST_DTYPES = {
+    FrameKind.PACKED: np.dtype("<u8"),
+    FrameKind.FEATURES: np.dtype("<f8"),
+}
+
+
+def encode_array(kind: FrameKind, array: np.ndarray) -> bytes:
+    """Request body: ``u32 rows, u32 cols`` + row-major array bytes."""
+    dtype = _REQUEST_DTYPES[FrameKind(kind)]
+    matrix = np.ascontiguousarray(array, dtype=dtype)
+    if matrix.ndim != 2:
+        raise ValueError(f"payload must be 2-D, got shape {matrix.shape}")
+    rows, cols = matrix.shape
+    if rows > 0xFFFFFFFF or cols > 0xFFFFFFFF:
+        raise ValueError(f"payload shape {matrix.shape} exceeds u32 dims")
+    return _DIMS.pack(rows, cols) + matrix.tobytes()
+
+
+def decode_array(kind: FrameKind, payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array` (raises :class:`BadFrame`)."""
+    dtype = _REQUEST_DTYPES[FrameKind(kind)]
+    if len(payload) < _DIMS.size:
+        raise BadFrame(
+            f"request body of {len(payload)} bytes is shorter than its "
+            f"{_DIMS.size}-byte dims header"
+        )
+    rows, cols = _DIMS.unpack_from(payload)
+    expected = _DIMS.size + rows * cols * dtype.itemsize
+    if len(payload) != expected:
+        raise BadFrame(
+            f"request body claims shape ({rows}, {cols}) = "
+            f"{expected} bytes but carries {len(payload)}"
+        )
+    return (
+        np.frombuffer(payload, dtype=dtype, offset=_DIMS.size)
+        .reshape(rows, cols)
+    )
+
+
+def encode_predictions(predictions: np.ndarray) -> bytes:
+    """RESPONSE body: ``u32 rows`` + int64 predictions."""
+    flat = np.ascontiguousarray(predictions, dtype="<i8").reshape(-1)
+    return _LEN.pack(flat.shape[0]) + flat.tobytes()
+
+
+def decode_predictions(payload: bytes) -> np.ndarray:
+    if len(payload) < _LEN.size:
+        raise BadFrame("response body missing its row count")
+    (rows,) = _LEN.unpack_from(payload)
+    if len(payload) != _LEN.size + rows * 8:
+        raise BadFrame(
+            f"response body claims {rows} predictions but carries "
+            f"{len(payload) - _LEN.size} bytes"
+        )
+    return np.frombuffer(payload, dtype="<i8", offset=_LEN.size).copy()
+
+
+def encode_status(code: int, detail: str = "") -> bytes:
+    """REJECT/ERROR body: ``u8 code`` + UTF-8 detail string."""
+    raw = detail.encode("utf-8")[:0xFFFF]
+    return bytes([int(code)]) + raw
+
+
+def decode_status(payload: bytes) -> tuple[int, str]:
+    if not payload:
+        raise BadFrame("status body missing its code byte")
+    return payload[0], payload[1:].decode("utf-8", errors="replace")

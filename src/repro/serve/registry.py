@@ -1,0 +1,170 @@
+"""Per-tenant model registry for the multi-tenant serving engine.
+
+A :class:`TenantRegistry` is the front half of the multi-tenant story:
+it names the classifiers one :class:`~repro.serve.engine.ServingEngine`
+hosts.  Each tenant is an independent 1-bit model (optionally with its
+own encoder for raw-feature requests) that the engine publishes on its
+*own* :class:`~repro.serve.shm.GenerationPublisher` stream — a recovery
+pass hot-swapping tenant A's model publishes generations only on A's
+stream, so tenants B..Z keep serving their snapshots untouched.
+
+Usage::
+
+    registry = TenantRegistry()
+    registry.add("alpha", classifier_a)
+    registry.add("beta", classifier_b)
+    engine = ServingEngine(registry, num_workers=4)
+    ...
+    engine.publisher_for("alpha")   # hand to attack_and_recover(...)
+
+The registry is *frozen at engine attach*: the engine snapshots the
+tenant table into its worker config (workers attach each tenant's
+control block and codebook by name at spawn), so ``add``/``remove``
+after attach raise.  Hot-swapping a tenant's *model contents* stays
+fully dynamic through its publisher — only the tenant *set* is static
+for the engine's lifetime.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+
+__all__ = ["DEFAULT_TENANT", "Tenant", "TenantRegistry"]
+
+# The tenant every single-model engine (and every request that does not
+# name one) serves.
+DEFAULT_TENANT = "default"
+
+# Tenant ids travel in frame headers; keep them short, printable and
+# unambiguous.  1..64 chars: letters, digits, then dot/underscore/dash.
+_TENANT_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass
+class Tenant:
+    """One hosted classifier: id, model, optional encoder."""
+
+    tenant_id: str
+    model: HDCModel
+    encoder: Encoder | None = None
+    # Assigned when the registry attaches to an engine; the stable slot
+    # index requests and shared-memory names are keyed by.
+    index: int = field(default=-1, compare=False)
+
+
+class TenantRegistry:
+    """An ordered, validated set of tenants for one serving engine."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+        self._attached = False
+
+    @classmethod
+    def single(
+        cls,
+        tenant_id: str,
+        model: HDCModel | HDCClassifier,
+        *,
+        encoder: Encoder | None = None,
+    ) -> "TenantRegistry":
+        """A one-tenant registry (what a bare-model engine builds)."""
+        registry = cls()
+        registry.add(tenant_id, model, encoder=encoder)
+        return registry
+
+    def add(
+        self,
+        tenant_id: str,
+        model: HDCModel | HDCClassifier,
+        *,
+        encoder: Encoder | None = None,
+    ) -> Tenant:
+        """Register a tenant's model (and encoder, for feature requests).
+
+        A fitted :class:`~repro.core.model.HDCClassifier` contributes
+        both its model and (unless overridden) its encoder.
+        """
+        if self._attached:
+            raise RuntimeError(
+                "registry is attached to a running engine; the tenant set "
+                "is frozen (hot-swap model contents via publisher_for())"
+            )
+        if not isinstance(tenant_id, str) or not _TENANT_ID.match(tenant_id):
+            raise ValueError(
+                "tenant_id must be 1..64 chars of [A-Za-z0-9._-] starting "
+                f"alphanumeric, got {tenant_id!r}"
+            )
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} already registered")
+        if isinstance(model, HDCClassifier):
+            if encoder is None:
+                encoder = model.encoder
+            model = model._require_model()
+        if encoder is not None and encoder.dim != model.dim:
+            raise ValueError(
+                f"tenant {tenant_id!r}: encoder dim {encoder.dim} != "
+                f"model dim {model.dim}"
+            )
+        tenant = Tenant(tenant_id=tenant_id, model=model, encoder=encoder)
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    def remove(self, tenant_id: str) -> None:
+        """Drop a tenant (only before the registry attaches)."""
+        if self._attached:
+            raise RuntimeError(
+                "registry is attached to a running engine; the tenant set "
+                "is frozen"
+            )
+        if tenant_id not in self._tenants:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        del self._tenants[tenant_id]
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, tenant_id: str) -> Tenant:
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        return tenant
+
+    def __getitem__(self, tenant_id: str) -> Tenant:
+        return self.get(tenant_id)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def ids(self) -> tuple[str, ...]:
+        """Tenant ids in registration (slot-index) order."""
+        return tuple(self._tenants)
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    # -- engine hand-off ----------------------------------------------
+
+    def _attach(self) -> tuple[Tenant, ...]:
+        """Freeze the tenant set and assign slot indices (engine only)."""
+        if self._attached:
+            raise RuntimeError(
+                "registry is already attached to an engine; build one "
+                "registry per engine"
+            )
+        if not self._tenants:
+            raise ValueError("registry has no tenants")
+        self._attached = True
+        tenants = tuple(self._tenants.values())
+        for index, tenant in enumerate(tenants):
+            tenant.index = index
+        return tenants

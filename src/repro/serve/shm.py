@@ -49,6 +49,7 @@ __all__ = [
     "GenerationPublisher",
     "ShmArray",
     "attach_generation",
+    "tenant_prefix",
     "unique_name",
 ]
 
@@ -56,6 +57,18 @@ __all__ = [
 def unique_name(prefix: str = "repro-serve") -> str:
     """A collision-resistant shared-memory name prefix for one engine."""
     return f"{prefix}-{secrets.token_hex(4)}"
+
+
+def tenant_prefix(prefix: str, index: int) -> str:
+    """Per-tenant namespace under one engine's segment prefix.
+
+    A multi-tenant engine gives tenant slot ``i`` its own control block
+    (``{prefix}-t{i}-control``), codebook (``{prefix}-t{i}-codebook``)
+    and generation stream (``{prefix}-t{i}-g{N}``), all under the
+    engine's collision-resistant prefix so one glob still finds every
+    segment the engine owns.
+    """
+    return f"{prefix}-t{index}"
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:

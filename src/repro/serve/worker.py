@@ -1,31 +1,39 @@
 """Serving-worker process loop for the concurrent serving engine.
 
 Each worker attaches (read-only, zero-copy) to the engine's shared
-segments — the control block, the request payload ring, and, for
-feature-payload engines, the exported bound codebook — then loops:
+segments — every tenant's control block and, for feature-payload
+tenants, exported bound codebook, plus the request payload ring — then
+loops:
 
 1. **Dequeue + coalesce.**  Block on the request queue for one frame of
    requests, then drain whatever else is immediately available (up to
    ``coalesce_requests``) so queued-up work is answered with *one*
-   distance computation instead of one per request.  This is where the
-   engine's throughput comes from: the packed XOR+popcount kernel is
-   ~an order of magnitude cheaper per query at batch size than at
-   request size.
-2. **Adopt.**  Read the control block (seqlock) and, if the recovery
-   writer has published a newer generation, remap to it before serving.
+   distance computation per tenant instead of one per request.  This is
+   where the engine's throughput comes from: the packed XOR+popcount
+   kernel is ~an order of magnitude cheaper per query at batch size
+   than at request size.
+2. **Adopt.**  For every tenant referenced by the batch, read that
+   tenant's control block (seqlock) and, if its recovery writer has
+   published a newer generation, remap to it before serving.
    Generations are immutable, so within a batch every query sees one
-   consistent model.  An attach that races a retirement re-reads the
-   control block and lands on the newer generation it now names.
-3. **Degrade rather than block.**  If a writer is registered but its
-   heartbeat is older than the stall threshold, serve anyway on the
-   current snapshot and flag the batch ``degraded`` — availability over
-   freshness, with the staleness reported in the batch event.
-4. **Serve.**  Drop requests whose deadline already passed, gather the
-   remaining payloads from the ring (packed query words directly, or
-   features quantised + encoded against the shared codebook), run one
-   coalesced distance computation, and post per-request predictions plus
-   one :class:`~repro.obs.trace.ServeBatchEvent`-shaped record back on
-   the result queue.
+   consistent model per tenant — and because each tenant has its own
+   control block and generation stream, a recovery pass hot-swapping
+   tenant A never perturbs what this worker serves for tenant B.  An
+   attach that races a retirement re-reads the control block and lands
+   on the newer generation it now names.  Adoption is *lazy*: a tenant
+   absent from the batch costs nothing.
+3. **Degrade rather than block.**  If a referenced tenant's writer is
+   registered but its heartbeat is older than the stall threshold,
+   serve anyway on the current snapshot and flag the batch ``degraded``
+   — availability over freshness, with the worst staleness reported in
+   the batch event.
+4. **Serve.**  Drop requests whose deadline already passed, group the
+   rest by tenant, gather each group's payloads from the ring (packed
+   query words directly, or features quantised + encoded against that
+   tenant's codebook), run one coalesced distance computation per
+   tenant, and post per-request predictions plus one
+   :class:`~repro.obs.trace.ServeBatchEvent`-shaped record back on the
+   result queue.
 
 When the engine runs with telemetry (the default), each worker is also
 the single writer of its shared-memory *telemetry slab*
@@ -39,9 +47,11 @@ being SIGKILLed — that is what makes crashes diagnosable post-mortem.
 Each worker owns a private request queue (the engine round-robins
 frames and re-routes a dead worker's unserved frames to survivors): a
 worker killed mid-``get`` can therefore never wedge its siblings on a
-shared queue lock.  The loop exits on the ``None`` sentinel; a sentinel
-seen while draining still gets the in-hand batch served first —
-shutdown never drops accepted work.
+shared queue lock.  The loop exits on the ``None`` sentinel — which is
+also how a graceful retirement (``ServingEngine.remove_worker``, e.g.
+an autoscaler scale-down) lands; a sentinel seen while draining still
+gets the in-hand batch served first — shutdown never drops accepted
+work.
 """
 
 from __future__ import annotations
@@ -73,17 +83,19 @@ PAYLOAD_PACKED = 0  # ring slot holds (n_queries, words) uint64 query words
 PAYLOAD_FEATURES = 1  # ring slot holds (n_queries, num_features) float64
 
 
-def _gather_queries(ring, live, words, cfg, codebook, word_lo, word_hi):
-    """Assemble the batch's query words ``(total_q, scan_words)``.
+def _gather_queries(ring, live, tenant, codebook, word_lo, word_hi):
+    """Assemble one tenant's query words ``(total_q, scan_words)``.
 
-    ``live`` rows are ``(req_id, slot, n_queries, kind)``; ``words`` is
-    the full-width word count queries are stored at, and
+    ``live`` rows are ``(req_id, slot, n_queries, kind)``; ``tenant`` is
+    the :class:`~repro.serve.engine.TenantSlot` whose geometry (word
+    width, codebook shape, quantiser range) the payloads follow, and
     ``[word_lo, word_hi)`` the column range this worker scans (the full
     range when unsharded or class-sharded).  The common case — every
     live request packed with the same query count — gathers with one
     fancy index over the ring instead of a Python-level slice per
     request; mixed batches fall back to the per-request path.
     """
+    words = tenant.words
     n0 = live[0][2]
     if all(kind == PAYLOAD_PACKED and n == n0 for _, _, n, kind in live):
         slots = np.fromiter(
@@ -100,11 +112,13 @@ def _gather_queries(ring, live, words, cfg, codebook, word_lo, word_hi):
             )
         else:
             feats = (
-                ring.array[slot, : n_queries * cfg.num_features]
+                ring.array[slot, : n_queries * tenant.num_features]
                 .view(np.float64)
-                .reshape(n_queries, cfg.num_features)
+                .reshape(n_queries, tenant.num_features)
             )
-            idx = quantize_features(feats, cfg.levels, cfg.low, cfg.high)
+            idx = quantize_features(
+                feats, tenant.levels, tenant.low, tenant.high
+            )
             rows.append(
                 encode_words_from_codebook(
                     codebook.array[:, :, word_lo:word_hi], idx
@@ -134,6 +148,63 @@ def _drain(request_q, first, coalesce: int):
     return requests, saw_sentinel
 
 
+class _TenantState:
+    """One tenant's attached shared state inside a worker."""
+
+    __slots__ = ("codebook", "control", "generation", "packed", "segment",
+                 "slot")
+
+    def __init__(self, slot, control, codebook) -> None:
+        self.slot = slot  # the TenantSlot geometry
+        self.control = control
+        self.codebook = codebook
+        self.segment = None
+        self.packed = None
+        self.generation = 0
+
+    def adopt(self, plan, shard):
+        """Remap to the newest published generation if it moved.
+
+        Returns ``(snapshot, adopted, adoption_lag_s)``.  Spins briefly
+        until generation 1 exists (the engine publishes every tenant
+        before forking workers, so this only waits out a construction
+        race).
+        """
+        snapshot = self.control.read()
+        while snapshot.generation == 0:
+            time.sleep(0.001)
+            snapshot = self.control.read()
+        if snapshot.generation == self.generation:
+            return snapshot, False, 0.0
+        while True:
+            try:
+                new_segment, new_packed = attach_generation(
+                    self.slot.prefix, snapshot, plan, shard
+                )
+                break
+            except FileNotFoundError:
+                # Raced a retirement; the control block now names a
+                # newer generation — adopt that one instead.
+                snapshot = self.control.read()
+        self.packed = new_packed
+        if self.segment is not None:
+            self.segment.close()
+        self.segment = new_segment
+        self.generation = snapshot.generation
+        lag_s = max(
+            0.0, (time.monotonic_ns() - snapshot.publish_ns) / 1e9
+        )
+        return snapshot, True, lag_s
+
+    def close(self) -> None:
+        self.packed = None  # drop views into the mappings first
+        if self.segment is not None:
+            self.segment.close()
+        if self.codebook is not None:
+            self.codebook.close()
+        self.control.close()
+
+
 def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
     """Entry point of one serving-worker process.
 
@@ -143,18 +214,20 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
     reported as an ``("error", worker_id, traceback)`` message so the
     engine can surface it instead of hanging on lost results.
     """
-    control = ControlBlock.attach(cfg.control_name)
+    tenants: list[_TenantState] = []
+    for slot in cfg.tenants:
+        control = ControlBlock.attach(slot.control_name)
+        codebook = None
+        if slot.codebook_name is not None:
+            codebook = ShmArray.attach(
+                slot.codebook_name,
+                (slot.num_features, slot.levels, slot.words),
+                np.uint64,
+            )
+        tenants.append(_TenantState(slot, control, codebook))
     ring = ShmArray.attach(
         cfg.ring_name, (cfg.ring_slots, cfg.slot_bytes // 8), np.uint64
     )
-    codebook = None
-    if cfg.codebook_name is not None:
-        words = -(-cfg.dim // 64)
-        codebook = ShmArray.attach(
-            cfg.codebook_name,
-            (cfg.num_features, cfg.levels, words),
-            np.uint64,
-        )
     telemetry_segment = None
     telemetry = None
     if cfg.telemetry_prefix is not None:
@@ -171,11 +244,12 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
             telemetry_segment.array, worker_id,
             pid=os.getpid(), started_ns=time.monotonic_ns(),
         )
-    # Sharded engines map worker -> shard by residue; each worker
-    # attaches only its shard's generation segments and serves exactly
-    # one frame per batch (frame compositions must match across shards
-    # for the engine's combine, so cross-frame coalescing is the
-    # engine's job — it sizes frames up instead).
+    # Sharded engines (single-tenant by construction) map worker ->
+    # shard by residue; each worker attaches only its shard's generation
+    # segments and serves exactly one frame per batch (frame
+    # compositions must match across shards for the engine's combine,
+    # so cross-frame coalescing is the engine's job — it sizes frames
+    # up instead).
     sharded = cfg.num_shards > 1
     plan = (
         ShardPlan(kind=cfg.shard_kind, bounds=cfg.shard_bounds)
@@ -183,16 +257,12 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
         else None
     )
     shard = worker_id % cfg.num_shards if sharded else -1
-    full_words = -(-cfg.dim // 64)
     if plan is not None and plan.kind == "word":
         word_lo, word_hi = plan.bounds[shard]
     else:
-        word_lo, word_hi = 0, full_words
+        word_lo, word_hi = 0, tenants[0].slot.words
     if telemetry is not None and sharded:
         telemetry.set_shard(shard)
-    segment = None
-    packed = None
-    generation = 0
     batch_index = 0
     try:
         while True:
@@ -219,87 +289,89 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                     batch_index, len(requests), max(0, batch_trace_id),
                 )
 
-            # Adopt the newest published generation before serving.
-            snapshot = control.read()
-            while snapshot.generation == 0:  # engine publishes before start
-                time.sleep(0.001)
-                snapshot = control.read()
+            # Adopt the newest published generation of every tenant the
+            # batch references, before serving any of it.
+            referenced = sorted({r[6] for r in requests})
             adopted = False
             adoption_lag_s = 0.0
-            if snapshot.generation != generation:
-                while True:
-                    try:
-                        new_segment, new_packed = attach_generation(
-                            cfg.prefix, snapshot, plan,
-                            shard if sharded else None,
+            staleness_s = 0.0
+            degraded = False
+            for idx in referenced:
+                state = tenants[idx]
+                snapshot, t_adopted, t_lag = state.adopt(
+                    plan, shard if sharded else None
+                )
+                if t_adopted:
+                    adopted = True
+                    adoption_lag_s = max(adoption_lag_s, t_lag)
+                    if telemetry is not None:
+                        telemetry.record_event(
+                            EV_ADOPT, time.monotonic_ns(),
+                            state.generation, state.packed.version,
+                            int(t_lag * 1e9),
                         )
-                        break
-                    except FileNotFoundError:
-                        # Raced a retirement; the control block now names
-                        # a newer generation — adopt that one instead.
-                        snapshot = control.read()
-                packed = new_packed
-                if segment is not None:
-                    segment.close()
-                segment = new_segment
-                generation = snapshot.generation
-                adopted = True
-                adoption_lag_s = max(
-                    0.0, (time.monotonic_ns() - snapshot.publish_ns) / 1e9
-                )
-                if telemetry is not None:
-                    telemetry.record_event(
-                        EV_ADOPT, time.monotonic_ns(),
-                        generation, packed.version,
-                        int(adoption_lag_s * 1e9),
-                    )
-            staleness_s = (
-                max(0.0, (now - snapshot.heartbeat_ns) / 1e9)
-                if snapshot.writer_active
-                else 0.0
-            )
-            degraded = (
-                snapshot.writer_active
-                and now - snapshot.heartbeat_ns > cfg.stall_ns
-            )
-            if degraded and telemetry is not None:
-                telemetry.record_event(
-                    EV_STALE_SERVE, now, generation, int(staleness_s * 1e9)
-                )
+                if snapshot.writer_active:
+                    t_stale = max(0.0, (now - snapshot.heartbeat_ns) / 1e9)
+                    staleness_s = max(staleness_s, t_stale)
+                    if now - snapshot.heartbeat_ns > cfg.stall_ns:
+                        degraded = True
+                        if telemetry is not None:
+                            telemetry.record_event(
+                                EV_STALE_SERVE, now,
+                                state.generation, int(t_stale * 1e9),
+                            )
 
             # Partition on deadlines, then serve the live requests with
-            # one coalesced distance computation.
-            live = []  # (req_id, n_queries, kind, slot)
+            # one coalesced distance computation per tenant.
+            by_tenant = {idx: [] for idx in referenced}
             expired = []  # (req_id, trace_id)
-            for req_id, slot, n_queries, deadline_ns, kind, trace_id in (
-                requests
-            ):
+            for (req_id, slot, n_queries, deadline_ns, kind, trace_id,
+                 tenant_idx) in requests:
                 if deadline_ns and now > deadline_ns:
                     expired.append((req_id, trace_id))
                 else:
-                    live.append((req_id, slot, n_queries, kind))
-            total_queries = sum(n for _, _, n, _ in live)
+                    by_tenant[tenant_idx].append(
+                        (req_id, slot, n_queries, kind)
+                    )
+            total_queries = 0
+            bytes_scanned = 0
+            tenants_served = 0
             outputs = []  # (req_id, predictions | None, expired?)
             table = None  # sharded mode ships the distance table instead
-            if live:
+            live = []  # live rows in tenant-grouped order (sharded path)
+            for idx in referenced:
+                group = by_tenant[idx]
+                if not group:
+                    continue
+                tenants_served += 1
+                state = tenants[idx]
+                group_queries = sum(n for _, _, n, _ in group)
+                total_queries += group_queries
                 query_words = _gather_queries(
-                    ring, live, full_words, cfg, codebook, word_lo, word_hi
+                    ring, group, state.slot, state.codebook,
+                    word_lo, word_hi,
+                )
+                # Model bytes streamed: every query scans the tenant's
+                # attached word matrix once — what sharding shrinks.
+                bytes_scanned += group_queries * int(
+                    state.packed.words.nbytes
                 )
                 if sharded:
                     # Partial table only: a class shard's columns cover
                     # its class rows, a word shard's are partial
                     # popcounts over its word columns.  One contiguous
                     # array per frame — the engine combines and argmins.
-                    table = packed.distances(query_words)
+                    table = state.packed.distances(query_words)
+                    live.extend(group)
                 else:
                     # Min-distance argmin matches HDCModel.predict's
                     # argmax over similarities, including first-index
                     # tie order.
                     predictions = np.argmin(
-                        packed.distances(query_words), axis=1
+                        state.packed.distances(query_words), axis=1
                     ).astype(np.int64)
                     offset = 0
-                    for req_id, _, n_queries, _ in live:
+                    for req_id, _, n_queries, _ in group:
                         outputs.append(
                             (req_id,
                              predictions[offset : offset + n_queries],
@@ -315,17 +387,19 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                     )
 
             duration_s = time.perf_counter() - t0
-            # Model bytes streamed for this batch: every query scans the
-            # attached word matrix once — the quantity sharding shrinks.
-            bytes_scanned = total_queries * int(packed.words.nbytes)
+            # Generation/version reported for the lowest-index tenant
+            # the batch touched (the only tenant, pre-multi-tenant).
+            lead = tenants[referenced[0]]
             event = {
                 "worker_id": worker_id,
                 "batch_index": batch_index,
                 "requests": len(requests),
                 "queries": total_queries,
                 "expired": len(expired),
-                "generation": generation,
-                "model_version": packed.version,
+                "generation": lead.generation,
+                "model_version": (
+                    lead.packed.version if lead.packed is not None else 0
+                ),
                 "adopted": adopted,
                 "adoption_lag_s": adoption_lag_s,
                 "staleness_s": staleness_s,
@@ -335,6 +409,7 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 "shard": shard,
                 "dispatch_wait_s": wait_s,
                 "bytes_scanned": bytes_scanned,
+                "tenants": max(1, tenants_served),
             }
             if telemetry is not None:
                 end_ns = time.monotonic_ns()
@@ -354,7 +429,8 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
                 )
             if sharded:
                 result_q.put((
-                    "partials", worker_id, frame_seq, shard, generation,
+                    "partials", worker_id, frame_seq, shard,
+                    tenants[0].generation,
                     [(req_id, n) for req_id, _, n, _ in live],
                     [req_id for req_id, _ in expired],
                     table, event,
@@ -367,14 +443,10 @@ def worker_main(worker_id: int, cfg, request_q, result_q) -> None:
     except Exception:  # pragma: no cover - defensive reporting path
         result_q.put(("error", worker_id, traceback.format_exc()))
     finally:
-        packed = None  # drop views into the mappings before closing them
         telemetry = None
-        if segment is not None:
-            segment.close()
-        if codebook is not None:
-            codebook.close()
+        for state in tenants:
+            state.close()
         if telemetry_segment is not None:
             telemetry_segment.close()
         ring.close()
-        control.close()
         result_q.close()

@@ -1,0 +1,158 @@
+"""WorkerAutoscaler policy tests, tick-driven (no timer thread)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import make_prototype_classification
+from repro.serve import ServeRequest, ServingEngine
+from repro.serve.autoscale import WorkerAutoscaler
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    task = make_prototype_classification(
+        "scale", num_features=10, num_classes=4, num_train=120,
+        num_test=32, seed=17,
+    )
+    encoder = Encoder(num_features=10, dim=512, levels=8, seed=18)
+    clf = HDCClassifier(encoder, num_classes=4, epochs=1, seed=19).fit(
+        task.train_x, task.train_y
+    )
+    return task, clf
+
+
+def _load(engine, words, n):
+    futures = [
+        engine.submit(ServeRequest(words), flush=False) for _ in range(n)
+    ]
+    engine.flush()
+    for future in futures:
+        future.result()
+
+
+class TestPolicy:
+    def test_scales_up_on_sustained_wait_then_down_on_idle(self, fitted):
+        task, clf = fitted
+        words = clf.encoder.encode_packed(task.test_x[:8]).words
+        with ServingEngine(
+            clf, num_workers=1, min_workers=1, max_workers=3,
+            ring_slots=128,
+        ) as engine:
+            scaler = WorkerAutoscaler(
+                engine,
+                scale_up_p95_s=1e-7,  # any measured wait counts as load
+                scale_down_p95_s=5e-8,
+                sustain_up=2,
+                sustain_down=3,
+                cooldown_s=0.0,
+            )
+            ups = 0
+            for _ in range(12):
+                _load(engine, words, 40)
+                event = scaler.tick()
+                if event and event["action"] == "up":
+                    ups += 1
+            assert ups >= 1
+            assert engine.live_workers > 1
+            assert engine.live_workers <= 3  # bounded by max_workers
+            # Idle windows (no new batches) shrink the pool back down.
+            downs = 0
+            for _ in range(12):
+                event = scaler.tick()
+                if event and event["action"] == "down":
+                    downs += 1
+            assert downs >= 1
+            assert engine.live_workers >= 1  # bounded by min_workers
+            kinds = {e["action"] for e in scaler.events}
+            assert kinds == {"up", "down"}
+            # Scaled pool still serves correctly.
+            result = engine.submit(ServeRequest(words)).result()
+            np.testing.assert_array_equal(
+                result.predictions, clf.predict(task.test_x[:8])
+            )
+
+    def test_never_exceeds_max_workers(self, fitted):
+        task, clf = fitted
+        words = clf.encoder.encode_packed(task.test_x[:8]).words
+        with ServingEngine(
+            clf, num_workers=2, min_workers=1, max_workers=2,
+            ring_slots=128,
+        ) as engine:
+            scaler = WorkerAutoscaler(
+                engine, scale_up_p95_s=1e-9, scale_down_p95_s=1e-10,
+                sustain_up=1, cooldown_s=0.0,
+            )
+            for _ in range(6):
+                _load(engine, words, 30)
+                scaler.tick()
+            assert engine.live_workers <= 2
+            assert all(e["action"] != "up" for e in scaler.events)
+
+    def test_never_drops_below_min_workers(self, fitted):
+        task, clf = fitted
+        with ServingEngine(
+            clf, num_workers=2, min_workers=2, max_workers=4,
+        ) as engine:
+            scaler = WorkerAutoscaler(
+                engine, sustain_down=1, cooldown_s=0.0,
+            )
+            for _ in range(6):
+                assert scaler.tick() is None  # at the floor: no action
+            assert engine.live_workers == 2
+
+    def test_threaded_lifecycle(self, fitted):
+        task, clf = fitted
+        with ServingEngine(clf, num_workers=1, max_workers=2) as engine:
+            with WorkerAutoscaler(engine, interval_s=0.02).start():
+                words = clf.encoder.encode_packed(task.test_x[:4]).words
+                engine.submit(ServeRequest(words)).result()
+
+    def test_requires_telemetry(self, fitted):
+        task, clf = fitted
+        engine = ServingEngine(clf, num_workers=1, telemetry=False)
+        try:
+            with pytest.raises(ValueError, match="telemetry"):
+                WorkerAutoscaler(engine)
+        finally:
+            engine.stop()
+
+    def test_threshold_validation(self, fitted):
+        task, clf = fitted
+        with ServingEngine(clf, num_workers=1) as engine:
+            with pytest.raises(ValueError, match="scale_down_p95_s"):
+                WorkerAutoscaler(
+                    engine, scale_up_p95_s=0.001, scale_down_p95_s=0.01
+                )
+
+
+class TestEngineElasticity:
+    def test_add_worker_respects_max(self, fitted):
+        task, clf = fitted
+        with ServingEngine(
+            clf, num_workers=1, max_workers=2
+        ) as engine:
+            engine.add_worker()
+            with pytest.raises(RuntimeError, match="max_workers"):
+                engine.add_worker()
+
+    def test_remove_worker_serves_in_hand_work(self, fitted):
+        task, clf = fitted
+        words = clf.encoder.encode_packed(task.test_x[:8]).words
+        with ServingEngine(
+            clf, num_workers=3, min_workers=1, ring_slots=64
+        ) as engine:
+            futures = [
+                engine.submit(ServeRequest(words), flush=False)
+                for _ in range(30)
+            ]
+            engine.flush()
+            retired = engine.remove_worker()
+            assert retired is not None
+            for future in futures:
+                result = future.result()
+                np.testing.assert_array_equal(
+                    result.predictions, clf.predict(task.test_x[:8])
+                )
+            assert engine.live_workers == 2

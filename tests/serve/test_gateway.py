@@ -1,0 +1,336 @@
+"""Gateway end-to-end tests: multi-tenant serving over TCP, admission
+control shedding, per-tenant hot-swap isolation, and worker-SIGKILL
+re-dispatch underneath a live gateway."""
+
+import asyncio
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import make_prototype_classification
+from repro.serve import (
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayRejected,
+    ServingEngine,
+    TenantRegistry,
+)
+from repro.serve.gateway import AdmissionController, GatewayServer, TokenBucket
+from repro.serve.protocol import RejectCode
+
+
+def _fitted(seed, num_features=10, dim=512):
+    task = make_prototype_classification(
+        f"gw{seed}", num_features=num_features, num_classes=4,
+        num_train=120, num_test=32, seed=seed,
+    )
+    encoder = Encoder(
+        num_features=num_features, dim=dim, levels=8, seed=seed + 1
+    )
+    clf = HDCClassifier(
+        encoder, num_classes=4, epochs=1, seed=seed + 2
+    ).fit(task.train_x, task.train_y)
+    return task, clf
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """Two tenants behind one engine behind one gateway."""
+    task_a, clf_a = _fitted(21)
+    task_b, clf_b = _fitted(33)
+    registry = TenantRegistry()
+    registry.add("alpha", clf_a)
+    registry.add("beta", clf_b)
+    engine = ServingEngine(registry, num_workers=2, ring_slots=32)
+    server = GatewayServer(engine).start()
+    yield {
+        "engine": engine,
+        "server": server,
+        "alpha": (task_a, clf_a),
+        "beta": (task_b, clf_b),
+    }
+    server.stop()
+    engine.stop()
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        now = time.monotonic()
+        assert bucket.try_take(now)
+        assert bucket.try_take(now)
+        assert not bucket.try_take(now)  # burst exhausted
+        assert bucket.try_take(now + 0.2)  # 0.2s * 10/s = 2 tokens back
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate and burst"):
+            TokenBucket(rate=0, burst=1)
+
+
+class TestAdmissionController:
+    def test_order_of_refusals(self):
+        ctrl = AdmissionController(
+            ["a"], max_inflight=1, rate_limit=1000.0
+        )
+        assert ctrl.admit("ghost") == RejectCode.UNKNOWN_TENANT
+        assert ctrl.admit("a") is None
+        assert ctrl.admit("a") == RejectCode.OVERLOADED  # in-flight cap
+        ctrl.release()
+        assert ctrl.admit("a") is None
+        ctrl.release()
+        ctrl.drain()
+        assert ctrl.admit("a") == RejectCode.SHUTTING_DOWN
+        assert ctrl.shed[RejectCode.UNKNOWN_TENANT] == 1
+        assert ctrl.shed_total == 3
+        assert ctrl.admitted == 2
+
+    def test_rate_limit_shed(self):
+        ctrl = AdmissionController(
+            ["a"], max_inflight=100, rate_limit=5.0, burst=2.0
+        )
+        codes = [ctrl.admit("a") for _ in range(4)]
+        assert codes[:2] == [None, None]
+        assert RejectCode.RATE_LIMITED in codes[2:]
+
+
+class TestGatewayServing:
+    def test_sync_client_both_tenants_match_references(self, stack):
+        server = stack["server"]
+        with GatewayClient("127.0.0.1", server.port) as client:
+            client.ping()
+            for name in ("alpha", "beta"):
+                task, clf = stack[name]
+                words = clf.encoder.encode_packed(task.test_x[:8]).words
+                np.testing.assert_array_equal(
+                    client.predict(words, tenant=name),
+                    clf.predict(task.test_x[:8]),
+                )
+                np.testing.assert_array_equal(
+                    client.predict(
+                        task.test_x[:8], tenant=name, features=True
+                    ),
+                    clf.predict(task.test_x[:8]),
+                )
+
+    def test_default_tenant_is_first(self, stack):
+        server = stack["server"]
+        task, clf = stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:4]).words
+        with GatewayClient("127.0.0.1", server.port) as client:
+            np.testing.assert_array_equal(
+                client.predict(words),  # no tenant named
+                clf.predict(task.test_x[:4]),
+            )
+
+    def test_unknown_tenant_typed_reject(self, stack):
+        server = stack["server"]
+        task, clf = stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        with GatewayClient("127.0.0.1", server.port) as client:
+            with pytest.raises(GatewayRejected) as info:
+                client.predict(words, tenant="ghost")
+        assert info.value.code == RejectCode.UNKNOWN_TENANT
+
+    def test_async_client_pipelines_mixed_tenants(self, stack):
+        server = stack["server"]
+
+        async def run():
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", server.port
+            )
+            coros = []
+            expected = []
+            for name in ("alpha", "beta") * 4:
+                task, clf = stack[name]
+                words = clf.encoder.encode_packed(task.test_x[:4]).words
+                coros.append(client.predict(words, tenant=name))
+                expected.append(clf.predict(task.test_x[:4]))
+            results = await asyncio.gather(*coros)
+            await client.close()
+            return results, expected
+
+        results, expected = asyncio.run(run())
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_hot_swap_one_tenant_leaves_other_untouched(self, stack):
+        """Publishing generations for beta never perturbs alpha."""
+        server = stack["server"]
+        engine = stack["engine"]
+        task_a, clf_a = stack["alpha"]
+        task_b, clf_b = stack["beta"]
+        words_a = clf_a.encoder.encode_packed(task_a.test_x[:8]).words
+        ref_a = clf_a.predict(task_a.test_x[:8])
+        publisher = engine.publisher_for("beta")
+        model_b = clf_b._require_model()
+        with GatewayClient("127.0.0.1", server.port) as client:
+            for _ in range(3):
+                publisher.publish(model_b)  # hot-swap beta repeatedly
+                np.testing.assert_array_equal(
+                    client.predict(words_a, tenant="alpha"), ref_a
+                )
+            # Beta itself still serves correctly on its newest snapshot.
+            words_b = clf_b.encoder.encode_packed(task_b.test_x[:8]).words
+            np.testing.assert_array_equal(
+                client.predict(words_b, tenant="beta"),
+                clf_b.predict(task_b.test_x[:8]),
+            )
+        assert engine.publisher_for("alpha").generation == 1
+        assert publisher.generation > 1
+
+
+class TestShedding:
+    def test_zero_shed_at_low_load(self):
+        task, clf = _fitted(55)
+        engine = ServingEngine(clf, num_workers=1)
+        server = GatewayServer(engine, rate_limit=10_000.0).start()
+        words = clf.encoder.encode_packed(task.test_x[:4]).words
+        try:
+            with GatewayClient("127.0.0.1", server.port) as client:
+                for _ in range(20):
+                    client.predict(words)
+            assert server.admission.shed_total == 0
+            assert server.admission.admitted == 20
+        finally:
+            server.stop()
+            engine.stop()
+
+    def test_rate_limit_sheds_typed(self):
+        task, clf = _fitted(56)
+        engine = ServingEngine(clf, num_workers=1)
+        server = GatewayServer(
+            engine, rate_limit=1.0, burst=2.0
+        ).start()
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        rejected = []
+        try:
+            with GatewayClient("127.0.0.1", server.port) as client:
+                for _ in range(6):
+                    try:
+                        client.predict(words)
+                    except GatewayRejected as exc:
+                        rejected.append(exc.code)
+            assert rejected, "expected the 2-token burst to exhaust"
+            assert set(rejected) == {RejectCode.RATE_LIMITED}
+            assert (
+                server.admission.shed[RejectCode.RATE_LIMITED]
+                == len(rejected)
+            )
+        finally:
+            server.stop()
+            engine.stop()
+
+    def test_overload_sheds_when_inflight_cap_hit(self):
+        task, clf = _fitted(57)
+        # Tiny in-flight cap + async pipelining = guaranteed overlap.
+        engine = ServingEngine(clf, num_workers=1, ring_slots=2)
+        server = GatewayServer(engine, max_inflight=1).start()
+        words = clf.encoder.encode_packed(task.test_x[:4]).words
+
+        async def flood():
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", server.port
+            )
+            outcomes = await asyncio.gather(
+                *[client.predict(words) for _ in range(30)],
+                return_exceptions=True,
+            )
+            await client.close()
+            return outcomes
+
+        try:
+            outcomes = asyncio.run(flood())
+            served = [o for o in outcomes if isinstance(o, np.ndarray)]
+            shed = [o for o in outcomes if isinstance(o, GatewayRejected)]
+            assert served, "some requests must get through"
+            for got in served:
+                np.testing.assert_array_equal(
+                    got, clf.predict(task.test_x[:4])
+                )
+            assert shed, "the in-flight cap must shed under pipelining"
+            assert {exc.code for exc in shed} == {RejectCode.OVERLOADED}
+            assert (
+                server.admission.shed[RejectCode.OVERLOADED] == len(shed)
+            )
+        finally:
+            server.stop()
+            engine.stop()
+
+    def test_draining_gateway_sheds_shutting_down(self):
+        task, clf = _fitted(58)
+        engine = ServingEngine(clf, num_workers=1)
+        server = GatewayServer(engine).start()
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        try:
+            with GatewayClient("127.0.0.1", server.port) as client:
+                client.predict(words)
+                server.admission.drain()
+                with pytest.raises(GatewayRejected) as info:
+                    client.predict(words)
+            assert info.value.code == RejectCode.SHUTTING_DOWN
+        finally:
+            server.stop()
+            engine.stop()
+
+
+class TestCrashUnderGateway:
+    def test_sigkilled_worker_requests_redispatch_through_gateway(self):
+        """SIGKILL one worker mid-flight; the gateway still answers.
+
+        The engine re-routes the dead worker's unserved ring entries to
+        the survivor, so every admitted gateway request resolves with
+        correct predictions — no client ever hangs.
+        """
+        task, clf = _fitted(59)
+        engine = ServingEngine(clf, num_workers=2, ring_slots=64)
+        server = GatewayServer(engine).start()
+        words = clf.encoder.encode_packed(task.test_x[:4]).words
+        expected = clf.predict(task.test_x[:4])
+        prefix = engine.config.prefix
+
+        async def drive():
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", server.port
+            )
+            # Killing after the submits are in flight: some land on the
+            # doomed worker and must be re-dispatched.
+            first = asyncio.gather(
+                *[client.predict(words) for _ in range(24)]
+            )
+            os.kill(engine.workers[0].pid, signal.SIGKILL)
+            results = list(await first)
+            # The gateway keeps serving on the survivor afterwards.
+            results.extend(await asyncio.gather(
+                *[client.predict(words) for _ in range(8)]
+            ))
+            await client.close()
+            return results
+
+        try:
+            results = drive_results = asyncio.run(drive())
+            assert len(drive_results) == 32
+            for got in results:
+                np.testing.assert_array_equal(got, expected)
+        finally:
+            server.stop()
+            engine.stop()
+        assert glob.glob(f"/dev/shm/{prefix}*") == []
+
+
+class TestGatewayLifecycle:
+    def test_stop_is_idempotent(self):
+        task, clf = _fitted(61)
+        engine = ServingEngine(clf, num_workers=1)
+        server = GatewayServer(engine).start()
+        server.stop()
+        server.stop()
+        engine.stop()
+
+    def test_port_zero_picks_free_port(self, stack):
+        assert stack["server"].port > 0

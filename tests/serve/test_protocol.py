@@ -1,0 +1,233 @@
+"""Frame-protocol tests: round-trip properties, typed rejection, framing.
+
+The satellite contract: encode/decode round-trips under arbitrary
+chunking (hypothesis), truncated/oversized/garbage-header frames raise
+*typed* errors, and a bad frame never costs the stream more bytes than
+the frame itself — when the framing is sound, the next frame still
+decodes.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.protocol import (
+    MAGIC,
+    VERSION,
+    BadFrame,
+    BadMagic,
+    BadVersion,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    FrameTooLarge,
+    ProtocolError,
+    decode_array,
+    decode_predictions,
+    decode_status,
+    encode_array,
+    encode_frame,
+    encode_predictions,
+    encode_status,
+)
+
+U64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+tenants = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    max_size=40,
+)
+
+frames = st.builds(
+    Frame,
+    st.sampled_from(list(FrameKind)),
+    tenant=tenants,
+    trace_id=U64,
+    deadline_ns=U64,
+    payload=st.binary(max_size=512),
+)
+
+
+class TestRoundTrip:
+    @given(frames)
+    def test_single_frame(self, frame):
+        decoded = FrameDecoder().feed(encode_frame(frame))
+        assert decoded == [frame]
+
+    @given(st.lists(frames, min_size=1, max_size=6), st.randoms())
+    def test_many_frames_arbitrary_chunking(self, batch, rnd):
+        wire = b"".join(encode_frame(f) for f in batch)
+        decoder = FrameDecoder()
+        out = []
+        start = 0
+        while start < len(wire):
+            end = rnd.randint(start + 1, len(wire))
+            out.extend(decoder.feed(wire[start:end]))
+            start = end
+        assert out == batch
+        assert decoder.buffered == 0
+
+    @given(frames)
+    def test_byte_at_a_time(self, frame):
+        decoder = FrameDecoder()
+        out = []
+        for byte in encode_frame(frame):
+            out.extend(decoder.feed(bytes([byte])))
+        assert out == [frame]
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_trace_id_width(self, trace_id):
+        frame = Frame(FrameKind.PING, trace_id=trace_id)
+        assert FrameDecoder().feed(encode_frame(frame))[0].trace_id == \
+            trace_id
+
+
+class TestPayloadCodecs:
+    @given(
+        st.sampled_from([FrameKind.PACKED, FrameKind.FEATURES]),
+        st.integers(1, 8),
+        st.integers(1, 16),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_array_round_trip(self, kind, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        if kind == FrameKind.PACKED:
+            array = rng.integers(
+                0, 2**63, size=(rows, cols), dtype=np.uint64
+            )
+        else:
+            array = rng.standard_normal((rows, cols))
+        out = decode_array(kind, encode_array(kind, array))
+        assert out.shape == array.shape
+        np.testing.assert_array_equal(out, array)
+
+    def test_array_must_be_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            encode_array(FrameKind.PACKED, np.zeros(4, dtype=np.uint64))
+
+    def test_array_body_length_mismatch_is_typed(self):
+        body = encode_array(
+            FrameKind.PACKED, np.zeros((2, 3), dtype=np.uint64)
+        )
+        with pytest.raises(BadFrame, match="claims shape"):
+            decode_array(FrameKind.PACKED, body[:-8])
+        with pytest.raises(BadFrame, match="dims header"):
+            decode_array(FrameKind.PACKED, b"\x00")
+
+    @given(st.lists(st.integers(-2**60, 2**60), max_size=32))
+    def test_predictions_round_trip(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        np.testing.assert_array_equal(
+            decode_predictions(encode_predictions(array)), array
+        )
+
+    def test_predictions_mismatch_is_typed(self):
+        body = encode_predictions(np.arange(4))
+        with pytest.raises(BadFrame, match="claims 4 predictions"):
+            decode_predictions(body[:-4])
+
+    @given(st.integers(1, 255), st.text(max_size=64))
+    def test_status_round_trip(self, code, detail):
+        got_code, got_detail = decode_status(encode_status(code, detail))
+        assert got_code == code
+        assert got_detail == detail
+
+    def test_empty_status_is_typed(self):
+        with pytest.raises(BadFrame, match="code byte"):
+            decode_status(b"")
+
+
+def _raw_frame(
+    *,
+    magic=MAGIC,
+    version=VERSION,
+    kind=int(FrameKind.PING),
+    tenant=b"",
+    tenant_len=None,
+    payload=b"",
+    length=None,
+) -> bytes:
+    header = struct.pack(
+        ">HBBHHQQ", magic, version, kind,
+        len(tenant) if tenant_len is None else tenant_len,
+        0, 7, 0,
+    )
+    body = header + tenant + payload
+    return struct.pack(">I", len(body) if length is None else length) + body
+
+
+class TestMalformedFrames:
+    """Typed rejection; sound-framing errors cost exactly one frame."""
+
+    def test_garbage_magic(self):
+        with pytest.raises(BadMagic, match="0x5247"):
+            FrameDecoder().feed(_raw_frame(magic=0xDEAD))
+
+    def test_unsupported_version(self):
+        with pytest.raises(BadVersion, match="version 9"):
+            FrameDecoder().feed(_raw_frame(version=9))
+
+    def test_oversized_length_prefix_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge, match="exceeds cap 1024"):
+            decoder.feed(struct.pack(">I", 1 << 30))
+
+    def test_length_shorter_than_header(self):
+        with pytest.raises(BadFrame, match="shorter than"):
+            FrameDecoder().feed(struct.pack(">I", 3) + b"abc")
+
+    def test_unknown_kind_consumes_exactly_the_bad_frame(self):
+        good = Frame(FrameKind.PING, trace_id=42)
+        wire = _raw_frame(kind=200) + encode_frame(good)
+        decoder = FrameDecoder()
+        with pytest.raises(BadFrame, match="unknown frame kind 200"):
+            decoder.feed(wire)
+        # No bytes past the bad frame were consumed: the next feed
+        # yields the following frame intact.
+        assert decoder.feed(b"") == [good]
+
+    def test_tenant_len_overrun_consumes_exactly_the_bad_frame(self):
+        good = Frame(FrameKind.PONG, tenant="t")
+        wire = _raw_frame(tenant=b"ab", tenant_len=999) + \
+            encode_frame(good)
+        decoder = FrameDecoder()
+        with pytest.raises(BadFrame, match="overruns"):
+            decoder.feed(wire)
+        assert decoder.feed(b"") == [good]
+
+    def test_invalid_utf8_tenant_is_typed(self):
+        decoder = FrameDecoder()
+        with pytest.raises(BadFrame, match="UTF-8"):
+            decoder.feed(_raw_frame(tenant=b"\xff\xfe"))
+        assert decoder.feed(encode_frame(Frame(FrameKind.PING))) == [
+            Frame(FrameKind.PING)
+        ]
+
+    def test_truncated_frame_waits_rather_than_errors(self):
+        wire = encode_frame(Frame(FrameKind.PING, trace_id=9))
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-3]) == []
+        assert decoder.buffered == len(wire) - 3
+        assert decoder.feed(wire[-3:])[0].trace_id == 9
+
+    def test_poisoned_decoder_refuses_further_input(self):
+        decoder = FrameDecoder()
+        with pytest.raises(BadMagic):
+            decoder.feed(_raw_frame(magic=0))
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(encode_frame(Frame(FrameKind.PING)))
+
+    @given(st.binary(min_size=4, max_size=64))
+    def test_arbitrary_garbage_never_decodes_silently(self, junk):
+        """Random bytes either wait for more input or raise typed."""
+        decoder = FrameDecoder(max_frame_bytes=1 << 16)
+        try:
+            frames = decoder.feed(junk)
+        except ProtocolError:
+            return
+        # Anything decoded must have carried the real magic + version.
+        for frame in frames:
+            assert isinstance(frame, Frame)

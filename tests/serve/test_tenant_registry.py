@@ -1,0 +1,98 @@
+"""TenantRegistry validation, freeze-on-attach, and lookup semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier, HDCModel
+from repro.datasets.synthetic import make_prototype_classification
+from repro.serve import TenantRegistry
+from repro.serve.registry import DEFAULT_TENANT, Tenant
+
+
+def _model(dim=256, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return HDCModel(rng.integers(0, 2, size=(k, dim), dtype=np.uint8))
+
+
+class TestAdd:
+    def test_add_and_lookup(self):
+        registry = TenantRegistry()
+        tenant = registry.add("alpha", _model())
+        assert isinstance(tenant, Tenant)
+        assert "alpha" in registry
+        assert registry["alpha"].model is tenant.model
+        assert registry.ids() == ("alpha",)
+        assert len(registry) == 1
+
+    def test_registration_order_is_slot_order(self):
+        registry = TenantRegistry()
+        for name in ("zebra", "alpha", "mid"):
+            registry.add(name, _model())
+        assert registry.ids() == ("zebra", "alpha", "mid")
+
+    def test_duplicate_rejected(self):
+        registry = TenantRegistry.single("a", _model())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("a", _model())
+
+    @pytest.mark.parametrize(
+        "bad", ["", "-leading", ".dot", "has space", "x" * 65, "é"]
+    )
+    def test_invalid_ids_rejected(self, bad):
+        with pytest.raises(ValueError, match="tenant_id"):
+            TenantRegistry().add(bad, _model())
+
+    def test_classifier_contributes_model_and_encoder(self):
+        task = make_prototype_classification(
+            "reg", num_features=8, num_classes=3, num_train=60,
+            num_test=12, seed=1,
+        )
+        encoder = Encoder(num_features=8, dim=256, levels=4, seed=2)
+        clf = HDCClassifier(encoder, num_classes=3, epochs=1, seed=3).fit(
+            task.train_x, task.train_y
+        )
+        tenant = TenantRegistry().add("c", clf)
+        assert tenant.encoder is encoder
+        assert isinstance(tenant.model, HDCModel)
+
+    def test_encoder_dim_mismatch_rejected(self):
+        encoder = Encoder(num_features=8, dim=128, levels=4, seed=2)
+        with pytest.raises(ValueError, match="dim"):
+            TenantRegistry().add("a", _model(dim=256), encoder=encoder)
+
+    def test_default_tenant_name(self):
+        registry = TenantRegistry.single(DEFAULT_TENANT, _model())
+        assert registry.ids() == ("default",)
+
+
+class TestFreeze:
+    def test_attach_freezes_and_assigns_indices(self):
+        registry = TenantRegistry()
+        registry.add("a", _model(seed=1))
+        registry.add("b", _model(seed=2))
+        tenants = registry._attach()
+        assert registry.attached
+        assert [t.index for t in tenants] == [0, 1]
+        with pytest.raises(RuntimeError, match="frozen"):
+            registry.add("c", _model())
+        with pytest.raises(RuntimeError, match="frozen"):
+            registry.remove("a")
+
+    def test_double_attach_rejected(self):
+        registry = TenantRegistry.single("a", _model())
+        registry._attach()
+        with pytest.raises(RuntimeError, match="already attached"):
+            registry._attach()
+
+    def test_empty_registry_cannot_attach(self):
+        with pytest.raises(ValueError, match="no tenants"):
+            TenantRegistry()._attach()
+
+    def test_remove_before_attach(self):
+        registry = TenantRegistry()
+        registry.add("a", _model())
+        registry.remove("a")
+        assert "a" not in registry
+        with pytest.raises(KeyError, match="unknown tenant"):
+            registry.remove("a")
