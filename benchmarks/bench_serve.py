@@ -467,6 +467,7 @@ def bench_live_recovery(num_classes: int, num_features: int, dim: int,
 def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
                   error_rate: float, passes: int, num_workers: int = 4,
                   max_workers: int = 6, min_soak_s: float = 3.0,
+                  frame_batch: int = 1, sub_legs: bool = True,
                   registry: MetricsRegistry | None = None) -> dict:
     """Multi-tenant soak through the TCP gateway.
 
@@ -477,20 +478,34 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
     :class:`WorkerAutoscaler` running.  Every non-attacked tenant's
     response is checked bit-identical to its sequential reference on
     every round (hot-swap isolation); tenant 0 must match its own
-    sequential attack-and-recover reference once recovery lands.  Two
-    admission facts are asserted and recorded: zero shed under the
-    generously-provisioned soak, and a non-zero typed shed counter
-    under a deliberately tiny in-flight cap (the overload sub-leg).
+    sequential attack-and-recover reference once recovery lands.
+
+    ``frame_batch > 1`` drives the soak with ``SUBMIT_BATCH`` frames
+    of that many requests over a *credited* connection (the engine's
+    per-request query cap is raised so the gateway can merge each
+    batch into few zero-copy engine submits); bit-identity is still
+    asserted per entry, per round.
+
+    With ``sub_legs`` (the unbatched base run), three extra facts are
+    asserted and recorded: sequential round-trip latency percentiles
+    over a sync client (a Nagle/delayed-ACK regression would push p50
+    to ~40 ms; asserted < 25 ms), a typed non-zero shed counter under
+    a deliberately tiny in-flight cap (overload sub-leg), and a
+    credit-respecting flooding client that gets *paused*, never shed
+    (backpressure sub-leg: zero OVERLOADED, ``credit_waits > 0``).
     """
     import asyncio
     import threading
 
     from repro.obs.metrics import set_metrics
     from repro.serve import GatewayRejected
+    from repro.serve.client import GatewayClient
     from repro.serve.protocol import RejectCode
 
     if tenants < 2:
         raise ValueError("the gateway leg needs >= 2 tenants")
+    if frame_batch < 1:
+        raise ValueError("frame_batch must be >= 1")
     qpr = 8
     names = [f"tenant{i}" for i in range(tenants)]
     tasks = [
@@ -537,12 +552,19 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
     for name, exp in zip(names, experiments):
         tenant_registry.add(name, exp.classifier)
     previous_metrics = set_metrics(registry) if registry is not None else None
+    # Raising the per-request query cap for batched runs lets the
+    # gateway merge a whole SUBMIT_BATCH into one zero-copy engine
+    # submit (the fast path under test); requests still carry qpr
+    # query rows each on the wire.
     engine = ServingEngine(
         tenant_registry, num_workers=num_workers, min_workers=2,
         max_workers=max_workers, ring_slots=128,
-        max_queries_per_request=qpr,
+        max_queries_per_request=qpr * frame_batch,
     )
-    server = GatewayServer(engine).start()
+    server = GatewayServer(
+        engine,
+        connection_window=None if frame_batch == 1 else 128,
+    ).start()
     scaler = WorkerAutoscaler(engine, interval_s=0.1).start()
     done = threading.Event()
     recovery: dict = {}
@@ -557,7 +579,9 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
             done.set()
 
     async def drive():
-        client = await AsyncGatewayClient.connect("127.0.0.1", server.port)
+        client = await AsyncGatewayClient.connect(
+            "127.0.0.1", server.port, credited=frame_batch > 1
+        )
         served = dict.fromkeys(names, 0)
         window = 4 * tenants
         rotate = 0
@@ -566,7 +590,42 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
         # sustained mixed-tenant traffic (and the autoscaler gets real
         # ticks), not a single burst.
         soak_until = time.perf_counter() + min_soak_s
+
+        async def pump(name):
+            """Batched soak driver: pipelined SUBMIT_BATCH frames for
+            one tenant over the shared credited connection,
+            bit-identity checked per entry.  Several pumps per tenant
+            keep the gateway's merge path saturated instead of
+            round-tripping one batch at a time."""
+            total = 0
+            batch_payloads = [payloads[name]] * frame_batch
+            while not done.is_set() or time.perf_counter() < soak_until:
+                # Captured before issuing (same contract as below).
+                settled = done.is_set()
+                entries = await client.submit_batch(
+                    batch_payloads, tenant=name
+                )
+                total += len(entries)
+                got = np.asarray(entries)
+                if name != names[0]:
+                    assert (got == expected[name]).all(), (
+                        f"{name} diverged from its sequential "
+                        f"reference while tenant 0 was hot-swapping"
+                    )
+                elif settled:
+                    assert (got == ref_predictions[:qpr]).all(), (
+                        "tenant 0 diverged from its recovered "
+                        "reference after recovery completed"
+                    )
+            return name, total
+
         try:
+            if frame_batch > 1:
+                depth = 3
+                for name, total in await asyncio.gather(
+                    *[pump(n) for n in names for _ in range(depth)]
+                ):
+                    served[name] += total
             while not done.is_set() or time.perf_counter() < soak_until:
                 # Captured before issuing: only requests submitted after
                 # the final generation published may be held to the
@@ -599,7 +658,12 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
             parts = await asyncio.gather(
                 *[client.predict(c, tenant=names[0]) for c in chunks]
             )
-            return served, np.concatenate(parts)
+            credit = {
+                "credited": client.credited,
+                "window": client.window,
+                "credit_waits": client.credit_waits,
+            }
+            return served, np.concatenate(parts), credit
         finally:
             await client.close()
 
@@ -607,7 +671,7 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
     start = time.perf_counter()
     thread.start()
     try:
-        served, final_predictions = asyncio.run(drive())
+        served, final_predictions, credit = asyncio.run(drive())
     finally:
         thread.join()
     wall = time.perf_counter() - start
@@ -623,6 +687,31 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
         "gateway-concurrent recovery diverged from the sequential reference"
     assert predictions_identical, \
         "attacked tenant's served predictions diverged from the reference"
+
+    # Latency sub-leg: sequential round trips on the blocking client.
+    # TCP_NODELAY on both ends keeps a loopback round trip in the
+    # low-millisecond range; a Nagle/delayed-ACK regression would park
+    # p50 near 40 ms and trip the assertion.
+    latency = None
+    if sub_legs:
+        lat_samples = []
+        with GatewayClient("127.0.0.1", server.port) as lat_client:
+            lat_client.predict(payloads[names[1]], tenant=names[1])
+            for _ in range(50 if min_soak_s < 1.0 else 200):
+                t0 = time.perf_counter()
+                lat_client.predict(payloads[names[1]], tenant=names[1])
+                lat_samples.append((time.perf_counter() - t0) * 1e3)
+        latency = {
+            "samples": len(lat_samples),
+            "round_trip_ms_p50": float(np.percentile(lat_samples, 50)),
+            "round_trip_ms_p99": float(np.percentile(lat_samples, 99)),
+        }
+        assert latency["round_trip_ms_p50"] < 25.0, (
+            f"sequential gateway round trip p50 "
+            f"{latency['round_trip_ms_p50']:.1f} ms looks like a Nagle "
+            f"regression (expected low single digits with TCP_NODELAY)"
+        )
+
     admitted = server.admission.admitted
     shed_total = server.admission.shed_total
     assert shed_total == 0, \
@@ -639,51 +728,126 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
     server.stop()
     engine.stop()
 
-    # Overload sub-leg: a deliberately tiny in-flight cap under async
-    # pipelining must shed with a typed OVERLOADED reject while every
-    # admitted request still resolves correctly.
-    flood_requests = 40
-    sub_engine = ServingEngine(
-        experiments[1].classifier, num_workers=1, ring_slots=2,
-        max_queries_per_request=qpr,
-    )
-    sub_server = GatewayServer(sub_engine, max_inflight=1).start()
-
-    async def flood():
-        client = await AsyncGatewayClient.connect(
-            "127.0.0.1", sub_server.port
-        )
-        try:
-            return await asyncio.gather(
-                *[client.predict(payloads[names[1]], tenant="default")
-                  for _ in range(flood_requests)],
-                return_exceptions=True,
-            )
-        finally:
-            await client.close()
-
+    overload = None
+    backpressure = None
     try:
-        outcomes = asyncio.run(flood())
+        if sub_legs:
+            # Overload sub-leg: a deliberately tiny in-flight cap under
+            # async pipelining must shed with a typed OVERLOADED reject
+            # while every admitted request still resolves correctly.
+            flood_requests = 40
+            sub_engine = ServingEngine(
+                experiments[1].classifier, num_workers=1, ring_slots=2,
+                max_queries_per_request=qpr,
+            )
+            sub_server = GatewayServer(sub_engine, max_inflight=1).start()
+
+            async def flood():
+                client = await AsyncGatewayClient.connect(
+                    "127.0.0.1", sub_server.port
+                )
+                try:
+                    return await asyncio.gather(
+                        *[client.predict(payloads[names[1]],
+                                         tenant="default")
+                          for _ in range(flood_requests)],
+                        return_exceptions=True,
+                    )
+                finally:
+                    await client.close()
+
+            try:
+                outcomes = asyncio.run(flood())
+            finally:
+                sub_server.stop()
+                sub_engine.stop()
+            flood_served = [o for o in outcomes
+                            if isinstance(o, np.ndarray)]
+            flood_shed = [o for o in outcomes
+                          if isinstance(o, GatewayRejected)]
+            assert flood_served, "overload sub-leg starved every request"
+            for got in flood_served:
+                assert (got == expected[names[1]]).all(), \
+                    "overload sub-leg served wrong predictions"
+            assert flood_shed, \
+                "overload sub-leg shed nothing; cap not enforced"
+            assert {exc.code for exc in flood_shed} == \
+                {RejectCode.OVERLOADED}
+            overload = {
+                "requests": flood_requests,
+                "served": len(flood_served),
+                "shed": len(flood_shed),
+                "shed_rate": len(flood_shed) / flood_requests,
+                "reject_code": "OVERLOADED",
+            }
+
+            # Backpressure sub-leg: the same flood over a *credited*
+            # connection against a tiny window must be paused (client
+            # blocks on credits), never shed — zero OVERLOADED rejects
+            # for a credit-respecting client.
+            bp_requests = 60
+            bp_engine = ServingEngine(
+                experiments[1].classifier, num_workers=1, ring_slots=4,
+                max_queries_per_request=qpr,
+            )
+            bp_server = GatewayServer(
+                bp_engine, max_inflight=2, connection_window=2
+            ).start()
+
+            async def cooperative_flood():
+                client = await AsyncGatewayClient.connect(
+                    "127.0.0.1", bp_server.port, credited=True
+                )
+                try:
+                    got = await asyncio.gather(
+                        *[client.predict(payloads[names[1]],
+                                         tenant="default")
+                          for _ in range(bp_requests)]
+                    )
+                    return got, client.window, client.credit_waits
+                finally:
+                    await client.close()
+
+            try:
+                bp_served, bp_window, bp_waits = asyncio.run(
+                    cooperative_flood()
+                )
+            finally:
+                bp_shed = bp_server.admission.shed_total
+                bp_server.stop()
+                bp_engine.stop()
+            assert len(bp_served) == bp_requests, \
+                "backpressure sub-leg dropped requests"
+            for got in bp_served:
+                assert (got == expected[names[1]]).all(), \
+                    "backpressure sub-leg served wrong predictions"
+            assert bp_shed == 0, (
+                f"credit-respecting client was shed {bp_shed} times; "
+                f"backpressure should pause, not reject"
+            )
+            assert bp_waits > 0, (
+                "flood never waited on credits; the tiny window was "
+                "not exercised"
+            )
+            backpressure = {
+                "requests": bp_requests,
+                "window": bp_window,
+                "credit_waits": bp_waits,
+                "shed_total": bp_shed,
+                "paused_not_shed": True,
+            }
     finally:
-        sub_server.stop()
-        sub_engine.stop()
         if previous_metrics is not None:
             set_metrics(previous_metrics)
-    flood_served = [o for o in outcomes if isinstance(o, np.ndarray)]
-    flood_shed = [o for o in outcomes if isinstance(o, GatewayRejected)]
-    assert flood_served, "overload sub-leg starved every request"
-    for got in flood_served:
-        assert (got == expected[names[1]]).all(), \
-            "overload sub-leg served wrong predictions"
-    assert flood_shed, "overload sub-leg shed nothing; cap not enforced"
-    assert {exc.code for exc in flood_shed} == {RejectCode.OVERLOADED}
 
     total = sum(served.values())
-    return {
+    record = {
         "tenants": tenants,
         "tenant_ids": names,
         "dim": dim,
         "queries_per_request": qpr,
+        "frame_batch": frame_batch,
+        "credit": credit,
         "workers": {
             "initial": num_workers,
             "min": 2,
@@ -724,14 +888,14 @@ def bench_gateway(tenants: int, num_features: int, dim: int, levels: int,
             "final_predictions_bit_identical": predictions_identical,
             "other_tenants_bit_identical_throughout": True,
         },
-        "overload": {
-            "requests": flood_requests,
-            "served": len(flood_served),
-            "shed": len(flood_shed),
-            "shed_rate": len(flood_shed) / flood_requests,
-            "reject_code": "OVERLOADED",
-        },
     }
+    if latency is not None:
+        record["latency"] = latency
+    if overload is not None:
+        record["overload"] = overload
+    if backpressure is not None:
+        record["backpressure"] = backpressure
+    return record
 
 
 def gateway_kwargs(smoke: bool, tenants: int = 2) -> dict:
@@ -745,10 +909,47 @@ def gateway_kwargs(smoke: bool, tenants: int = 2) -> dict:
                 min_soak_s=3.0)
 
 
+def bench_gateway_sweep(frame_batches, registry=None, **kw) -> dict:
+    """Gateway soak at frame batch 1 plus batched SUBMIT_BATCH re-runs.
+
+    The unbatched run (always executed, with its sub-legs) is the base
+    record; each ``frame_batch > 1`` re-runs the full soak — same
+    attack-and-recover, same per-entry bit-identity and zero-shed
+    assertions — over a credited batching client, and lands under
+    ``record["batched"][str(frame_batch)]`` with its speedup over the
+    unbatched base.
+    """
+    sizes = sorted({int(f) for f in frame_batches})
+    if sizes and sizes[0] < 1:
+        raise ValueError(f"frame batches must be >= 1, got {sizes}")
+    record = bench_gateway(**kw, registry=registry)
+    batched = {}
+    for fb in sizes:
+        if fb == 1:
+            continue
+        rec = bench_gateway(**kw, frame_batch=fb, sub_legs=False,
+                            registry=registry)
+        batched[str(fb)] = {
+            "frame_batch": fb,
+            "duration_s": rec["duration_s"],
+            "requests_served": rec["requests_served"],
+            "requests_per_s": rec["requests_per_s"],
+            "speedup_vs_unbatched": (
+                rec["requests_per_s"] / record["requests_per_s"]
+            ),
+            "credit": rec["credit"],
+            "admission": rec["admission"],
+            "recovery": rec["recovery"],
+        }
+    if batched:
+        record["batched"] = batched
+    return record
+
+
 def run(smoke: bool, telemetry: bool = False,
         registry: MetricsRegistry | None = None,
         shards: int | None = None, gateway: bool = False,
-        tenants: int = 2) -> dict:
+        tenants: int = 2, frame_batches=(1, 8, 32)) -> dict:
     if smoke:
         shards = shards or 2
         throughput_kw = dict(
@@ -790,7 +991,7 @@ def run(smoke: bool, telemetry: bool = False,
             / unsharded_same_workers["requests_per_s"]
         )
     results = {
-        "schema": 4,
+        "schema": 5,
         "generated_by": "benchmarks/bench_serve.py"
         + (" --smoke" if smoke else "")
         + (" --telemetry" if telemetry else "")
@@ -806,8 +1007,9 @@ def run(smoke: bool, telemetry: bool = False,
         "live_recovery": bench_live_recovery(**recovery_kw),
     }
     if gateway:
-        results["gateway"] = bench_gateway(
-            **gateway_kwargs(smoke, tenants), registry=registry
+        results["gateway"] = bench_gateway_sweep(
+            frame_batches, **gateway_kwargs(smoke, tenants),
+            registry=registry,
         )
     return results
 
@@ -838,6 +1040,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tenants", type=int, default=2,
                         help="tenant count for the gateway leg "
                              "(default: 2)")
+    parser.add_argument("--frame-batch", default="1,8,32",
+                        help="comma-separated SUBMIT_BATCH sizes for "
+                             "the gateway leg; 1 is the unbatched base "
+                             "run, always executed (default: 1,8,32)")
     parser.add_argument("--gateway-only", action="store_true",
                         help="run just the gateway leg and merge its "
                              "record into the existing output JSON")
@@ -851,24 +1057,34 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 2")
     if args.tenants < 2:
         parser.error("--tenants must be >= 2")
+    try:
+        frame_batches = tuple(
+            int(part) for part in args.frame_batch.split(",") if part
+        )
+    except ValueError:
+        parser.error(f"--frame-batch must be comma-separated integers, "
+                     f"got {args.frame_batch!r}")
+    if any(fb < 1 for fb in frame_batches):
+        parser.error("--frame-batch sizes must be >= 1")
     telemetry = args.telemetry or args.prom_output is not None
 
     registry = MetricsRegistry() if args.prom_output is not None else None
     if args.gateway_only:
-        record = bench_gateway(
-            **gateway_kwargs(args.smoke, args.tenants), registry=registry
+        record = bench_gateway_sweep(
+            frame_batches, **gateway_kwargs(args.smoke, args.tenants),
+            registry=registry,
         )
         output = args.output or (None if args.smoke else DEFAULT_OUTPUT)
         results = {}
         if output is not None and output.exists():
             results = json.loads(output.read_text())
-        results["schema"] = 4
+        results["schema"] = 5
         results["gateway"] = record
         print(json.dumps(record, indent=2))
     else:
         results = run(args.smoke, telemetry=telemetry, registry=registry,
                       shards=args.shards, gateway=args.gateway,
-                      tenants=args.tenants)
+                      tenants=args.tenants, frame_batches=frame_batches)
         output = args.output
         if output is None and not args.smoke:
             output = DEFAULT_OUTPUT

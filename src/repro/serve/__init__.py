@@ -23,10 +23,17 @@ star calls for, built in layers:
   :class:`~repro.obs.trace.ServeTrace` of per-batch events.
 * :mod:`repro.serve.protocol` + :mod:`repro.serve.gateway` +
   :mod:`repro.serve.client` — the network front door: a
-  length-prefixed binary frame protocol, the asyncio
-  :class:`GatewayServer` with per-tenant token-bucket admission and
-  global load shedding, and :class:`GatewayClient` /
-  ``AsyncGatewayClient`` as the canonical remote callers.
+  length-prefixed binary frame protocol whose batch-first path packs
+  many requests into one ``SUBMIT_BATCH`` frame (decoded as zero-copy
+  numpy views and merged into few engine submits), the asyncio
+  :class:`GatewayServer` with per-tenant token-bucket admission,
+  global load shedding, and credit-based connection backpressure
+  (cooperative clients are paused, never shed), and
+  :class:`GatewayClient` / ``AsyncGatewayClient`` — both batch-capable
+  — as the canonical remote callers.
+* :mod:`repro.serve.http` — a dependency-free HTTP/1.1 JSON ingress
+  (``POST /v1/predict``, ``GET /healthz``) riding the same admission
+  path; enable with ``GatewayServer(http_port=...)``.
 * :mod:`repro.serve.autoscale` — ``WorkerAutoscaler`` steering the
   worker pool on windowed dispatch-wait p95 from the ``serve.fleet.*``
   telemetry, bounded by ``ServeConfig.min_workers``/``max_workers``.

@@ -19,16 +19,30 @@ what most tests and scripts want.  The async client pipelines — many
 ``predict`` coroutines share one connection, matched to responses by
 ``trace_id`` — and is what load generators and services should use.
 
+Both clients batch: ``submit_batch`` packs N requests of one tenant
+into a single ``SUBMIT_BATCH`` frame (one header, one contiguous query
+block) and demuxes the single ``RESPONSE_BATCH`` reply, which is how
+the wire path amortises per-request framing.
+
+The async client additionally supports the gateway's credit-based
+backpressure: ``connect(..., credited=True)`` performs the flagged-PING
+handshake, after which sends block (instead of getting shed
+``OVERLOADED``) while the server-granted window is exhausted —
+:attr:`AsyncGatewayClient.credit_waits` counts how often that
+happened.
+
 Usage (sync)::
 
     with GatewayClient("127.0.0.1", server.port) as client:
         predictions = client.predict(query_words, tenant="alpha")
+        per_request = client.submit_batch(payloads, tenant="alpha")
 
 Usage (async)::
 
-    client = await AsyncGatewayClient.connect("127.0.0.1", server.port)
-    predictions = await client.predict(query_words, tenant="alpha")
-    await client.close()
+    async with await AsyncGatewayClient.connect(
+        "127.0.0.1", server.port, credited=True
+    ) as client:
+        predictions = await client.predict(query_words, tenant="alpha")
 """
 
 from __future__ import annotations
@@ -40,16 +54,22 @@ import threading
 import numpy as np
 
 from repro.serve.protocol import (
+    BATCH_REJECT_BASE,
+    FLAG_CREDIT,
     ErrorCode,
     Frame,
     FrameDecoder,
     FrameKind,
     ProtocolError,
     RejectCode,
+    decode_credit,
     decode_predictions,
+    decode_reject,
+    decode_response_batch,
     decode_status,
     encode_array,
     encode_frame,
+    encode_submit_batch,
 )
 
 __all__ = ["AsyncGatewayClient", "GatewayClient", "GatewayError",
@@ -57,16 +77,27 @@ __all__ = ["AsyncGatewayClient", "GatewayClient", "GatewayError",
 
 
 class GatewayRejected(RuntimeError):
-    """Admission control shed the request before it entered the engine."""
+    """Admission control shed the request before it entered the engine.
 
-    def __init__(self, code: int, detail: str) -> None:
+    ``retry_after_ms`` carries the server's refill hint on
+    ``RATE_LIMITED`` rejects (None otherwise): sleep that long and the
+    tenant's token bucket will have a token again.
+    """
+
+    def __init__(
+        self, code: int, detail: str, retry_after_ms: int | None = None
+    ) -> None:
         try:
             self.code = RejectCode(code)
             name = self.code.name
         except ValueError:  # future server, unknown code
             self.code = code
             name = f"code {code}"
-        super().__init__(f"gateway rejected request ({name}): {detail}")
+        self.retry_after_ms = retry_after_ms
+        message = f"gateway rejected request ({name}): {detail}"
+        if retry_after_ms is not None:
+            message += f" (retry after {retry_after_ms}ms)"
+        super().__init__(message)
 
 
 class GatewayError(RuntimeError):
@@ -104,10 +135,63 @@ def _decode_reply(frame: Frame) -> np.ndarray:
     if frame.kind == FrameKind.RESPONSE:
         return decode_predictions(frame.payload)
     if frame.kind == FrameKind.REJECT:
-        raise GatewayRejected(*decode_status(frame.payload))
+        raise GatewayRejected(*decode_reject(frame.payload))
     if frame.kind == FrameKind.ERROR:
         raise GatewayError(*decode_status(frame.payload))
     raise ProtocolError(f"unexpected reply frame kind {frame.kind.name}")
+
+
+def _batch_frame(
+    payloads,
+    *,
+    tenant: str,
+    features: bool,
+    deadline: float | None,
+    trace_id: int,
+    flags: int = 0,
+) -> bytes:
+    return encode_frame(Frame(
+        FrameKind.SUBMIT_BATCH,
+        tenant=tenant,
+        trace_id=trace_id,
+        deadline_ns=int(deadline * 1e9) if deadline else 0,
+        payload=encode_submit_batch(payloads, features=features),
+        flags=flags,
+    ))
+
+
+def _unpack_batch_reply(frame: Frame, count: int, return_exceptions: bool):
+    """Per-request results out of one batch reply frame.
+
+    A whole-batch ``REJECT``/``ERROR`` raises regardless of
+    ``return_exceptions`` (nothing was partially served); per-entry
+    failures raise the first one, or — with ``return_exceptions`` —
+    take the exception object's place in the returned list.
+    """
+    if frame.kind != FrameKind.RESPONSE_BATCH:
+        return _decode_reply(frame)  # raises the typed exception
+    batch = decode_response_batch(frame.payload)
+    if len(batch) != count:
+        raise ProtocolError(
+            f"batch reply carries {len(batch)} entries for a "
+            f"{count}-request batch"
+        )
+    results: list = []
+    for i in range(count):
+        status = int(batch.statuses[i])
+        if status == 0:
+            results.append(batch.predictions_for(i).copy())
+            continue
+        if status >= BATCH_REJECT_BASE:
+            exc: Exception = GatewayRejected(
+                status - BATCH_REJECT_BASE, f"batch entry {i} rejected"
+            )
+        else:
+            exc = GatewayError(status, f"batch entry {i} failed")
+        if not return_exceptions:
+            raise exc
+        results.append(exc)
+    return results
 
 
 class GatewayClient:
@@ -149,6 +233,35 @@ class GatewayClient:
         if frame.trace_id != trace_id and frame.kind == FrameKind.PONG:
             raise ProtocolError("interleaved PONG on a sync connection")
         return _decode_reply(frame)
+
+    def submit_batch(
+        self,
+        payloads,
+        *,
+        tenant: str = "",
+        features: bool = False,
+        deadline: float | None = None,
+        return_exceptions: bool = False,
+    ) -> list:
+        """N requests in one ``SUBMIT_BATCH`` frame; one reply round trip.
+
+        Returns per-request prediction arrays in submit order.  A
+        per-entry failure raises its typed exception, unless
+        ``return_exceptions`` is set — then the exception object holds
+        that entry's slot and the rest of the batch still comes back.
+        """
+        with self._lock:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            self._sock.sendall(_batch_frame(
+                payloads,
+                tenant=tenant,
+                features=features,
+                deadline=deadline,
+                trace_id=trace_id,
+            ))
+            frame = self._read_frame()
+        return _unpack_batch_reply(frame, len(payloads), return_exceptions)
 
     def ping(self) -> None:
         """Round-trip a PING (liveness check)."""
@@ -193,7 +306,10 @@ class AsyncGatewayClient:
     """Pipelining asyncio client: many in-flight requests, one socket.
 
     Replies are matched to callers by ``trace_id``; a background reader
-    task demultiplexes the stream.  Create with :meth:`connect`.
+    task demultiplexes the stream.  Create with :meth:`connect` —
+    ``credited=True`` opts the connection into the gateway's
+    credit-based backpressure (sends block while the window is
+    exhausted instead of being shed ``OVERLOADED``).
     """
 
     def __init__(
@@ -205,18 +321,78 @@ class AsyncGatewayClient:
         self._waiters: dict[int, asyncio.Future] = {}
         self._next_trace = 0
         self._closed = False
+        self._credited = False
+        self._window = 0
+        self._credits = 0
+        self._credit_event = asyncio.Event()
+        self._credit_waits = 0
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, timeout: float = 30.0
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        credited: bool = False,
     ) -> "AsyncGatewayClient":
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout
         )
-        return cls(reader, writer)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP transports
+                pass
+        client = cls(reader, writer)
+        if credited:
+            # Flagged PING; the server's CREDIT grant (if any) lands
+            # before the PONG, so the window is known when this
+            # returns.  A denied grant degrades to a plain connection.
+            await client.ping(flags=FLAG_CREDIT)
+            client._credited = client._window > 0
+        return client
+
+    @property
+    def credited(self) -> bool:
+        """True when the server granted this connection a credit window."""
+        return self._credited
+
+    @property
+    def window(self) -> int:
+        """The server-granted credit window (0 when not credited)."""
+        return self._window
+
+    @property
+    def credit_waits(self) -> int:
+        """Times a send blocked waiting for the window to free up."""
+        return self._credit_waits
+
+    async def _take_credits(self, count: int) -> None:
+        if not self._credited:
+            return
+        if count > self._window:
+            raise ValueError(
+                f"batch of {count} exceeds the connection's credit "
+                f"window {self._window}; split it"
+            )
+        while self._credits < count:
+            self._credit_waits += 1
+            self._credit_event.clear()
+            await self._credit_event.wait()
+            if self._closed:
+                raise ConnectionError("client is closed")
+        self._credits -= count
+
+    def _grant_credits(self, count: int) -> None:
+        if self._window == 0:
+            self._window = count  # handshake grant defines the window
+        self._credits += count
+        self._credit_event.set()
 
     async def predict(
         self,
@@ -233,6 +409,7 @@ class AsyncGatewayClient:
         """
         if self._closed:
             raise ConnectionError("client is closed")
+        await self._take_credits(1)
         loop = asyncio.get_running_loop()
         trace_id = self._next_trace
         self._next_trace += 1
@@ -252,7 +429,45 @@ class AsyncGatewayClient:
             self._waiters.pop(trace_id, None)
         return _decode_reply(frame)
 
-    async def ping(self) -> None:
+    async def submit_batch(
+        self,
+        payloads,
+        *,
+        tenant: str = "",
+        features: bool = False,
+        deadline: float | None = None,
+        return_exceptions: bool = False,
+    ) -> list:
+        """N requests in one ``SUBMIT_BATCH`` frame; one reply frame back.
+
+        Consumes ``len(payloads)`` credits on a credited connection
+        (so the batch must fit the window).  Result semantics match
+        :meth:`GatewayClient.submit_batch`.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        count = len(payloads)
+        await self._take_credits(count)
+        loop = asyncio.get_running_loop()
+        trace_id = self._next_trace
+        self._next_trace += 1
+        future: asyncio.Future = loop.create_future()
+        self._waiters[trace_id] = future
+        try:
+            self._writer.write(_batch_frame(
+                payloads,
+                tenant=tenant,
+                features=features,
+                deadline=deadline,
+                trace_id=trace_id,
+            ))
+            await self._writer.drain()
+            frame = await future
+        finally:
+            self._waiters.pop(trace_id, None)
+        return _unpack_batch_reply(frame, count, return_exceptions)
+
+    async def ping(self, *, flags: int = 0) -> None:
         if self._closed:
             raise ConnectionError("client is closed")
         loop = asyncio.get_running_loop()
@@ -262,7 +477,7 @@ class AsyncGatewayClient:
         self._waiters[trace_id] = future
         try:
             self._writer.write(encode_frame(Frame(
-                FrameKind.PING, trace_id=trace_id
+                FrameKind.PING, trace_id=trace_id, flags=flags
             )))
             await self._writer.drain()
             frame = await future
@@ -281,6 +496,9 @@ class AsyncGatewayClient:
                     )
                     return
                 for frame in self._decoder.feed(data):
+                    if frame.kind == FrameKind.CREDIT:
+                        self._grant_credits(decode_credit(frame.payload))
+                        continue
                     waiter = self._waiters.get(frame.trace_id)
                     if waiter is not None and not waiter.done():
                         waiter.set_result(frame)
@@ -291,6 +509,7 @@ class AsyncGatewayClient:
 
     def _fail_waiters(self, exc: Exception) -> None:
         self._closed = True
+        self._credit_event.set()  # wake any send blocked on credits
         for waiter in self._waiters.values():
             if not waiter.done():
                 waiter.set_exception(exc)

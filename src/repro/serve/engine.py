@@ -719,10 +719,102 @@ class ServingEngine:
         )
         return future.request_id
 
-    def _submit_request(
-        self, request: ServeRequest, *, flush: bool = True
-    ) -> ServeFuture:
-        tenant_idx = self._require_tenant(request.tenant)
+    def submit_many(self, requests) -> list[ServeFuture]:
+        """Bulk submit: many :class:`ServeRequest`\\ s, one dispatch frame.
+
+        The batched fast path the gateway's ``SUBMIT_BATCH`` frames ride:
+        payloads are validated per request, but ring slots, request ids
+        and trace ids are allocated under **one** lock acquisition and
+        the whole batch leaves as a single queue frame — the per-submit
+        lock/dispatch cost is paid once per batch instead of once per
+        request.  Returns one :class:`ServeFuture` per request, in
+        order.
+
+        The batch must fit the ring (``len(requests) <= ring_slots``);
+        callers that meter admission against ring capacity (the gateway)
+        satisfy this by construction.
+        """
+        if not requests:
+            return []
+        if len(requests) > self.config.ring_slots:
+            raise ValueError(
+                f"batch of {len(requests)} exceeds ring capacity "
+                f"{self.config.ring_slots}; split it"
+            )
+        if self._stopped:
+            raise RuntimeError("engine is stopped")
+        prepared = []  # (payload_words, kind, deadline_ns, tenant_idx, ...)
+        now_ns = time.monotonic_ns()
+        for request in requests:
+            tenant_idx = self._require_tenant(request.tenant)
+            payload_words, kind = self._check_payload(request, tenant_idx)
+            deadline_ns = (
+                now_ns + int(request.deadline * 1e9)
+                if request.deadline else 0
+            )
+            prepared.append(
+                (payload_words, kind, deadline_ns, tenant_idx,
+                 request.trace_id)
+            )
+        acquired = 0
+        try:
+            for _ in prepared:
+                if not self._slot_sem.acquire(
+                    timeout=self.backpressure_timeout
+                ):
+                    raise Backpressure(
+                        f"no free request slot within "
+                        f"{self.backpressure_timeout}s "
+                        f"({self.config.ring_slots} in flight)"
+                    )
+                acquired += 1
+        except Backpressure:
+            for _ in range(acquired):
+                self._slot_sem.release()
+            metrics = _metrics()
+            if metrics.enabled:
+                metrics.inc("serve.backpressure_rejections")
+            raise
+        futures: list[ServeFuture] = []
+        n_queries_total = 0
+        with self._lock:
+            frame = self._take_outbox()  # anything frame-batched earlier
+            for (payload_words, kind, deadline_ns, tenant_idx,
+                 client_trace_id) in prepared:
+                slot = self._free_slots.pop()
+                request_id = self._next_request_id
+                self._next_request_id += 1
+                trace_id = self._next_trace_id
+                self._next_trace_id += 1
+                flat = payload_words.reshape(-1)
+                self._ring.array[slot, : flat.shape[0]] = flat
+                self._pending[request_id] = _Pending(slot)
+                frame.append(
+                    (request_id, slot, payload_words.shape[0], deadline_ns,
+                     kind, trace_id, tenant_idx)
+                )
+                n_queries_total += payload_words.shape[0]
+                futures.append(ServeFuture(
+                    self, request_id,
+                    tenant=self.config.tenants[tenant_idx].tenant_id,
+                    client_trace_id=client_trace_id,
+                ))
+        self._dispatch(frame)
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.inc("serve.requests", len(prepared))
+            metrics.inc("serve.queries", n_queries_total)
+        return futures
+
+    def _check_payload(
+        self, request: ServeRequest, tenant_idx: int
+    ) -> tuple[np.ndarray, int]:
+        """Validate one request's payload against its tenant's geometry.
+
+        Returns ``(payload_words, kind)`` where ``payload_words`` is the
+        uint64 view the ring stores — a zero-copy view whenever the
+        payload is already contiguous with the right dtype.
+        """
         slot_cfg = self.config.tenants[tenant_idx]
         if request.features:
             if slot_cfg.codebook_name is None:
@@ -750,12 +842,25 @@ class ServingEngine:
                     f"got {payload_words.shape}"
                 )
             kind = PAYLOAD_PACKED
+        n_queries = payload_words.shape[0]
+        if n_queries < 1 or n_queries > self.max_queries_per_request:
+            raise ValueError(
+                f"request must carry 1..{self.max_queries_per_request} "
+                f"queries, got {n_queries}"
+            )
+        return payload_words, kind
+
+    def _submit_request(
+        self, request: ServeRequest, *, flush: bool = True
+    ) -> ServeFuture:
+        tenant_idx = self._require_tenant(request.tenant)
+        payload_words, kind = self._check_payload(request, tenant_idx)
         request_id = self._submit(
             payload_words, kind, request.deadline, flush, tenant_idx
         )
         return ServeFuture(
             self, request_id,
-            tenant=slot_cfg.tenant_id,
+            tenant=self.config.tenants[tenant_idx].tenant_id,
             client_trace_id=request.trace_id,
         )
 

@@ -12,7 +12,37 @@ connection's stall never delays another's responses.
 The server hosts its own event loop on a daemon thread —
 ``start()``/``stop()`` are plain synchronous calls, usable from tests,
 benchmarks and ``with`` blocks, while everything network-facing stays
-async inside.
+async inside.  With ``http_port`` set it additionally serves a minimal
+HTTP/1.1 JSON ingress (``POST /v1/predict``, :mod:`repro.serve.http`)
+through the *same* admission controller and engine path.
+
+**The batched fast path.**  ``SUBMIT_BATCH`` frames carry N requests of
+one tenant behind a single header; the gateway decodes them as numpy
+views (:func:`~repro.serve.protocol.decode_submit_batch`), admits the
+whole batch under one admission-lock acquisition
+(:meth:`AdmissionController.admit_many`), hands the engine zero-copy
+row slices of the wire buffer in one
+:meth:`~repro.serve.engine.ServingEngine.submit_many` call, and answers
+with a single ``RESPONSE_BATCH`` frame built off-loop by whichever
+collector thread resolves the batch's last request.  Cooperative
+clients sending *single* frames get a lighter version of the same
+economy: every frame decoded from one read chunk is submitted with
+``flush=False`` and the engine's frame buffer flushed once per chunk,
+so adjacent singles coalesce into shared engine dispatch frames.
+
+**Credit-based backpressure.**  A client that sets
+:data:`~repro.serve.protocol.FLAG_CREDIT` on a PING opts its connection
+into window flow control: the gateway reserves a slice of the global
+in-flight budget (:meth:`AdmissionController.reserve_window`), grants
+it as a ``CREDIT`` frame, and from then on bounds the connection by
+that window instead of shedding per-request — every reply is preceded
+by a ``CREDIT`` grant returning the credits its requests consumed, and
+while the window is exhausted the gateway stops reading the socket
+(``transport.pause_reading()``), pushing backpressure into TCP instead
+of burning cycles shedding.  A credit-*respecting* client is therefore
+never shed ``OVERLOADED``; a client that overruns its window gets a
+typed ``OVERLOADED`` reject (credits refunded) and keeps its
+connection.
 
 **Admission policy** (checked in this order, each with a typed
 :class:`~repro.serve.protocol.RejectCode`):
@@ -23,12 +53,14 @@ async inside.
 3. ``RATE_LIMITED`` — the tenant's token bucket is empty.  Each tenant
    gets ``rate_limit`` tokens/s with ``burst`` capacity, so one noisy
    tenant is throttled at the door instead of starving the others
-   inside the engine.
-4. ``OVERLOADED`` — the gateway-wide in-flight cap (at most the
-   engine's ring capacity) is reached.  Shedding here keeps
-   ``engine.submit`` non-blocking: a free in-flight token implies a
-   free ring slot, because the engine releases slots strictly before
-   the gateway releases tokens.
+   inside the engine.  The reject carries a ``retry_after_ms`` hint
+   derived from the bucket's refill rate.
+4. ``OVERLOADED`` — the unreserved in-flight budget (the global cap
+   minus every cooperative connection's reserved window) is exhausted.
+   Shedding here keeps ``engine.submit`` non-blocking: a free in-flight
+   token implies a free ring slot, because the engine releases slots
+   strictly before the gateway releases tokens, and reserved windows +
+   the unreserved budget never exceed the ring.
 
 Every shed is counted (``gateway.shed`` + per-code metrics and
 :attr:`AdmissionController.shed` totals) — the CI smoke leg asserts
@@ -38,12 +70,18 @@ zero shed at low load and non-zero under deliberate overload.
 from __future__ import annotations
 
 import asyncio
+import math
+import socket
 import threading
 import time
+
+import numpy as np
 
 from repro.obs.metrics import current as _metrics
 from repro.serve.engine import Backpressure, ServeRequest, ServingEngine
 from repro.serve.protocol import (
+    BATCH_REJECT_BASE,
+    FLAG_CREDIT,
     ErrorCode,
     Frame,
     FrameDecoder,
@@ -51,9 +89,13 @@ from repro.serve.protocol import (
     ProtocolError,
     RejectCode,
     decode_array,
+    decode_submit_batch,
     encode_array,  # noqa: F401  (re-exported for gateway users)
+    encode_credit,
     encode_frame,
     encode_predictions,
+    encode_reject,
+    encode_response_batch,
     encode_status,
 )
 
@@ -63,9 +105,9 @@ __all__ = ["AdmissionController", "GatewayServer", "TokenBucket"]
 class TokenBucket:
     """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity.
 
-    Monotonic-clock lazy refill; ``try_take`` is the only operation.
-    Not thread-safe on its own — the admission controller serialises
-    access under its lock.
+    Monotonic-clock lazy refill; ``try_take`` is the only mutating
+    operation.  Not thread-safe on its own — the admission controller
+    serialises access under its lock.
     """
 
     __slots__ = ("_last", "_tokens", "burst", "rate")
@@ -92,6 +134,16 @@ class TokenBucket:
             return True
         return False
 
+    def retry_after_s(self) -> float:
+        """Seconds until one token will have refilled (0 if one is free).
+
+        A peek, not a refresh: callers use it right after a failed
+        :meth:`try_take`, which already brought ``_tokens`` current.
+        """
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
 
 class AdmissionController:
     """Token-bucket rate limiting per tenant + global load shedding.
@@ -100,6 +152,13 @@ class AdmissionController:
     the gateway caps it at the engine's ring capacity so an admitted
     request always finds a free ring slot (``engine.submit`` never
     blocks the event loop).
+
+    Cooperative connections carve their credit window out of the same
+    budget via :meth:`reserve_window`: reserved admissions
+    (``reserved=True``) are bounded by their connection's window (the
+    gateway enforces it), the unreserved rest shares
+    ``max_inflight - reserved`` — so the two together can never
+    overrun the ring.
     """
 
     def __init__(
@@ -125,7 +184,9 @@ class AdmissionController:
                 for tenant in self._tenants
             }
         self.max_inflight = max_inflight
-        self._inflight = 0
+        self._inflight_free = 0
+        self._inflight_reserved = 0
+        self._reserved = 0
         self.draining = False
         self.admitted = 0
         self.shed: dict[RejectCode, int] = {code: 0 for code in RejectCode}
@@ -133,54 +194,257 @@ class AdmissionController:
     @property
     def inflight(self) -> int:
         with self._lock:
-            return self._inflight
+            return self._inflight_free + self._inflight_reserved
+
+    @property
+    def reserved(self) -> int:
+        """Credits currently reserved by cooperative connections."""
+        with self._lock:
+            return self._reserved
 
     @property
     def shed_total(self) -> int:
         with self._lock:
             return sum(self.shed.values())
 
-    def admit(self, tenant: str) -> RejectCode | None:
+    def reserve_window(self, requested: int) -> int:
+        """Carve a cooperative connection's credit window from the budget.
+
+        Returns the granted window (possibly smaller than requested,
+        possibly 0 when the budget is fully reserved — the connection
+        then stays non-cooperative).  The caller must return the grant
+        via :meth:`release_window` when the connection closes.
+        """
+        with self._lock:
+            grant = max(0, min(requested, self.max_inflight - self._reserved))
+            self._reserved += grant
+        return grant
+
+    def release_window(self, granted: int) -> None:
+        """Return a closed cooperative connection's window."""
+        with self._lock:
+            self._reserved -= granted
+
+    def _admit_locked(
+        self, tenant: str, bucket: TokenBucket | None, now: float,
+        reserved: bool,
+    ) -> RejectCode | None:
+        if self.draining:
+            return RejectCode.SHUTTING_DOWN
+        if tenant not in self._tenants:
+            return RejectCode.UNKNOWN_TENANT
+        if bucket is not None and not bucket.try_take(now):
+            return RejectCode.RATE_LIMITED
+        if reserved:
+            # Capacity is guaranteed by the connection's reserved
+            # window (the gateway bounds its in-flight to the window).
+            self._inflight_reserved += 1
+        else:
+            if self._inflight_free >= self.max_inflight - self._reserved:
+                return RejectCode.OVERLOADED
+            self._inflight_free += 1
+        self.admitted += 1
+        return None
+
+    def admit(
+        self, tenant: str, *, reserved: bool = False
+    ) -> RejectCode | None:
         """Admit one request for ``tenant``; a code means *shed*.
 
         An admitted request holds one in-flight token the caller MUST
-        return via :meth:`release` exactly once.
+        return via :meth:`release` exactly once (with the same
+        ``reserved`` flag).
         """
         with self._lock:
-            code = None
-            if self.draining:
-                code = RejectCode.SHUTTING_DOWN
-            elif tenant not in self._tenants:
-                code = RejectCode.UNKNOWN_TENANT
-            elif (bucket := self._buckets.get(tenant)) is not None \
-                    and not bucket.try_take():
-                code = RejectCode.RATE_LIMITED
-            elif self._inflight >= self.max_inflight:
-                code = RejectCode.OVERLOADED
+            code = self._admit_locked(
+                tenant, self._buckets.get(tenant), time.monotonic(),
+                reserved,
+            )
             if code is not None:
                 self.shed[code] += 1
-                metrics = _metrics()
-                if metrics.enabled:
-                    metrics.inc("gateway.shed")
-                    metrics.inc(f"gateway.shed.{code.name.lower()}")
-                return code
-            self._inflight += 1
-            self.admitted += 1
+            inflight = self._inflight_free + self._inflight_reserved
         metrics = _metrics()
         if metrics.enabled:
-            metrics.inc("gateway.admitted")
-            metrics.gauge("gateway.inflight", self._inflight)
-        return None
+            if code is not None:
+                metrics.inc("gateway.shed")
+                metrics.inc(f"gateway.shed.{code.name.lower()}")
+            else:
+                metrics.inc("gateway.admitted")
+                metrics.gauge("gateway.inflight", inflight)
+        return code
 
-    def release(self) -> None:
-        """Return one admitted request's in-flight token."""
+    def admit_many(
+        self, tenant: str, count: int, *, reserved: bool = False
+    ) -> list[RejectCode | None]:
+        """Admit up to ``count`` requests of one tenant in one lock trip.
+
+        Returns a per-request list of ``None`` (admitted — one token
+        held, same :meth:`release` contract) or the shedding
+        :class:`RejectCode`.  One clock read and one lock acquisition
+        cover the whole batch — the admission-side share of the batched
+        fast path.
+        """
+        codes: list[RejectCode | None] = []
+        shed_counts: dict[RejectCode, int] = {}
         with self._lock:
-            self._inflight -= 1
+            bucket = self._buckets.get(tenant)
+            now = time.monotonic()
+            for _ in range(count):
+                code = self._admit_locked(tenant, bucket, now, reserved)
+                codes.append(code)
+                if code is not None:
+                    self.shed[code] += 1
+                    shed_counts[code] = shed_counts.get(code, 0) + 1
+            inflight = self._inflight_free + self._inflight_reserved
+        metrics = _metrics()
+        if metrics.enabled:
+            admitted = count - sum(shed_counts.values())
+            if admitted:
+                metrics.inc("gateway.admitted", admitted)
+                metrics.gauge("gateway.inflight", inflight)
+            for code, n in shed_counts.items():
+                metrics.inc("gateway.shed", n)
+                metrics.inc(f"gateway.shed.{code.name.lower()}", n)
+        return codes
+
+    def retry_after_ms(self, tenant: str) -> int:
+        """Milliseconds until ``tenant``'s bucket refills one token."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                return 0
+            return int(math.ceil(bucket.retry_after_s() * 1000.0))
+
+    def release(self, *, reserved: bool = False, count: int = 1) -> None:
+        """Return ``count`` admitted requests' in-flight tokens."""
+        with self._lock:
+            if reserved:
+                self._inflight_reserved -= count
+            else:
+                self._inflight_free -= count
 
     def drain(self) -> None:
         """Reject everything from now on (server shutdown)."""
         with self._lock:
             self.draining = True
+
+
+class _Connection:
+    """Per-connection gateway state, touched only on the event loop.
+
+    ``inflight``/``window`` implement the credit protocol for
+    cooperative connections: the read loop stops pulling from the
+    socket while ``inflight >= window`` and the reply path (hopping
+    onto the loop via :meth:`deliver`) returns credits and resumes it.
+    """
+
+    __slots__ = ("cooperative", "inflight", "outbox", "resume", "window")
+
+    def __init__(self, outbox: asyncio.Queue) -> None:
+        self.outbox = outbox
+        self.cooperative = False
+        self.window = 0
+        self.inflight = 0
+        self.resume = asyncio.Event()
+        self.resume.set()
+
+    def charge(self, credits: int) -> None:
+        self.inflight += credits
+        if self.inflight >= self.window:
+            self.resume.clear()
+
+    def deliver(self, reply: bytes, credits: int = 0) -> None:
+        """Enqueue one reply, returning ``credits`` to the connection.
+
+        Runs on the event loop (reply paths coming off collector
+        threads hop here via ``call_soon_threadsafe``).  On cooperative
+        connections the credit grant is *prepended* to the reply bytes
+        so client-side accounting is ahead of the response it unblocks.
+        """
+        if self.cooperative and credits:
+            self.inflight -= credits
+            reply = encode_frame(Frame(
+                FrameKind.CREDIT, payload=encode_credit(credits)
+            )) + reply
+            if self.inflight < self.window:
+                self.resume.set()
+        self.outbox.put_nowait(reply)
+
+
+class _BatchReply:
+    """Accumulates one SUBMIT_BATCH's results; fires the reply when full.
+
+    Done-callbacks land on engine collector threads (possibly several,
+    concurrently); each settles one merged *run* of adjacent entries
+    (slicing the run's prediction rows back per entry), and the last
+    one to decrement ``_remaining`` encodes the whole
+    ``RESPONSE_BATCH`` *off-loop* before hopping onto the loop to
+    enqueue it — the event loop only ever sees one finished bytes
+    object per batch.
+    """
+
+    __slots__ = ("_conn", "_gateway", "_lock", "_loop", "_remaining",
+                 "predictions", "reserved", "statuses", "tenant",
+                 "trace_id", "trace_ids")
+
+    def __init__(
+        self, gateway: "GatewayServer", conn: _Connection,
+        loop: asyncio.AbstractEventLoop, *, tenant: str, trace_id: int,
+        trace_ids, statuses, predictions, remaining: int, reserved: bool,
+    ) -> None:
+        self._gateway = gateway
+        self._conn = conn
+        self._loop = loop
+        self.tenant = tenant
+        self.trace_id = trace_id
+        self.trace_ids = trace_ids
+        self.statuses = statuses
+        self.predictions = predictions
+        self._remaining = remaining
+        self.reserved = reserved
+        self._lock = threading.Lock()
+
+    def callback_for(self, indices: list[int], rows: list[int]):
+        """Done-callback settling the run of entries ``indices``.
+
+        The run was served as one engine request whose prediction rows
+        are the entries' rows back to back (``rows[k]`` each); expiry
+        marks the whole run (one shared deadline) EXPIRED.
+        """
+        def _on_done(result) -> None:
+            self._gateway.admission.release(
+                reserved=self.reserved, count=len(indices)
+            )
+            if result.predictions is not None:
+                preds = result.predictions
+                offset = 0
+                for index, n in zip(indices, rows):
+                    self.predictions[index] = preds[offset:offset + n]
+                    offset += n
+            else:
+                self.statuses[indices] = int(ErrorCode.EXPIRED)
+            with self._lock:
+                self._remaining -= len(indices)
+                last = self._remaining == 0
+            if last:
+                self.fire()
+        return _on_done
+
+    def fire(self) -> None:
+        reply = encode_frame(Frame(
+            FrameKind.RESPONSE_BATCH,
+            tenant=self.tenant,
+            trace_id=self.trace_id,
+            payload=encode_response_batch(
+                self.trace_ids, self.statuses, self.predictions
+            ),
+        ))
+        try:
+            self._loop.call_soon_threadsafe(
+                self._conn.deliver, reply, len(self.predictions)
+            )
+        except RuntimeError:
+            pass  # loop already closed (connection torn down)
 
 
 class GatewayServer:
@@ -202,6 +466,14 @@ class GatewayServer:
         ring capacity (see :class:`AdmissionController`).
     max_frame_bytes:
         Inbound frame-size cap per connection.
+    connection_window:
+        Credit window requested for each cooperative connection
+        (clamped to what the admission budget can still reserve).
+        Defaults to half the in-flight cap.
+    http_port:
+        When set, also serve the HTTP/1.1 JSON ingress
+        (:mod:`repro.serve.http`) on this port (0 picks a free one —
+        read :attr:`http_port` back after :meth:`start`).
     """
 
     def __init__(
@@ -214,6 +486,8 @@ class GatewayServer:
         burst: float | None = None,
         max_inflight: int | None = None,
         max_frame_bytes: int | None = None,
+        connection_window: int | None = None,
+        http_port: int | None = None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -225,14 +499,24 @@ class GatewayServer:
             rate_limit=rate_limit,
             burst=burst,
         )
+        if connection_window is None:
+            connection_window = max(1, self.admission.max_inflight // 2)
+        if connection_window < 1:
+            raise ValueError(
+                f"connection_window must be >= 1, got {connection_window}"
+            )
+        self._connection_window = connection_window
         self._max_frame = max_frame_bytes
+        self._requested_http_port = http_port
         self.loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._http_server: asyncio.AbstractServer | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
         self._start_error: BaseException | None = None
         self._connections: set[asyncio.Task] = set()
         self.port: int | None = None
+        self.http_port: int | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -261,6 +545,20 @@ class GatewayServer:
                 self._handle_connection, self.host, self._requested_port
             ))
             self.port = self._server.sockets[0].getsockname()[1]
+            if self._requested_http_port is not None:
+                from repro.serve.http import handle_http_connection
+
+                async def _http(reader, writer):
+                    await handle_http_connection(self, reader, writer)
+
+                self._http_server = loop.run_until_complete(
+                    asyncio.start_server(
+                        _http, self.host, self._requested_http_port
+                    )
+                )
+                self.http_port = (
+                    self._http_server.sockets[0].getsockname()[1]
+                )
         except BaseException as exc:  # surface bind errors to start()
             self._start_error = exc
             self._started.set()
@@ -297,9 +595,10 @@ class GatewayServer:
         loop = self.loop
         if loop.is_running():
             async def _shutdown() -> None:
-                if self._server is not None:
-                    self._server.close()
-                    await self._server.wait_closed()
+                for server in (self._server, self._http_server):
+                    if server is not None:
+                        server.close()
+                        await server.wait_closed()
                 for task in list(self._connections):
                     task.cancel()
             try:
@@ -325,10 +624,18 @@ class GatewayServer:
     ) -> None:
         task = asyncio.current_task()
         self._connections.add(task)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                # Replies are small; never let Nagle hold them hostage.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP transports
+                pass
         # One writer coroutine per connection serialises every reply —
         # engine done-callbacks only ever enqueue, so responses can
         # never interleave mid-frame.
         outbox: asyncio.Queue = asyncio.Queue()
+        conn = _Connection(outbox)
         writer_task = asyncio.get_running_loop().create_task(
             self._write_replies(outbox, writer)
         )
@@ -337,8 +644,26 @@ class GatewayServer:
             if self._max_frame
             else FrameDecoder()
         )
+        transport = writer.transport
+        metrics = _metrics()
         try:
             while True:
+                if conn.cooperative and not conn.resume.is_set():
+                    # Window exhausted: connection-level backpressure.
+                    # Stop reading so in-transit frames queue in the
+                    # kernel buffers instead of being shed one by one;
+                    # the reply path returns credits and resumes us.
+                    try:
+                        transport.pause_reading()
+                    except (AttributeError, RuntimeError):
+                        pass
+                    if metrics.enabled:
+                        metrics.inc("gateway.paused")
+                    await conn.resume.wait()
+                    try:
+                        transport.resume_reading()
+                    except (AttributeError, RuntimeError):
+                        pass
                 data = await reader.read(1 << 16)
                 if not data:
                     break
@@ -354,12 +679,19 @@ class GatewayServer:
                         ),
                     )))
                     break
+                submitted = False
                 for frame in frames:
-                    self._handle_frame(frame, outbox)
+                    submitted |= self._handle_frame(frame, conn)
+                if submitted:
+                    # Coalesced singles: one engine dispatch per read
+                    # chunk, not one per frame.
+                    self.engine.flush()
         except (asyncio.CancelledError, ConnectionResetError):
             pass
         finally:
             self._connections.discard(task)
+            if conn.window:
+                self.admission.release_window(conn.window)
             outbox.put_nowait(None)
             try:
                 await writer_task
@@ -384,14 +716,19 @@ class GatewayServer:
             except (ConnectionResetError, BrokenPipeError):
                 return
 
-    def _handle_frame(self, frame: Frame, outbox: asyncio.Queue) -> None:
+    # -- frame handling ------------------------------------------------
+
+    def _handle_frame(self, frame: Frame, conn: _Connection) -> bool:
+        """Process one inbound frame; True if an engine submit needs a
+        flush (the caller flushes once per read chunk)."""
         if frame.kind == FrameKind.PING:
-            outbox.put_nowait(encode_frame(Frame(
-                FrameKind.PONG, trace_id=frame.trace_id
-            )))
-            return
+            self._handle_ping(frame, conn)
+            return False
+        if frame.kind == FrameKind.SUBMIT_BATCH:
+            self._handle_batch(frame, conn)
+            return False
         if frame.kind not in (FrameKind.PACKED, FrameKind.FEATURES):
-            outbox.put_nowait(encode_frame(Frame(
+            conn.outbox.put_nowait(encode_frame(Frame(
                 FrameKind.ERROR,
                 trace_id=frame.trace_id,
                 payload=encode_status(
@@ -399,19 +736,58 @@ class GatewayServer:
                     f"gateway does not accept {frame.kind.name} frames",
                 ),
             )))
-            return
+            return False
+        return self._handle_single(frame, conn)
+
+    def _handle_ping(self, frame: Frame, conn: _Connection) -> None:
+        if frame.flags & FLAG_CREDIT and not conn.cooperative:
+            window = self.admission.reserve_window(self._connection_window)
+            if window > 0:
+                conn.cooperative = True
+                conn.window = window
+                # Grant before the PONG so the client sees its window
+                # the moment the handshake completes.
+                conn.outbox.put_nowait(encode_frame(Frame(
+                    FrameKind.CREDIT, payload=encode_credit(window)
+                )))
+        conn.outbox.put_nowait(encode_frame(Frame(
+            FrameKind.PONG, trace_id=frame.trace_id
+        )))
+
+    def _reject_frame(
+        self, frame: Frame, tenant: str, code: RejectCode
+    ) -> bytes:
+        retry = (
+            self.admission.retry_after_ms(tenant)
+            if code == RejectCode.RATE_LIMITED else None
+        )
+        return encode_frame(Frame(
+            FrameKind.REJECT,
+            tenant=tenant,
+            trace_id=frame.trace_id,
+            payload=encode_reject(code, code.name, retry),
+        ))
+
+    def _handle_single(self, frame: Frame, conn: _Connection) -> bool:
         tenant = frame.tenant or self.engine.tenants[0]
-        code = self.admission.admit(tenant)
+        if conn.cooperative:
+            if conn.inflight + 1 > conn.window:
+                # Window overrun: typed reject, credit refunded — the
+                # client that respects its grants never lands here.
+                conn.outbox.put_nowait(encode_frame(Frame(
+                    FrameKind.CREDIT, payload=encode_credit(1)
+                )) + self._reject_frame(
+                    frame, tenant, RejectCode.OVERLOADED
+                ))
+                return False
+            conn.charge(1)
+        code = self.admission.admit(tenant, reserved=conn.cooperative)
         if code is not None:
-            outbox.put_nowait(encode_frame(Frame(
-                FrameKind.REJECT,
-                tenant=tenant,
-                trace_id=frame.trace_id,
-                payload=encode_status(code, code.name),
-            )))
-            return
+            conn.deliver(self._reject_frame(frame, tenant, code), 1)
+            return False
         loop = asyncio.get_running_loop()
         trace_id = frame.trace_id
+        reserved = conn.cooperative
         try:
             payload = decode_array(frame.kind, frame.payload)
             request = ServeRequest(
@@ -423,40 +799,40 @@ class GatewayServer:
                 tenant=tenant,
                 trace_id=trace_id,
             )
-            future = self.engine.submit(request)
+            future = self.engine.submit(request, flush=False)
         except (ProtocolError, ValueError) as exc:
-            self.admission.release()
-            outbox.put_nowait(encode_frame(Frame(
+            self.admission.release(reserved=reserved)
+            conn.deliver(encode_frame(Frame(
                 FrameKind.ERROR,
                 tenant=tenant,
                 trace_id=trace_id,
                 payload=encode_status(ErrorCode.BAD_REQUEST, str(exc)),
-            )))
-            return
+            )), 1)
+            return False
         except Backpressure as exc:
             # Should not happen (the in-flight cap <= ring slots), but
             # the engine may be shared with non-gateway submitters.
-            self.admission.release()
-            outbox.put_nowait(encode_frame(Frame(
+            self.admission.release(reserved=reserved)
+            conn.deliver(encode_frame(Frame(
                 FrameKind.REJECT,
                 tenant=tenant,
                 trace_id=trace_id,
                 payload=encode_status(RejectCode.OVERLOADED, str(exc)),
-            )))
-            return
+            )), 1)
+            return False
         except RuntimeError as exc:  # engine stopped underneath us
-            self.admission.release()
-            outbox.put_nowait(encode_frame(Frame(
+            self.admission.release(reserved=reserved)
+            conn.deliver(encode_frame(Frame(
                 FrameKind.REJECT,
                 tenant=tenant,
                 trace_id=trace_id,
                 payload=encode_status(RejectCode.SHUTTING_DOWN, str(exc)),
-            )))
-            return
+            )), 1)
+            return False
 
         def _on_done(result) -> None:
             # Runs on an engine collector thread: hop onto the loop.
-            self.admission.release()
+            self.admission.release(reserved=reserved)
             if result.predictions is not None:
                 reply = encode_frame(Frame(
                     FrameKind.RESPONSE,
@@ -476,8 +852,120 @@ class GatewayServer:
                     ),
                 ))
             try:
-                loop.call_soon_threadsafe(outbox.put_nowait, reply)
+                loop.call_soon_threadsafe(conn.deliver, reply, 1)
             except RuntimeError:
                 pass  # loop already closed (connection torn down)
 
         future.add_done_callback(_on_done)
+        return True
+
+    def _handle_batch(self, frame: Frame, conn: _Connection) -> None:
+        tenant = frame.tenant or self.engine.tenants[0]
+        try:
+            batch = decode_submit_batch(frame.payload)
+        except ProtocolError as exc:
+            conn.outbox.put_nowait(encode_frame(Frame(
+                FrameKind.ERROR,
+                tenant=tenant,
+                trace_id=frame.trace_id,
+                payload=encode_status(ErrorCode.BAD_REQUEST, str(exc)),
+            )))
+            return
+        count = len(batch)
+        if conn.cooperative:
+            if conn.inflight + count > conn.window:
+                conn.outbox.put_nowait(encode_frame(Frame(
+                    FrameKind.CREDIT, payload=encode_credit(count)
+                )) + self._reject_frame(
+                    frame, tenant, RejectCode.OVERLOADED
+                ))
+                return
+            conn.charge(count)
+        reserved = conn.cooperative
+        codes = self.admission.admit_many(tenant, count, reserved=reserved)
+        statuses = np.zeros(count, dtype=np.uint8)
+        predictions: list = [None] * count
+        deadline = frame.deadline_ns / 1e9 if frame.deadline_ns else None
+        # Fold adjacent admitted entries into merged engine requests:
+        # a run's rows are already contiguous in the batch block, so
+        # one zero-copy slice serves the whole run as a single engine
+        # submit (bounded by the engine's per-request query cap), and
+        # its done-callback slices the predictions back per entry.
+        cap = max(1, self.engine.max_queries_per_request)
+        offsets = batch.offsets
+        requests: list[ServeRequest] = []
+        runs: list[tuple[list[int], list[int]]] = []
+        run_idx: list[int] = []
+        run_rows: list[int] = []
+        run_total = 0
+        admitted: list[int] = []
+
+        def _close_run() -> None:
+            nonlocal run_idx, run_rows, run_total
+            if not run_idx:
+                return
+            first, stop = run_idx[0], run_idx[-1] + 1
+            requests.append(ServeRequest(
+                batch.block[offsets[first]:offsets[stop]],
+                features=batch.features,
+                deadline=deadline,
+                tenant=tenant,
+                trace_id=int(batch.trace_ids[first]),
+            ))
+            runs.append((run_idx, run_rows))
+            run_idx, run_rows, run_total = [], [], 0
+
+        for i, code in enumerate(codes):
+            if code is not None:
+                statuses[i] = BATCH_REJECT_BASE + int(code)
+                _close_run()
+                continue
+            n_rows = int(batch.rows[i])
+            if run_idx and run_total + n_rows > cap:
+                _close_run()
+            run_idx.append(i)
+            run_rows.append(n_rows)
+            run_total += n_rows
+            admitted.append(i)
+        _close_run()
+        reply = _BatchReply(
+            self, conn, asyncio.get_running_loop(),
+            tenant=tenant, trace_id=frame.trace_id,
+            trace_ids=batch.trace_ids, statuses=statuses,
+            predictions=predictions, remaining=len(admitted),
+            reserved=reserved,
+        )
+        if not admitted:
+            conn.deliver(encode_frame(Frame(
+                FrameKind.RESPONSE_BATCH,
+                tenant=tenant,
+                trace_id=frame.trace_id,
+                payload=encode_response_batch(
+                    batch.trace_ids, statuses, predictions
+                ),
+            )), count)
+            return
+        try:
+            futures = self.engine.submit_many(requests)
+        except (ProtocolError, ValueError):
+            fail = int(ErrorCode.BAD_REQUEST)
+        except Backpressure:
+            fail = BATCH_REJECT_BASE + int(RejectCode.OVERLOADED)
+        except RuntimeError:  # engine stopped underneath us
+            fail = BATCH_REJECT_BASE + int(RejectCode.SHUTTING_DOWN)
+        else:
+            for (indices, rows), future in zip(runs, futures):
+                future.add_done_callback(reply.callback_for(indices, rows))
+            return
+        # submit_many is all-or-nothing: every admitted entry failed the
+        # same way, so resolve them in place and answer immediately.
+        self.admission.release(reserved=reserved, count=len(admitted))
+        statuses[admitted] = fail
+        conn.deliver(encode_frame(Frame(
+            FrameKind.RESPONSE_BATCH,
+            tenant=tenant,
+            trace_id=frame.trace_id,
+            payload=encode_response_batch(
+                batch.trace_ids, statuses, predictions
+            ),
+        )), count)

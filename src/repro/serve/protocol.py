@@ -24,7 +24,40 @@ Request payloads (``PACKED``/``FEATURES``) carry their own geometry —
 words or float64 features) — so the server validates shape against the
 tenant's geometry instead of trusting the client.  ``RESPONSE`` bodies
 are ``u32 rows`` + int64 predictions; ``REJECT``/``ERROR`` bodies are a
-:class:`RejectCode`/error byte + UTF-8 detail string.
+:class:`RejectCode`/error byte + UTF-8 detail string (``RATE_LIMITED``
+rejects additionally carry a ``u32 retry_after_ms`` hint between the
+code byte and the detail — see :func:`encode_reject`).
+
+**Batched frames** amortise the per-frame cost across many requests.
+A ``SUBMIT_BATCH`` frame carries one header and one contiguous query
+block for N requests of a single tenant::
+
+    u8   payload kind   0 = packed uint64 words, 1 = float64 features
+    u8   reserved
+    u16  reserved
+    u32  count          requests in the batch
+    u32  cols           words (or features) per query row
+    u32  total_rows     sum of per-request row counts
+    ...  rows           count x u32 little-endian rows per request
+    ...  trace_ids      count x u64 little-endian per-request trace ids
+    ...  block          total_rows x cols row-major little-endian array
+
+Encoding and decoding are single numpy views over the block — there is
+no per-request byte slicing on either side; the gateway hands the
+engine zero-copy row slices of the decoded block.  The reply is one
+``RESPONSE_BATCH`` frame (``u32 count, u32 pred_rows`` + trace ids +
+per-request status bytes + per-request row counts + one int64
+prediction block covering the OK requests in order).  A per-request
+status of 0 is OK; 1..99 is an :class:`ErrorCode`; 100+ is
+``100 + RejectCode`` (see :data:`BATCH_REJECT_BASE`).
+
+``CREDIT`` frames are the connection-level backpressure channel: the
+body is a ``u32`` grant of request credits.  Clients opt in by setting
+the :data:`FLAG_CREDIT` bit of the header ``flags`` field (the
+pre-batch ``reserved`` field) on their frames; the server then bounds
+the connection by a credit window instead of shedding per-request, and
+every reply to a cooperative connection is preceded by a grant
+returning the credits its requests consumed.
 
 Decoding is *incremental* (:class:`FrameDecoder`): feed it arbitrary
 byte chunks, get complete frames out.  Malformed input raises a typed
@@ -44,25 +77,37 @@ import struct
 import numpy as np
 
 __all__ = [
-    "FrameTooLarge",
+    "BATCH_REJECT_BASE",
+    "BadFrame",
     "BadMagic",
     "BadVersion",
-    "BadFrame",
+    "FLAG_CREDIT",
     "Frame",
     "FrameDecoder",
     "FrameKind",
+    "FrameTooLarge",
     "MAGIC",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "RejectCode",
+    "ResponseBatch",
+    "SubmitBatch",
     "VERSION",
     "decode_array",
+    "decode_credit",
     "decode_predictions",
+    "decode_reject",
+    "decode_response_batch",
     "decode_status",
+    "decode_submit_batch",
     "encode_array",
+    "encode_credit",
     "encode_frame",
     "encode_predictions",
+    "encode_reject",
+    "encode_response_batch",
     "encode_status",
+    "encode_submit_batch",
 ]
 
 MAGIC = 0x5247  # "RG"
@@ -76,6 +121,16 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 _HEADER = struct.Struct(">HBBHHQQ")
 _LEN = struct.Struct(">I")
 _DIMS = struct.Struct(">II")
+_BATCH = struct.Struct(">BBHIII")
+_CREDIT = struct.Struct(">I")
+_RETRY = struct.Struct(">I")
+
+# Header ``flags`` bits (the field the v1 layout reserved).
+FLAG_CREDIT = 0x0001  # connection opts into credit-based backpressure
+
+# Per-request status bytes in a RESPONSE_BATCH: 0 = OK, 1..99 is an
+# ErrorCode, BATCH_REJECT_BASE + RejectCode marks an admission shed.
+BATCH_REJECT_BASE = 100
 
 
 class FrameKind(enum.IntEnum):
@@ -88,6 +143,9 @@ class FrameKind(enum.IntEnum):
     ERROR = 5  # reply: request failed (bad shape, expired, ...)
     PING = 6  # liveness probe
     PONG = 7  # liveness reply
+    SUBMIT_BATCH = 8  # request: N requests, one header + one query block
+    RESPONSE_BATCH = 9  # reply: per-request statuses + one prediction block
+    CREDIT = 10  # control: server grants request credits (u32)
 
 
 class RejectCode(enum.IntEnum):
@@ -130,7 +188,8 @@ class BadFrame(ProtocolError):
 class Frame:
     """One decoded (or to-be-encoded) protocol frame."""
 
-    __slots__ = ("deadline_ns", "kind", "payload", "tenant", "trace_id")
+    __slots__ = ("deadline_ns", "flags", "kind", "payload", "tenant",
+                 "trace_id")
 
     def __init__(
         self,
@@ -140,12 +199,14 @@ class Frame:
         trace_id: int = 0,
         deadline_ns: int = 0,
         payload: bytes = b"",
+        flags: int = 0,
     ) -> None:
         self.kind = FrameKind(kind)
         self.tenant = tenant
         self.trace_id = trace_id
         self.deadline_ns = deadline_ns
         self.payload = payload
+        self.flags = flags
 
     def __eq__(self, other) -> bool:
         return (
@@ -155,13 +216,14 @@ class Frame:
             and self.trace_id == other.trace_id
             and self.deadline_ns == other.deadline_ns
             and self.payload == other.payload
+            and self.flags == other.flags
         )
 
     def __repr__(self) -> str:
         return (
             f"Frame({self.kind.name}, tenant={self.tenant!r}, "
             f"trace_id={self.trace_id}, deadline_ns={self.deadline_ns}, "
-            f"payload={len(self.payload)}B)"
+            f"flags={self.flags:#x}, payload={len(self.payload)}B)"
         )
 
 
@@ -174,8 +236,10 @@ def encode_frame(frame: Frame) -> bytes:
         raise ValueError(f"trace_id out of u64 range: {frame.trace_id}")
     if not 0 <= frame.deadline_ns <= 0xFFFFFFFFFFFFFFFF:
         raise ValueError(f"deadline_ns out of u64 range: {frame.deadline_ns}")
+    if not 0 <= frame.flags <= 0xFFFF:
+        raise ValueError(f"flags out of u16 range: {frame.flags}")
     header = _HEADER.pack(
-        MAGIC, VERSION, int(frame.kind), len(tenant), 0,
+        MAGIC, VERSION, int(frame.kind), len(tenant), frame.flags,
         frame.trace_id, frame.deadline_ns,
     )
     body = header + tenant + frame.payload
@@ -236,7 +300,7 @@ class FrameDecoder:
         if len(buf) < _LEN.size + length:
             return None  # incomplete; keep buffering
         start = _LEN.size
-        (magic, version, kind, tenant_len, _reserved, trace_id,
+        (magic, version, kind, tenant_len, flags, trace_id,
          deadline_ns) = _HEADER.unpack_from(buf, start)
         if magic != MAGIC:
             raise self._poison(BadMagic(
@@ -275,6 +339,7 @@ class FrameDecoder:
             trace_id=trace_id,
             deadline_ns=deadline_ns,
             payload=payload,
+            flags=flags,
         )
 
     def _poison(self, error: ProtocolError) -> ProtocolError:
@@ -353,3 +418,258 @@ def decode_status(payload: bytes) -> tuple[int, str]:
     if not payload:
         raise BadFrame("status body missing its code byte")
     return payload[0], payload[1:].decode("utf-8", errors="replace")
+
+
+def encode_reject(
+    code: int, detail: str = "", retry_after_ms: int | None = None
+) -> bytes:
+    """REJECT body; ``RATE_LIMITED`` carries a ``u32 retry_after_ms``.
+
+    The hint sits between the code byte and the detail string, so a
+    throttled client learns *when* the token bucket will have refilled
+    instead of guessing a backoff.  Other codes use the plain
+    :func:`encode_status` layout.
+    """
+    if int(code) != int(RejectCode.RATE_LIMITED):
+        return encode_status(code, detail)
+    raw = detail.encode("utf-8")[:0xFFFF]
+    hint = min(0xFFFFFFFF, max(0, int(retry_after_ms or 0)))
+    return bytes([int(code)]) + _RETRY.pack(hint) + raw
+
+
+def decode_reject(payload: bytes) -> tuple[int, str, int | None]:
+    """Inverse of :func:`encode_reject`.
+
+    Returns ``(code, detail, retry_after_ms)`` where the hint is None
+    for every code but ``RATE_LIMITED``.
+    """
+    if not payload:
+        raise BadFrame("reject body missing its code byte")
+    code = payload[0]
+    if code != int(RejectCode.RATE_LIMITED):
+        return code, payload[1:].decode("utf-8", errors="replace"), None
+    if len(payload) < 1 + _RETRY.size:
+        raise BadFrame("RATE_LIMITED reject missing its retry_after_ms")
+    (retry_after_ms,) = _RETRY.unpack_from(payload, 1)
+    detail = payload[1 + _RETRY.size :].decode("utf-8", errors="replace")
+    return code, detail, retry_after_ms
+
+
+# ----------------------------------------------------------------------
+# Batched frames
+# ----------------------------------------------------------------------
+
+_ROWS_DTYPE = np.dtype("<u4")
+_TRACE_DTYPE = np.dtype("<u8")
+_PRED_DTYPE = np.dtype("<i8")
+
+
+class SubmitBatch:
+    """Decoded ``SUBMIT_BATCH`` body: numpy views over the wire buffer.
+
+    ``block`` is the full ``(total_rows, cols)`` query block; request
+    ``i`` spans rows ``offsets[i]:offsets[i + 1]`` — a zero-copy slice,
+    never a fresh buffer.
+    """
+
+    __slots__ = ("block", "features", "offsets", "rows", "trace_ids")
+
+    def __init__(self, features, rows, trace_ids, block) -> None:
+        self.features = features
+        self.rows = rows
+        self.trace_ids = trace_ids
+        self.block = block
+        self.offsets = np.zeros(rows.shape[0] + 1, dtype=np.int64)
+        np.cumsum(rows, out=self.offsets[1:])
+
+    def __len__(self) -> int:
+        return self.rows.shape[0]
+
+    def payload_for(self, i: int) -> np.ndarray:
+        """Request ``i``'s query rows — a view into the batch block."""
+        return self.block[self.offsets[i] : self.offsets[i + 1]]
+
+
+def encode_submit_batch(
+    payloads, *, features: bool = False, trace_ids=None
+) -> bytes:
+    """SUBMIT_BATCH body for ``payloads`` (sequence of 2-D arrays).
+
+    All payloads must share a column count.  ``trace_ids`` (per-request
+    u64, default ``0..N-1``) are echoed per entry in the batch reply.
+    The block is assembled with one concatenate — the only copy on the
+    encode side.
+    """
+    if not payloads:
+        raise ValueError("batch must carry at least one request")
+    dtype = np.dtype("<f8") if features else np.dtype("<u8")
+    arrays = [np.ascontiguousarray(p, dtype=dtype) for p in payloads]
+    cols = arrays[0].shape[1] if arrays[0].ndim == 2 else -1
+    for a in arrays:
+        if a.ndim != 2 or a.shape[1] != cols:
+            raise ValueError(
+                "batch payloads must all be 2-D with one column count; "
+                f"got shapes {[a.shape for a in arrays]}"
+            )
+    rows = np.asarray([a.shape[0] for a in arrays], dtype=_ROWS_DTYPE)
+    if trace_ids is None:
+        trace_ids = np.arange(len(arrays), dtype=_TRACE_DTYPE)
+    else:
+        trace_ids = np.ascontiguousarray(trace_ids, dtype=_TRACE_DTYPE)
+        if trace_ids.shape != (len(arrays),):
+            raise ValueError(
+                f"need {len(arrays)} trace ids, got shape {trace_ids.shape}"
+            )
+    block = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+    total_rows = int(block.shape[0])
+    header = _BATCH.pack(
+        1 if features else 0, 0, 0, len(arrays), cols, total_rows
+    )
+    return b"".join(
+        (header, rows.tobytes(), trace_ids.tobytes(), block.tobytes())
+    )
+
+
+def decode_submit_batch(payload: bytes) -> SubmitBatch:
+    """Inverse of :func:`encode_submit_batch` (raises :class:`BadFrame`).
+
+    Every array — per-request rows, trace ids, and the query block —
+    is a ``np.frombuffer`` view over the frame payload; nothing is
+    sliced per request.
+    """
+    if len(payload) < _BATCH.size:
+        raise BadFrame(
+            f"batch body of {len(payload)} bytes is shorter than its "
+            f"{_BATCH.size}-byte header"
+        )
+    kind_byte, _, _, count, cols, total_rows = _BATCH.unpack_from(payload)
+    if kind_byte not in (0, 1):
+        raise BadFrame(f"unknown batch payload kind {kind_byte}")
+    if count < 1:
+        raise BadFrame("batch claims zero requests")
+    features = kind_byte == 1
+    dtype = np.dtype("<f8") if features else np.dtype("<u8")
+    rows_off = _BATCH.size
+    trace_off = rows_off + count * _ROWS_DTYPE.itemsize
+    block_off = trace_off + count * _TRACE_DTYPE.itemsize
+    expected = block_off + total_rows * cols * dtype.itemsize
+    if len(payload) != expected:
+        raise BadFrame(
+            f"batch body claims {count} requests / {total_rows}x{cols} "
+            f"block = {expected} bytes but carries {len(payload)}"
+        )
+    rows = np.frombuffer(payload, dtype=_ROWS_DTYPE, count=count,
+                         offset=rows_off)
+    if int(rows.sum()) != total_rows:
+        raise BadFrame(
+            f"batch row counts sum to {int(rows.sum())} but the block "
+            f"claims {total_rows} rows"
+        )
+    trace_ids = np.frombuffer(payload, dtype=_TRACE_DTYPE, count=count,
+                              offset=trace_off)
+    block = np.frombuffer(payload, dtype=dtype, offset=block_off).reshape(
+        total_rows, cols
+    )
+    return SubmitBatch(features, rows, trace_ids, block)
+
+
+class ResponseBatch:
+    """Decoded ``RESPONSE_BATCH`` body (numpy views, like its request)."""
+
+    __slots__ = ("offsets", "predictions", "rows", "statuses", "trace_ids")
+
+    def __init__(self, trace_ids, statuses, rows, predictions) -> None:
+        self.trace_ids = trace_ids
+        self.statuses = statuses
+        self.rows = rows
+        self.predictions = predictions
+        self.offsets = np.zeros(rows.shape[0] + 1, dtype=np.int64)
+        np.cumsum(rows, out=self.offsets[1:])
+
+    def __len__(self) -> int:
+        return self.rows.shape[0]
+
+    def predictions_for(self, i: int) -> np.ndarray:
+        """Entry ``i``'s prediction rows (empty for failed entries)."""
+        return self.predictions[self.offsets[i] : self.offsets[i + 1]]
+
+
+def encode_response_batch(trace_ids, statuses, predictions) -> bytes:
+    """RESPONSE_BATCH body.
+
+    ``predictions`` is a list parallel to ``trace_ids`` whose entries
+    are int64 arrays for OK requests and ``None`` for failed ones
+    (their status byte says why).
+    """
+    trace_ids = np.ascontiguousarray(trace_ids, dtype=_TRACE_DTYPE)
+    statuses = np.ascontiguousarray(statuses, dtype=np.uint8)
+    count = trace_ids.shape[0]
+    if statuses.shape != (count,) or len(predictions) != count:
+        raise ValueError(
+            f"trace_ids/statuses/predictions lengths disagree: "
+            f"{count}/{statuses.shape[0]}/{len(predictions)}"
+        )
+    rows = np.zeros(count, dtype=_ROWS_DTYPE)
+    ok = []
+    for i, preds in enumerate(predictions):
+        if preds is not None:
+            flat = np.ascontiguousarray(preds, dtype=_PRED_DTYPE).reshape(-1)
+            rows[i] = flat.shape[0]
+            ok.append(flat)
+    block = (
+        np.concatenate(ok) if len(ok) > 1
+        else (ok[0] if ok else np.empty(0, dtype=_PRED_DTYPE))
+    )
+    header = _DIMS.pack(count, int(block.shape[0]))
+    return b"".join(
+        (header, trace_ids.tobytes(), statuses.tobytes(), rows.tobytes(),
+         block.tobytes())
+    )
+
+
+def decode_response_batch(payload: bytes) -> ResponseBatch:
+    """Inverse of :func:`encode_response_batch`."""
+    if len(payload) < _DIMS.size:
+        raise BadFrame("batch response body missing its counts header")
+    count, pred_rows = _DIMS.unpack_from(payload)
+    if count < 1:
+        raise BadFrame("batch response claims zero entries")
+    trace_off = _DIMS.size
+    status_off = trace_off + count * _TRACE_DTYPE.itemsize
+    rows_off = status_off + count
+    block_off = rows_off + count * _ROWS_DTYPE.itemsize
+    expected = block_off + pred_rows * _PRED_DTYPE.itemsize
+    if len(payload) != expected:
+        raise BadFrame(
+            f"batch response claims {count} entries / {pred_rows} rows "
+            f"= {expected} bytes but carries {len(payload)}"
+        )
+    trace_ids = np.frombuffer(payload, dtype=_TRACE_DTYPE, count=count,
+                              offset=trace_off)
+    statuses = np.frombuffer(payload, dtype=np.uint8, count=count,
+                             offset=status_off)
+    rows = np.frombuffer(payload, dtype=_ROWS_DTYPE, count=count,
+                         offset=rows_off)
+    if int(rows.sum()) != pred_rows:
+        raise BadFrame(
+            f"batch response row counts sum to {int(rows.sum())} but the "
+            f"block claims {pred_rows} rows"
+        )
+    predictions = np.frombuffer(payload, dtype=_PRED_DTYPE,
+                                offset=block_off)
+    return ResponseBatch(trace_ids, statuses, rows, predictions)
+
+
+def encode_credit(credits: int) -> bytes:
+    """CREDIT body: a ``u32`` grant of request credits."""
+    if not 0 < credits <= 0xFFFFFFFF:
+        raise ValueError(f"credits out of u32 range: {credits}")
+    return _CREDIT.pack(credits)
+
+
+def decode_credit(payload: bytes) -> int:
+    if len(payload) != _CREDIT.size:
+        raise BadFrame(
+            f"credit body must be {_CREDIT.size} bytes, got {len(payload)}"
+        )
+    return _CREDIT.unpack(payload)[0]

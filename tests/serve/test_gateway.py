@@ -334,3 +334,369 @@ class TestGatewayLifecycle:
 
     def test_port_zero_picks_free_port(self, stack):
         assert stack["server"].port > 0
+
+
+class TestBatchedSubmit:
+    def test_sync_batch_both_tenants_match_references(self, stack):
+        server = stack["server"]
+        with GatewayClient("127.0.0.1", server.port) as client:
+            for name in ("alpha", "beta"):
+                task, clf = stack[name]
+                words = clf.encoder.encode_packed(task.test_x[:6]).words
+                expected = clf.predict(task.test_x[:6])
+                results = client.submit_batch(
+                    [words, words[:3], words], tenant=name
+                )
+                assert len(results) == 3
+                np.testing.assert_array_equal(results[0], expected)
+                np.testing.assert_array_equal(results[1], expected[:3])
+                np.testing.assert_array_equal(results[2], expected)
+
+    def test_sync_batch_features(self, stack):
+        server = stack["server"]
+        task, clf = stack["alpha"]
+        expected = clf.predict(task.test_x[:4])
+        with GatewayClient("127.0.0.1", server.port) as client:
+            results = client.submit_batch(
+                [task.test_x[:4], task.test_x[:2]],
+                tenant="alpha", features=True,
+            )
+        np.testing.assert_array_equal(results[0], expected)
+        np.testing.assert_array_equal(results[1], expected[:2])
+
+    def test_async_batch_over_credited_connection(self, stack):
+        server = stack["server"]
+        task, clf = stack["beta"]
+        words = clf.encoder.encode_packed(task.test_x[:8]).words
+        expected = clf.predict(task.test_x[:8])
+
+        async def go():
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", server.port, credited=True
+            )
+            try:
+                assert client.credited
+                assert client.window > 0
+                batches = await asyncio.gather(*[
+                    client.submit_batch(
+                        [words] * 4, tenant="beta"
+                    )
+                    for _ in range(5)
+                ])
+                return batches
+            finally:
+                await client.close()
+
+        for batch in asyncio.run(go()):
+            assert len(batch) == 4
+            for got in batch:
+                np.testing.assert_array_equal(got, expected)
+
+    def test_batch_merges_past_engine_query_cap(self, stack):
+        """More total rows than max_queries_per_request still serves:
+        the gateway splits the batch into capped merged runs."""
+        server = stack["server"]
+        engine = stack["engine"]
+        task, clf = stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:8]).words
+        expected = clf.predict(task.test_x[:8])
+        count = (engine.max_queries_per_request // words.shape[0]) + 3
+        with GatewayClient("127.0.0.1", server.port) as client:
+            results = client.submit_batch(
+                [words] * count, tenant="alpha"
+            )
+        assert len(results) == count
+        for got in results:
+            np.testing.assert_array_equal(got, expected)
+
+    def test_batch_unknown_tenant_rejects_every_entry(self, stack):
+        server = stack["server"]
+        task, clf = stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        with GatewayClient("127.0.0.1", server.port) as client:
+            outcomes = client.submit_batch(
+                [words, words], tenant="ghost", return_exceptions=True
+            )
+        assert len(outcomes) == 2
+        for exc in outcomes:
+            assert isinstance(exc, GatewayRejected)
+            assert exc.code == RejectCode.UNKNOWN_TENANT
+
+    def test_batch_raises_first_failure_without_flag(self, stack):
+        server = stack["server"]
+        task, clf = stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        with GatewayClient("127.0.0.1", server.port) as client:
+            with pytest.raises(GatewayRejected) as excinfo:
+                client.submit_batch([words], tenant="ghost")
+        assert excinfo.value.code == RejectCode.UNKNOWN_TENANT
+
+
+class TestCreditBackpressure:
+    def test_flooding_credited_client_paused_not_shed(self):
+        task, clf = _fitted(58)
+        engine = ServingEngine(clf, num_workers=1, ring_slots=4)
+        server = GatewayServer(
+            engine, max_inflight=2, connection_window=2
+        ).start()
+        words = clf.encoder.encode_packed(task.test_x[:4]).words
+        expected = clf.predict(task.test_x[:4])
+
+        async def flood():
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", server.port, credited=True
+            )
+            try:
+                assert client.window == 2
+                results = await asyncio.gather(*[
+                    client.predict(words) for _ in range(30)
+                ])
+                return results, client.credit_waits
+            finally:
+                await client.close()
+
+        try:
+            results, waits = asyncio.run(flood())
+            assert len(results) == 30
+            for got in results:
+                np.testing.assert_array_equal(got, expected)
+            assert waits > 0, "flood never blocked on credits"
+            assert server.admission.shed_total == 0, \
+                "credit-respecting client must be paused, never shed"
+        finally:
+            server.stop()
+            engine.stop()
+
+    def test_window_overrun_gets_typed_reject_and_refund(self):
+        """A cooperative connection that ignores its window gets a
+        typed OVERLOADED reject plus a CREDIT refund — the connection
+        survives and well-behaved traffic still flows."""
+        from repro.serve.protocol import (
+            FLAG_CREDIT,
+            Frame,
+            FrameDecoder,
+            FrameKind,
+            decode_credit,
+            decode_reject,
+            encode_frame,
+            encode_submit_batch,
+        )
+
+        task, clf = _fitted(59)
+        engine = ServingEngine(clf, num_workers=1, ring_slots=4)
+        server = GatewayServer(
+            engine, max_inflight=2, connection_window=2
+        ).start()
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+
+        async def overrun():
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            decoder = FrameDecoder()
+
+            async def read_frames(n):
+                frames = []
+                while len(frames) < n:
+                    frames.extend(decoder.feed(await reader.read(1 << 16)))
+                return frames
+
+            try:
+                writer.write(encode_frame(Frame(
+                    FrameKind.PING, trace_id=1, flags=FLAG_CREDIT
+                )))
+                await writer.drain()
+                credit, pong = await read_frames(2)
+                assert credit.kind == FrameKind.CREDIT
+                window = decode_credit(credit.payload)
+                assert pong.kind == FrameKind.PONG
+
+                # Deliberately overrun: one batch bigger than the window.
+                writer.write(encode_frame(Frame(
+                    FrameKind.SUBMIT_BATCH,
+                    trace_id=2,
+                    payload=encode_submit_batch([words] * (window + 3)),
+                )))
+                await writer.drain()
+                refund, reject = await read_frames(2)
+                assert refund.kind == FrameKind.CREDIT
+                assert decode_credit(refund.payload) == window + 3
+                assert reject.kind == FrameKind.REJECT
+                code, _, _ = decode_reject(reject.payload)
+                assert code == int(RejectCode.OVERLOADED)
+
+                # The connection is still serviceable afterwards.
+                writer.write(encode_frame(Frame(
+                    FrameKind.SUBMIT_BATCH,
+                    trace_id=3,
+                    payload=encode_submit_batch([words]),
+                )))
+                await writer.drain()
+                frames = await read_frames(2)
+                kinds = [f.kind for f in frames]
+                assert FrameKind.RESPONSE_BATCH in kinds
+            finally:
+                writer.close()
+
+        try:
+            asyncio.run(overrun())
+        finally:
+            server.stop()
+            engine.stop()
+
+    def test_rate_limited_reject_carries_retry_hint(self):
+        task, clf = _fitted(60)
+        engine = ServingEngine(clf, num_workers=1)
+        server = GatewayServer(engine, rate_limit=2.0, burst=1.0).start()
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        try:
+            with GatewayClient("127.0.0.1", server.port) as client:
+                hint = None
+                for _ in range(4):
+                    try:
+                        client.predict(words)
+                    except GatewayRejected as exc:
+                        assert exc.code == RejectCode.RATE_LIMITED
+                        hint = exc.retry_after_ms
+                        break
+                assert hint is not None, "bucket never exhausted"
+                # 2 tokens/s refill => next token within ~500 ms.
+                assert 0 < hint <= 600
+                assert "retry after" in str(
+                    GatewayRejected(int(RejectCode.RATE_LIMITED),
+                                    "x", retry_after_ms=hint)
+                )
+        finally:
+            server.stop()
+            engine.stop()
+
+
+class TestAdmissionBatchOps:
+    def test_admit_many_mixed_outcomes(self):
+        ctrl = AdmissionController(["a"], max_inflight=2, rate_limit=None)
+        codes = ctrl.admit_many("a", 4)
+        assert codes[:2] == [None, None]
+        assert codes[2:] == [RejectCode.OVERLOADED] * 2
+        assert ctrl.inflight == 2
+        ctrl.release(count=2)
+        assert ctrl.inflight == 0
+        assert ctrl.admit_many("ghost", 3) == \
+            [RejectCode.UNKNOWN_TENANT] * 3
+
+    def test_reserve_window_carves_admission_budget(self):
+        ctrl = AdmissionController(["a"], max_inflight=4, rate_limit=None)
+        granted = ctrl.reserve_window(3)
+        assert granted == 3
+        # Non-reserved traffic sees only the remaining budget.
+        codes = ctrl.admit_many("a", 2)
+        assert codes == [None, RejectCode.OVERLOADED]
+        ctrl.release()
+        # Reserved admissions are window-bounded by the gateway, not
+        # by the shared cap.
+        assert ctrl.admit_many("a", 3, reserved=True) == [None] * 3
+        ctrl.release(reserved=True, count=3)
+        ctrl.release_window(3)
+        assert ctrl.reserve_window(99) == 4
+
+
+class TestHttpIngress:
+    @pytest.fixture(scope="class")
+    def http_stack(self, stack):
+        server = GatewayServer(
+            stack["engine"], http_port=0
+        ).start()
+        yield {**stack, "server": server}
+        server.stop()
+
+    def _request(self, port, method, path, body=None):
+        import http.client
+        import json as _json
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request(
+                method, path,
+                body=_json.dumps(body) if body is not None else None,
+            )
+            resp = conn.getresponse()
+            payload = _json.loads(resp.read() or b"null")
+            return resp.status, payload, dict(resp.getheaders())
+        finally:
+            conn.close()
+
+    def test_predict_packed_and_features(self, http_stack):
+        port = http_stack["server"].http_port
+        task, clf = http_stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:4]).words
+        expected = clf.predict(task.test_x[:4]).tolist()
+        status, payload, _ = self._request(
+            port, "POST", "/v1/predict",
+            {"tenant": "alpha", "packed": words.tolist()},
+        )
+        assert status == 200
+        assert payload["predictions"] == expected
+        status, payload, _ = self._request(
+            port, "POST", "/v1/predict",
+            {"tenant": "alpha", "features": task.test_x[:4].tolist()},
+        )
+        assert status == 200
+        assert payload["predictions"] == expected
+
+    def test_healthz(self, http_stack):
+        port = http_stack["server"].http_port
+        status, payload, _ = self._request(port, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert set(payload["tenants"]) == {"alpha", "beta"}
+
+    def test_unknown_tenant_is_404(self, http_stack):
+        port = http_stack["server"].http_port
+        status, payload, _ = self._request(
+            port, "POST", "/v1/predict",
+            {"tenant": "ghost", "packed": [[1, 2]]},
+        )
+        assert status == 404
+        assert payload["error"] == "UNKNOWN_TENANT"
+
+    def test_bad_body_is_400(self, http_stack):
+        port = http_stack["server"].http_port
+        status, payload, _ = self._request(
+            port, "POST", "/v1/predict", {"tenant": "alpha"}
+        )
+        assert status == 400
+        status, payload, _ = self._request(
+            port, "POST", "/v1/predict",
+            {"tenant": "alpha", "packed": [[1]], "features": [[1.0]]},
+        )
+        assert status == 400
+
+    def test_unknown_route_is_404_and_wrong_method_405(self, http_stack):
+        port = http_stack["server"].http_port
+        status, _, _ = self._request(port, "GET", "/nope")
+        assert status == 404
+        status, _, _ = self._request(port, "GET", "/v1/predict")
+        assert status == 405
+
+    def test_rate_limited_is_429_with_retry_after(self, stack):
+        server = GatewayServer(
+            stack["engine"], rate_limit=1.0, burst=1.0, http_port=0
+        ).start()
+        task, clf = stack["alpha"]
+        words = clf.encoder.encode_packed(task.test_x[:2]).words
+        try:
+            saw_429 = None
+            for _ in range(4):
+                status, payload, headers = self._request(
+                    server.http_port, "POST", "/v1/predict",
+                    {"tenant": "alpha", "packed": words.tolist()},
+                )
+                if status == 429:
+                    saw_429 = (payload, headers)
+                    break
+            assert saw_429 is not None, "burst of 1 never throttled"
+            payload, headers = saw_429
+            assert payload["error"] == "RATE_LIMITED"
+            assert payload["retry_after_ms"] > 0
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.stop()

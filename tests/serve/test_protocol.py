@@ -231,3 +231,177 @@ class TestMalformedFrames:
         # Anything decoded must have carried the real magic + version.
         for frame in frames:
             assert isinstance(frame, Frame)
+
+
+class TestBatchCodecs:
+    """SUBMIT_BATCH / RESPONSE_BATCH / CREDIT wire contracts."""
+
+    @staticmethod
+    def _payloads(rnd, count, cols, features):
+        dtype = np.float64 if features else np.uint64
+        out = []
+        for i in range(count):
+            rows = rnd.randint(1, 4)
+            if features:
+                arr = np.arange(rows * cols, dtype=dtype).reshape(
+                    rows, cols) * (i + 1) * 0.5
+            else:
+                arr = (np.arange(rows * cols, dtype=dtype).reshape(
+                    rows, cols) + i * 1000)
+            out.append(arr)
+        return out
+
+    @given(
+        st.randoms(),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.booleans(),
+    )
+    def test_submit_batch_round_trip_arbitrary_chunking(
+        self, rnd, count, cols, features
+    ):
+        from repro.serve.protocol import (
+            decode_submit_batch,
+            encode_submit_batch,
+        )
+        payloads = self._payloads(rnd, count, cols, features)
+        trace_ids = [rnd.randint(0, 2**64 - 1) for _ in range(count)]
+        frame = Frame(
+            FrameKind.SUBMIT_BATCH,
+            tenant="alpha",
+            trace_id=7,
+            payload=encode_submit_batch(
+                payloads, features=features, trace_ids=trace_ids
+            ),
+        )
+        wire = encode_frame(frame)
+        decoder = FrameDecoder()
+        out = []
+        start = 0
+        while start < len(wire):
+            end = rnd.randint(start + 1, len(wire))
+            out.extend(decoder.feed(wire[start:end]))
+            start = end
+        assert len(out) == 1
+        batch = decode_submit_batch(out[0].payload)
+        assert batch.features == features
+        assert len(batch) == count
+        assert list(batch.trace_ids) == trace_ids
+        for i, expected in enumerate(payloads):
+            got = batch.payload_for(i)
+            assert got.dtype == expected.dtype
+            assert (got == expected).all()
+            # Zero-copy contract: entries are views into one block.
+            assert got.base is not None
+
+    def test_submit_batch_length_prefix_trips_frame_cap(self):
+        """An honest batch bigger than the cap raises FrameTooLarge
+        from the length prefix alone — before the body is buffered."""
+        from repro.serve.protocol import encode_submit_batch
+
+        big = [np.zeros((4, 64), dtype=np.uint64) for _ in range(8)]
+        wire = encode_frame(Frame(
+            FrameKind.SUBMIT_BATCH,
+            payload=encode_submit_batch(big),
+        ))
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(wire[:16])  # length prefix + partial header
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(wire[16:])
+
+    @given(st.randoms(), st.integers(min_value=1, max_value=4))
+    def test_credit_frames_interleave_with_batches(self, rnd, credits):
+        """CREDIT frames threaded between batch frames decode in
+        order under arbitrary chunking (the client read-loop relies
+        on this to account credits before the replies they unblock)."""
+        from repro.serve.protocol import (
+            decode_credit,
+            decode_submit_batch,
+            encode_credit,
+            encode_submit_batch,
+        )
+        payloads = self._payloads(rnd, 3, 2, False)
+        batch_frame = Frame(
+            FrameKind.SUBMIT_BATCH,
+            tenant="alpha",
+            payload=encode_submit_batch(payloads),
+        )
+        sequence = [
+            Frame(FrameKind.CREDIT, payload=encode_credit(credits)),
+            batch_frame,
+            Frame(FrameKind.CREDIT, payload=encode_credit(credits + 1)),
+            Frame(FrameKind.PONG, trace_id=3),
+        ]
+        wire = b"".join(encode_frame(f) for f in sequence)
+        decoder = FrameDecoder()
+        out = []
+        start = 0
+        while start < len(wire):
+            end = rnd.randint(start + 1, len(wire))
+            out.extend(decoder.feed(wire[start:end]))
+            start = end
+        assert [f.kind for f in out] == [
+            FrameKind.CREDIT, FrameKind.SUBMIT_BATCH,
+            FrameKind.CREDIT, FrameKind.PONG,
+        ]
+        assert decode_credit(out[0].payload) == credits
+        assert decode_credit(out[2].payload) == credits + 1
+        assert len(decode_submit_batch(out[1].payload)) == 3
+
+    def test_response_batch_round_trip_mixed_statuses(self):
+        from repro.serve.protocol import (
+            BATCH_REJECT_BASE,
+            decode_response_batch,
+            encode_response_batch,
+        )
+        trace_ids = [11, 22, 33]
+        statuses = np.array(
+            [0, BATCH_REJECT_BASE + 2, 0], dtype=np.uint8
+        )
+        predictions = [
+            np.array([1, 2, 3], dtype=np.int64),
+            None,
+            np.array([4], dtype=np.int64),
+        ]
+        decoded = decode_response_batch(
+            encode_response_batch(trace_ids, statuses, predictions)
+        )
+        assert list(decoded.trace_ids) == trace_ids
+        assert list(decoded.statuses) == list(statuses)
+        assert (decoded.predictions_for(0) == predictions[0]).all()
+        assert decoded.rows[1] == 0
+        assert (decoded.predictions_for(2) == predictions[2]).all()
+
+    def test_empty_batch_is_rejected_at_encode(self):
+        from repro.serve.protocol import encode_submit_batch
+
+        with pytest.raises(ValueError, match="at least one"):
+            encode_submit_batch([])
+
+    def test_ragged_columns_are_rejected_at_encode(self):
+        from repro.serve.protocol import encode_submit_batch
+
+        with pytest.raises(ValueError, match="column count"):
+            encode_submit_batch([
+                np.zeros((1, 2), dtype=np.uint64),
+                np.zeros((1, 3), dtype=np.uint64),
+            ])
+
+    def test_reject_round_trips_retry_hint(self):
+        from repro.serve.protocol import (
+            RejectCode,
+            decode_reject,
+            encode_reject,
+        )
+        code, detail, hint = decode_reject(encode_reject(
+            int(RejectCode.RATE_LIMITED), "slow down",
+            retry_after_ms=475,
+        ))
+        assert code == int(RejectCode.RATE_LIMITED)
+        assert detail == "slow down"
+        assert hint == 475
+        code, detail, hint = decode_reject(encode_reject(
+            int(RejectCode.OVERLOADED), "full"
+        ))
+        assert hint is None
