@@ -1,0 +1,58 @@
+"""Adversarial campaigns: inputs and timing as the attack surface.
+
+The fault layer (:mod:`repro.faults`) attacks the *stored bits* of a
+deployed HDC model — the paper's threat model.  This package attacks
+everything the paper left out:
+
+* **inputs** — :class:`DifferentialEnsemble` trains seed-variant models
+  and flags the inputs they disagree on (the HDXplore differential
+  oracle), and :class:`BitflipSearch` / :class:`FeatureSearch`
+  hill-climb encoded queries and raw features into misclassifications;
+* **timing** — :class:`AdaptiveAdversary` watches the recovery loop's
+  generation publishes (via :class:`PublishProbe`) and re-aims each
+  fault budget at the cells the defender just repaired, interleaving
+  strikes with recovery passes (:func:`run_adaptive_scenario`);
+* **campaigns** — :func:`run_campaign` joins all probes over one
+  dataset into an :class:`~repro.obs.scorecard.AdversaryScorecard` and
+  a JSONL :class:`~repro.obs.trace.CampaignTrace`, making robustness
+  regressions CI-gateable numbers (``benchmarks/bench_adversary.py``).
+
+Everything is seeded and bit-identical run-to-run.
+"""
+
+from repro.adversary.adaptive import (
+    SCENARIOS,
+    AdaptiveAdversary,
+    AdaptiveOutcome,
+    PublishProbe,
+    StrikeReport,
+    run_adaptive_scenario,
+)
+from repro.adversary.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+)
+from repro.adversary.ensemble import DifferentialEnsemble, DisagreementReport
+from repro.adversary.perturb import (
+    BitflipSearch,
+    FeatureSearch,
+    PerturbationResult,
+)
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AdaptiveOutcome",
+    "BitflipSearch",
+    "CampaignConfig",
+    "CampaignResult",
+    "DifferentialEnsemble",
+    "DisagreementReport",
+    "FeatureSearch",
+    "PerturbationResult",
+    "PublishProbe",
+    "SCENARIOS",
+    "StrikeReport",
+    "run_adaptive_scenario",
+    "run_campaign",
+]

@@ -1,0 +1,257 @@
+"""Campaign driver: every adversarial probe, one scorecard, one trace.
+
+:func:`run_campaign` chains the three probe families over a single
+dataset and reduces them to an
+:class:`~repro.obs.scorecard.AdversaryScorecard` plus a JSONL-exportable
+:class:`~repro.obs.trace.CampaignTrace`:
+
+1. train the defended model (a standard
+   :class:`~repro.core.pipeline.RecoveryExperiment`) and a seed-variant
+   :class:`~repro.adversary.ensemble.DifferentialEnsemble` around it;
+2. scan held-out inputs for ensemble disagreement (the cheap signal);
+3. run bit-flip searches against the defended model and differential
+   feature searches against the ensemble on a sample of probe inputs;
+4. run the three adaptive scenarios (``static`` / ``adaptive`` /
+   ``adaptive-no-recovery``) that answer the headline question: does
+   self-recovery still help when the attacker watches it?
+
+Everything is seeded from ``CampaignConfig.seed``; two runs with the
+same dataset and config produce bit-identical scorecards and traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversary.adaptive import (
+    SCENARIOS,
+    AdaptiveAdversary,
+    AdaptiveOutcome,
+    run_adaptive_scenario,
+)
+from repro.adversary.ensemble import DifferentialEnsemble, DisagreementReport
+from repro.adversary.perturb import (
+    BitflipSearch,
+    FeatureSearch,
+    PerturbationResult,
+)
+from repro.core.pipeline import RecoveryExperiment
+from repro.core.recovery import RecoveryConfig
+from repro.datasets.synthetic import Dataset
+from repro.obs.scorecard import AdversaryScorecard, adversary_scorecard
+from repro.obs.trace import CampaignEvent, CampaignTrace
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class CampaignConfig:
+    """Knobs for one adversarial campaign.
+
+    The model/recovery geometry mirrors
+    :class:`~repro.core.pipeline.RecoveryExperiment` and
+    :class:`~repro.core.recovery.RecoveryConfig`; the probe counts size
+    the three probe families.  ``recovery`` must satisfy
+    ``dim % recovery.num_chunks == 0``.
+    """
+
+    ensemble_size: int = 3
+    dim: int = 10_000
+    bits: int = 1
+    epochs: int = 3
+    levels: int = 32
+    stream_fraction: float = 0.5
+    probes: int = 64
+    search_inputs: int = 8
+    bitflip_budget: int = 64
+    bitflip_candidates: int = 128
+    feature_budget: int = 16
+    feature_candidates: int = 64
+    error_rate: float = 0.05
+    strike_rate: float = 0.02
+    strike_decay: float = 0.5
+    passes: int = 3
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ensemble_size < 2:
+            raise ValueError(
+                f"ensemble_size must be >= 2, got {self.ensemble_size}"
+            )
+        if self.probes < 1:
+            raise ValueError(f"probes must be >= 1, got {self.probes}")
+        if self.search_inputs < 1:
+            raise ValueError(
+                f"search_inputs must be >= 1, got {self.search_inputs}"
+            )
+        if self.dim % self.recovery.num_chunks != 0:
+            raise ValueError(
+                f"dim {self.dim} is not divisible by recovery.num_chunks "
+                f"{self.recovery.num_chunks}"
+            )
+
+
+@dataclass(frozen=True, eq=False)
+class CampaignResult:
+    """Everything one campaign produced.
+
+    ``scorecard`` is the CI-gateable reduction; ``trace`` the full
+    step-by-step record (JSONL-exportable); ``outcomes`` the per-scenario
+    adaptive trajectories keyed by scenario name.  The trained
+    ``experiment`` and ``ensemble`` are kept so callers (e.g. the
+    gateway benchmark scenario) can replay campaign artefacts against
+    live infrastructure without retraining.
+    """
+
+    scorecard: AdversaryScorecard
+    trace: CampaignTrace
+    outcomes: dict[str, AdaptiveOutcome]
+    disagreement: DisagreementReport
+    bitflip_results: tuple[PerturbationResult, ...]
+    feature_results: tuple[PerturbationResult, ...]
+    experiment: RecoveryExperiment
+    ensemble: DifferentialEnsemble
+
+    def render(self) -> str:
+        return self.scorecard.render()
+
+
+def run_campaign(
+    dataset: Dataset, config: CampaignConfig | None = None
+) -> CampaignResult:
+    """Run one full adversarial campaign against ``dataset``."""
+    cfg = config or CampaignConfig()
+    experiment = RecoveryExperiment(
+        dataset=dataset,
+        dim=cfg.dim,
+        bits=cfg.bits,
+        epochs=cfg.epochs,
+        levels=cfg.levels,
+        stream_fraction=cfg.stream_fraction,
+        seed=cfg.seed,
+    )
+    ensemble = DifferentialEnsemble.train(
+        dataset,
+        k=cfg.ensemble_size,
+        dim=cfg.dim,
+        bits=cfg.bits,
+        epochs=cfg.epochs,
+        levels=cfg.levels,
+        base_seed=cfg.seed,
+    )
+    trace = CampaignTrace()
+
+    # -- 1. differential disagreement scan (RNG-free) -------------------
+    probe_features = np.asarray(
+        dataset.test_x[: cfg.probes], dtype=np.float64
+    )
+    disagreement = ensemble.disagreements(probe_features)
+    trace.record(CampaignEvent(
+        index=trace.next_index(),
+        kind="differential",
+        scenario="",
+        seed=-1,
+        queries=disagreement.num_inputs,
+        successes=disagreement.disagreements,
+        bits_flipped=0,
+    ))
+
+    # -- 2. perturbation searches ---------------------------------------
+    # Search from inputs the ensemble currently agrees on — disagreement
+    # inputs are already "found", the searches measure how far an
+    # *agreed* input is from the nearest boundary.
+    agreed = np.flatnonzero(~disagreement.disagree_mask)
+    if agreed.size == 0:
+        agreed = np.arange(disagreement.num_inputs)
+    search_idx = agreed[: cfg.search_inputs]
+    packed_probes = experiment.encoder.encode_packed(probe_features)
+
+    bitflip_results = tuple(
+        BitflipSearch(
+            budget=cfg.bitflip_budget,
+            candidates=cfg.bitflip_candidates,
+            seed=cfg.seed + 100 + int(i),
+        ).attack(experiment.model, packed_probes[int(i)])
+        for i in search_idx
+    )
+    trace.record(CampaignEvent(
+        index=trace.next_index(),
+        kind="bitflip-search",
+        scenario="",
+        seed=cfg.seed + 100,
+        queries=len(bitflip_results),
+        successes=sum(1 for r in bitflip_results if r.success),
+        bits_flipped=sum(r.steps for r in bitflip_results),
+    ))
+
+    feature_results = tuple(
+        FeatureSearch(
+            budget=cfg.feature_budget,
+            candidates=cfg.feature_candidates,
+            seed=cfg.seed + 200 + int(i),
+        ).attack(ensemble, probe_features[int(i)])
+        for i in search_idx
+    )
+    trace.record(CampaignEvent(
+        index=trace.next_index(),
+        kind="feature-search",
+        scenario="",
+        seed=cfg.seed + 200,
+        queries=len(feature_results),
+        successes=sum(1 for r in feature_results if r.success),
+        bits_flipped=sum(r.steps for r in feature_results),
+    ))
+
+    # -- 3. adaptive scenarios ------------------------------------------
+    outcomes: dict[str, AdaptiveOutcome] = {}
+    for scenario in SCENARIOS:
+        outcomes[scenario] = run_adaptive_scenario(
+            experiment,
+            scenario=scenario,
+            error_rate=cfg.error_rate,
+            config=cfg.recovery,
+            adversary=AdaptiveAdversary(
+                rate=cfg.strike_rate,
+                num_chunks=cfg.recovery.num_chunks,
+                decay=cfg.strike_decay,
+                seed=cfg.seed + 3,
+            ),
+            passes=cfg.passes,
+            seed=cfg.seed,
+            trace=trace,
+        )
+
+    scorecard = adversary_scorecard(
+        ensemble_size=cfg.ensemble_size,
+        probes=disagreement.num_inputs,
+        disagreements=disagreement.disagreements,
+        bitflip_successes=sum(1 for r in bitflip_results if r.success),
+        bitflip_attempts=len(bitflip_results),
+        bitflip_total_flips=sum(
+            r.steps for r in bitflip_results if r.success
+        ),
+        feature_successes=sum(1 for r in feature_results if r.success),
+        feature_attempts=len(feature_results),
+        feature_total_nudges=sum(
+            r.steps for r in feature_results if r.success
+        ),
+        clean_accuracy=experiment.clean_accuracy,
+        static_recovered_accuracy=outcomes["static"].final_accuracy,
+        adaptive_recovered_accuracy=outcomes["adaptive"].final_accuracy,
+        adaptive_unrecovered_accuracy=(
+            outcomes["adaptive-no-recovery"].final_accuracy
+        ),
+    )
+    return CampaignResult(
+        scorecard=scorecard,
+        trace=trace,
+        outcomes=outcomes,
+        disagreement=disagreement,
+        bitflip_results=bitflip_results,
+        feature_results=feature_results,
+        experiment=experiment,
+        ensemble=ensemble,
+    )

@@ -1,0 +1,158 @@
+"""Multi-seed differential ensembles: disagreement as an attack signal.
+
+HDXplore (PAPERS.md) observes that HDC models trained from different
+random codebooks agree on most inputs but disagree on a thin shell of
+borderline ones — and that this disagreement shell is exactly where
+cheap misclassifying perturbations live.  A
+:class:`DifferentialEnsemble` trains ``k`` seed-variant classifiers on
+the same data (different encoder codebooks *and* different retraining
+shuffles per member) and scans inputs for members that disagree, without
+ever needing labels: the ensemble is its own oracle.
+
+The scan is the cheapest probe in an adversarial campaign — one batched
+predict per member — and its output (the disagreeing inputs) seeds the
+per-input perturbation searches in :mod:`repro.adversary.perturb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import Dataset
+
+__all__ = ["DifferentialEnsemble", "DisagreementReport"]
+
+
+@dataclass(frozen=True)
+class DisagreementReport:
+    """Result of one ensemble disagreement scan.
+
+    Attributes
+    ----------
+    predictions:
+        ``(k_members, n)`` label matrix, one row per ensemble member.
+    majority:
+        ``(n,)`` majority-vote labels (ties break toward the lowest
+        label, matching ``argmax`` everywhere else in the codebase).
+    disagree_mask:
+        ``(n,)`` bool — inputs where at least two members disagree.
+    """
+
+    predictions: np.ndarray
+    majority: np.ndarray
+    disagree_mask: np.ndarray
+
+    @property
+    def num_members(self) -> int:
+        return self.predictions.shape[0]
+
+    @property
+    def num_inputs(self) -> int:
+        return self.predictions.shape[1]
+
+    @property
+    def disagreements(self) -> int:
+        return int(np.count_nonzero(self.disagree_mask))
+
+    @property
+    def disagreement_rate(self) -> float:
+        n = self.num_inputs
+        return self.disagreements / n if n else 0.0
+
+    def disagreement_indices(self) -> np.ndarray:
+        """Input indices the members disagree on, ascending."""
+        return np.flatnonzero(self.disagree_mask)
+
+
+class DifferentialEnsemble:
+    """``k`` seed-variant HDC classifiers over one task.
+
+    Members share every hyper-parameter except the seed: member ``i``
+    gets encoder/classifier seed ``base_seed + i``, so its codebooks,
+    its retraining shuffles, and therefore its decision boundary are all
+    independent draws.  Training is deterministic per
+    ``(dataset, hyper-parameters, base_seed)``.
+
+    Members must be queried with *features* (not encoded hypervectors):
+    each member owns a different codebook, so a single encoded query is
+    only meaningful to the member whose encoder produced it.
+    """
+
+    def __init__(self, members: list[HDCClassifier]) -> None:
+        if len(members) < 2:
+            raise ValueError(
+                f"an ensemble needs >= 2 members, got {len(members)}"
+            )
+        num_classes = {m.num_classes for m in members}
+        if len(num_classes) != 1:
+            raise ValueError(
+                f"members disagree on num_classes: {sorted(num_classes)}"
+            )
+        self.members = list(members)
+
+    @classmethod
+    def train(
+        cls,
+        dataset: Dataset,
+        *,
+        k: int = 3,
+        dim: int = 10_000,
+        bits: int = 1,
+        epochs: int = 3,
+        levels: int = 32,
+        base_seed: int = 0,
+    ) -> "DifferentialEnsemble":
+        """Train ``k`` members on ``dataset`` with seeds ``base_seed+i``."""
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        members = []
+        for i in range(k):
+            encoder = Encoder(
+                num_features=dataset.num_features,
+                dim=dim,
+                levels=levels,
+                seed=base_seed + i,
+            )
+            members.append(
+                HDCClassifier(
+                    encoder,
+                    num_classes=dataset.num_classes,
+                    bits=bits,
+                    epochs=epochs,
+                    seed=base_seed + i,
+                ).fit(dataset.train_x, dataset.train_y)
+            )
+        return cls(members)
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def num_classes(self) -> int:
+        return self.members[0].num_classes
+
+    def predict_all(self, features: np.ndarray) -> np.ndarray:
+        """``(k_members, n)`` — every member's labels for ``features``."""
+        features = np.atleast_2d(np.asarray(features))
+        return np.stack([m.predict(features) for m in self.members])
+
+    def disagreements(self, features: np.ndarray) -> DisagreementReport:
+        """Scan ``features`` for inputs the members disagree on."""
+        predictions = self.predict_all(features)
+        k, n = predictions.shape
+        votes = np.zeros((n, self.num_classes), dtype=np.int64)
+        rows = np.arange(n)
+        for member_row in predictions:
+            votes[rows, member_row] += 1
+        majority = votes.argmax(axis=1)
+        disagree = ~np.all(predictions == predictions[0], axis=0)
+        return DisagreementReport(
+            predictions=predictions,
+            majority=majority,
+            disagree_mask=disagree,
+        )

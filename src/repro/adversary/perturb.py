@@ -1,0 +1,312 @@
+"""Perturbation search over queries: bit-flips and feature nudges.
+
+Two greedy hill-climbers hunting misclassifying neighbours of a
+correctly-handled input, in the two places a query exists on the serving
+path:
+
+* :class:`BitflipSearch` works on the *encoded* query — packed uint64
+  words, the exact representation the gateway accepts on the wire
+  (``packed`` rows of ``POST /v1/predict``).  Each round builds a
+  candidate matrix of single-bit flips
+  (:func:`repro.core.packed.packed_single_bit_flips`) and scores all of
+  them with one batched XOR+popcount distance call, descending the
+  prediction margin until the label flips or the budget runs out.
+
+* :class:`FeatureSearch` works on the *raw features* before encoding —
+  the attack surface of a client who controls sensor inputs but not the
+  wire format.  Each round nudges one feature by one quantisation step
+  (through the target's own encoder, so the search sees exactly what the
+  model sees) and keeps the nudge that shrinks the margin most.  Against
+  a :class:`~repro.adversary.ensemble.DifferentialEnsemble` the
+  objective becomes the *weakest member's* margin and success is any
+  member disagreement — the HDXplore differential oracle, no labels
+  needed.
+
+Both searches are seeded and fully deterministic; neither needs ground
+truth (the target's own clean prediction is the label being defended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.ensemble import DifferentialEnsemble
+from repro.core.model import HDCClassifier, HDCModel
+from repro.core.packed import (
+    PackedHypervectors,
+    pack,
+    packed_single_bit_flips,
+)
+
+__all__ = ["BitflipSearch", "FeatureSearch", "PerturbationResult"]
+
+
+@dataclass(frozen=True, eq=False)
+class PerturbationResult:
+    """Outcome of one perturbation search.
+
+    ``steps`` counts *accepted* perturbations (the adversary's budget
+    spend), ``changed`` the accepted bit positions / feature indices in
+    acceptance order (a position appearing twice was toggled back), and
+    ``margin_trace`` the defended label's margin after each accepted
+    step.  ``perturbed`` is the final query — packed words for a bit-flip
+    search, a feature row for a feature search — ready to be replayed
+    against a live gateway.
+    """
+
+    success: bool
+    steps: int
+    original_label: int
+    final_label: int
+    margin_trace: tuple[float, ...]
+    changed: tuple[int, ...]
+    perturbed: np.ndarray
+
+
+def _margins(similarities: np.ndarray, label: int) -> np.ndarray:
+    """Margin of ``label`` over the best other class, per row.
+
+    Positive means ``label`` wins; negative means the row is
+    misclassified relative to ``label``.  Ties (margin exactly 0) count
+    for ``label`` when it is the lower index — the same ``argmax`` tie
+    order every predict path uses — so the searches treat ``< 0`` as the
+    only definitive label change.
+    """
+    sims = np.atleast_2d(similarities).astype(np.float64, copy=True)
+    own = sims[:, label].copy()
+    sims[:, label] = -np.inf
+    return own - sims.max(axis=1)
+
+
+def _as_word_row(query: np.ndarray | PackedHypervectors, dim: int) -> np.ndarray:
+    if isinstance(query, PackedHypervectors):
+        if query.dim != dim:
+            raise ValueError(f"query dim {query.dim} != model dim {dim}")
+        if len(query) != 1:
+            raise ValueError(
+                f"expected a single query, got a batch of {len(query)}"
+            )
+        return query.words[0].copy()
+    arr = np.asarray(query)
+    if arr.ndim != 1 or arr.shape[0] != dim:
+        raise ValueError(
+            f"expected a single (D,) query with D={dim}, got shape {arr.shape}"
+        )
+    return pack(arr).words[0]
+
+
+class BitflipSearch:
+    """Greedy bit-flip hill-climb on a packed encoded query.
+
+    Parameters
+    ----------
+    budget:
+        Maximum accepted bit flips (the attack's Hamming-ball radius).
+    candidates:
+        Bit positions sampled per round; all are scored with one batched
+        distance call.
+    seed:
+        Seed for the candidate sampler.  Same (model, query, seed) →
+        identical search, accept-for-accept.
+    """
+
+    def __init__(
+        self, *, budget: int = 64, candidates: int = 128, seed: int = 0
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if candidates < 1:
+            raise ValueError(f"candidates must be >= 1, got {candidates}")
+        self.budget = budget
+        self.candidates = candidates
+        self.seed = seed
+
+    def attack(
+        self,
+        model: HDCModel,
+        query: np.ndarray | PackedHypervectors,
+        *,
+        label: int | None = None,
+    ) -> PerturbationResult:
+        """Search for a misclassified neighbour of ``query``.
+
+        ``label`` defaults to the model's own prediction on the clean
+        query — the search needs no ground truth, it hunts *changes*.
+        Success means the final margin went negative: the model now
+        prefers another class.
+        """
+        if model.bits != 1:
+            raise ValueError("bit-flip search requires a 1-bit model")
+        rng = np.random.default_rng(self.seed)
+        packed_model = model.packed()
+        dim = model.dim
+
+        def margins_of(word_rows: np.ndarray) -> np.ndarray:
+            sims = dim / 2.0 - packed_model.distances(word_rows)
+            return _margins(sims, label)
+
+        words = _as_word_row(query, dim)
+        if label is None:
+            sims = dim / 2.0 - packed_model.distances(words[None, :])
+            label = int(np.argmax(sims[0]))
+        margin = float(margins_of(words[None, :])[0])
+        flips: list[int] = []
+        margin_trace: list[float] = []
+        while margin >= 0.0 and len(flips) < self.budget:
+            positions = rng.choice(
+                dim, size=min(self.candidates, dim), replace=False
+            )
+            cands = packed_single_bit_flips(words, dim, positions)
+            cand_margins = margins_of(cands)
+            best = int(np.argmin(cand_margins))
+            if cand_margins[best] >= margin:
+                break  # local minimum: no sampled flip helps
+            words = cands[best]
+            margin = float(cand_margins[best])
+            flips.append(int(positions[best]))
+            margin_trace.append(margin)
+        final_sims = dim / 2.0 - packed_model.distances(words[None, :])
+        return PerturbationResult(
+            success=margin < 0.0,
+            steps=len(flips),
+            original_label=int(label),
+            final_label=int(np.argmax(final_sims[0])),
+            margin_trace=tuple(margin_trace),
+            changed=tuple(flips),
+            perturbed=words,
+        )
+
+
+class FeatureSearch:
+    """Greedy feature-space hill-climb through the target's encoder.
+
+    Parameters
+    ----------
+    budget:
+        Maximum accepted nudges.
+    candidates:
+        (feature, direction) pairs sampled per round; the whole round is
+        one batched encode + one batched similarity call per member.
+    step:
+        Nudge magnitude in feature units.  ``None`` derives one encoder
+        quantisation level, ``(high - low) / (levels - 1)`` — the
+        smallest move that can change the encoding at all.
+    seed:
+        Seed for the candidate sampler.
+    """
+
+    def __init__(
+        self,
+        *,
+        budget: int = 16,
+        candidates: int = 64,
+        step: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if candidates < 1:
+            raise ValueError(f"candidates must be >= 1, got {candidates}")
+        if step is not None and step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        self.budget = budget
+        self.candidates = candidates
+        self.step = step
+        self.seed = seed
+
+    def attack(
+        self,
+        target: HDCClassifier | DifferentialEnsemble,
+        features: np.ndarray,
+        *,
+        label: int | None = None,
+    ) -> PerturbationResult:
+        """Search for features the target misclassifies (or, for an
+        ensemble target, features its members disagree on).
+
+        ``label`` defaults to the target's clean prediction (the
+        ensemble majority, for an ensemble).  Against a single
+        classifier the objective is its margin; against an ensemble it
+        is the *weakest member's* margin w.r.t. ``label``, and success
+        is any disagreement among member labels — the differential
+        oracle.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValueError(
+                f"expected a single (n,) feature row, got shape "
+                f"{features.shape}"
+            )
+        members = (
+            target.members
+            if isinstance(target, DifferentialEnsemble)
+            else [target]
+        )
+        differential = len(members) > 1
+        encoder = members[0].encoder
+        low, high = encoder.low, encoder.high
+        step = self.step
+        if step is None:
+            step = (high - low) / (encoder.levels - 1)
+        rng = np.random.default_rng(self.seed)
+
+        def member_sims(member: HDCClassifier, batch: np.ndarray) -> np.ndarray:
+            model = member.model
+            assert model is not None
+            return model.similarities(member.encoder.encode_packed(batch))
+
+        def objective(batch: np.ndarray) -> np.ndarray:
+            # Single model: its margin.  Ensemble: the weakest member's
+            # margin — driving one member across the boundary while the
+            # rest hold is exactly a disagreement.
+            per_member = np.stack([
+                _margins(member_sims(m, batch), label) for m in members
+            ])
+            return per_member.min(axis=0)
+
+        def labels_of(row: np.ndarray) -> np.ndarray:
+            return np.concatenate([m.predict(row[None, :]) for m in members])
+
+        if label is None:
+            clean_labels = labels_of(features)
+            votes = np.bincount(clean_labels, minlength=members[0].num_classes)
+            label = int(np.argmax(votes))
+
+        def succeeded(row: np.ndarray) -> bool:
+            row_labels = labels_of(row)
+            if differential:
+                return bool(np.unique(row_labels).size > 1)
+            return int(row_labels[0]) != label
+
+        current = np.clip(features, low, high)
+        margin = float(objective(current[None, :])[0])
+        nudges: list[int] = []
+        margin_trace: list[float] = []
+        done = succeeded(current)
+        while not done and len(nudges) < self.budget:
+            idx = rng.integers(0, features.shape[0], size=self.candidates)
+            direction = rng.choice((-1.0, 1.0), size=self.candidates)
+            batch = np.repeat(current[None, :], self.candidates, axis=0)
+            batch[np.arange(self.candidates), idx] += direction * step
+            np.clip(batch, low, high, out=batch)
+            cand_margins = objective(batch)
+            best = int(np.argmin(cand_margins))
+            if cand_margins[best] >= margin:
+                break  # local minimum: no sampled nudge helps
+            current = batch[best]
+            margin = float(cand_margins[best])
+            nudges.append(int(idx[best]))
+            margin_trace.append(margin)
+            done = succeeded(current)
+        final_labels = labels_of(current)
+        return PerturbationResult(
+            success=done,
+            steps=len(nudges),
+            original_label=int(label),
+            final_label=int(final_labels[0]),
+            margin_trace=tuple(margin_trace),
+            changed=tuple(nudges),
+            perturbed=current,
+        )

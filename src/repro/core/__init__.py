@@ -30,6 +30,8 @@ from repro.core.packed import (
     pack,
     pack_model,
     packed_backend_enabled,
+    packed_flip_bits,
+    packed_single_bit_flips,
     set_packed_backend,
     unpack,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "pack",
     "pack_model",
     "packed_backend_enabled",
+    "packed_flip_bits",
+    "packed_single_bit_flips",
     "permute",
     "prediction_confidence",
     "probabilistic_substitution",

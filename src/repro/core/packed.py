@@ -50,8 +50,10 @@ __all__ = [
     "pack",
     "unpack",
     "packed_bind",
+    "packed_flip_bits",
     "packed_hamming_distance",
     "packed_popcount",
+    "packed_single_bit_flips",
     "pack_model",
     "packed_backend_enabled",
     "set_packed_backend",
@@ -264,6 +266,75 @@ def packed_hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ``(W,)`` vs ``(k, W)`` returns ``(k,)`` — the query-vs-model search.
     """
     return packed_popcount(np.bitwise_xor(a, b))
+
+
+def _bit_masks(bit_indices: np.ndarray, dim: int, num_words: int) -> np.ndarray:
+    """``(W,)`` uint64 XOR mask with the given dimension-space bits set.
+
+    Indices must be distinct and in ``[0, dim)`` — out-of-range bits
+    would land in the zero padding above ``dim`` and silently break the
+    pad-bits-are-zero invariant every popcount relies on.
+    """
+    idx = np.asarray(bit_indices, dtype=np.int64).ravel()
+    if idx.size and (idx.min() < 0 or idx.max() >= dim):
+        raise ValueError(
+            f"bit indices must lie in [0, {dim}), got range "
+            f"[{int(idx.min())}, {int(idx.max())}]"
+        )
+    if np.unique(idx).size != idx.size:
+        raise ValueError("bit indices must be distinct")
+    mask = np.zeros(num_words, dtype=np.uint64)
+    np.bitwise_or.at(
+        mask, idx // _WORD, np.uint64(1) << (idx % _WORD).astype(np.uint64)
+    )
+    return mask
+
+
+def packed_flip_bits(
+    words: np.ndarray, dim: int, bit_indices: np.ndarray
+) -> np.ndarray:
+    """Copy of packed ``words`` with the given dimension bits XOR-flipped.
+
+    ``words`` is ``(W,)`` or ``(b, W)`` uint64; ``bit_indices`` are
+    distinct dimension indices in ``[0, dim)`` applied to *every* row.
+    This is the perturbation primitive for adversarial query search: a
+    flip is its own inverse, so search loops can toggle candidate bits
+    without unpacking.
+    """
+    w = np.asarray(words)
+    if w.dtype != np.uint64:
+        raise ValueError(f"expected uint64 words, got {w.dtype}")
+    mask = _bit_masks(bit_indices, dim, w.shape[-1])
+    return np.bitwise_xor(w, mask)
+
+
+def packed_single_bit_flips(
+    word_row: np.ndarray, dim: int, positions: np.ndarray
+) -> np.ndarray:
+    """Candidate matrix: row ``j`` is ``word_row`` with ``positions[j]``
+    flipped.
+
+    ``word_row`` is a single packed vector ``(W,)``; the result is
+    ``(len(positions), W)``, ready for one batched distance call.  This
+    turns one hill-climbing round of a bit-flip search into a single
+    matrix op instead of ``len(positions)`` scalar probes.
+    """
+    row = np.asarray(word_row)
+    if row.dtype != np.uint64:
+        raise ValueError(f"expected uint64 words, got {row.dtype}")
+    if row.ndim != 1:
+        raise ValueError(f"expected a single (W,) row, got shape {row.shape}")
+    pos = np.asarray(positions, dtype=np.int64).ravel()
+    if pos.size and (pos.min() < 0 or pos.max() >= dim):
+        raise ValueError(
+            f"bit positions must lie in [0, {dim}), got range "
+            f"[{int(pos.min())}, {int(pos.max())}]"
+        )
+    out = np.tile(row, (pos.size, 1))
+    out[np.arange(pos.size), pos // _WORD] ^= (
+        np.uint64(1) << (pos % _WORD).astype(np.uint64)
+    )
+    return out
 
 
 @dataclass

@@ -151,6 +151,14 @@ class RecoveryExperiment:
         )
         return float(np.mean(model.predict(queries) == self.eval_labels))
 
+    def score(self, model: HDCModel) -> float:
+        """Accuracy of ``model`` on the held-out evaluation split.
+
+        Public for external drivers (e.g. :mod:`repro.adversary`) that
+        score model variants between their own attack/recovery steps.
+        """
+        return self._score(model)
+
     def attack_only(
         self,
         error_rate: float,

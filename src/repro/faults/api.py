@@ -29,6 +29,8 @@ because the injectors draw from the RNG in exactly the old order.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.core.model import HDCModel
@@ -331,6 +333,17 @@ def _resolve(mode: str | FaultInjector, kwargs: dict) -> FaultInjector:
     return mode
 
 
+# Per-process counter salting the un-seeded fallback stream.  Campaigns
+# that call ``inject``/``attack`` repeatedly without passing an rng used
+# to replay ``default_rng(0)`` on every call and silently produce
+# identical masks; salting each call with its ordinal keeps the default
+# deterministic per process (call i always draws stream ``(0, i)``)
+# while making back-to-back masks distinct.  Passing an explicit rng or
+# seed bypasses this entirely, so the documented legacy streams stay
+# bit-identical.
+_UNSEEDED_CALLS = itertools.count()
+
+
 def inject(
     model: HDCModel,
     rate: float,
@@ -338,9 +351,14 @@ def inject(
     rng: np.random.Generator | None = None,
     **kwargs,
 ) -> FaultMask:
-    """Sample a fault mask for ``model`` without touching it."""
+    """Sample a fault mask for ``model`` without touching it.
+
+    When ``rng`` is omitted, each call draws from a distinct
+    counter-salted stream (``default_rng((0, call_index))``) — still
+    deterministic run-to-run, but never the same mask twice in a row.
+    """
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng((0, next(_UNSEEDED_CALLS)))
     return _resolve(mode, kwargs).inject(model, rate, rng)
 
 

@@ -7,8 +7,10 @@ Five zero-dependency components:
   un-instrumented callers pay ~nothing;
 * :mod:`repro.obs.trace` — structured event logs with JSONL export and
   rendered summaries: :class:`RecoveryTrace` (one record per recovery
-  block) and :class:`ServeTrace` (one record per serving-worker
-  micro-batch, emitted by :mod:`repro.serve`);
+  block), :class:`ServeTrace` (one record per serving-worker
+  micro-batch, emitted by :mod:`repro.serve`), and
+  :class:`CampaignTrace` (one record per adversarial-campaign step,
+  emitted by :mod:`repro.adversary`);
 * :mod:`repro.obs.telemetry` — cross-process telemetry: per-worker
   shared-memory stats slabs scraped into the registry by
   :class:`TelemetryAggregator`, a crash-surviving
@@ -18,7 +20,9 @@ Five zero-dependency components:
   exporters rendered from :meth:`MetricsRegistry.snapshot`;
 * :mod:`repro.obs.scorecard` — joins a trace against the injected
   :class:`~repro.faults.api.FaultMask` to report chunk-detection
-  precision/recall/F1 and bit-level repair efficacy.
+  precision/recall/F1 and bit-level repair efficacy, and reduces
+  adversarial campaigns to CI-gateable numbers
+  (:class:`AdversaryScorecard`).
 """
 
 from repro.obs.export import (
@@ -38,8 +42,10 @@ from repro.obs.metrics import (
     use_metrics,
 )
 from repro.obs.scorecard import (
+    AdversaryScorecard,
     ChunkDetectionScore,
     FaultScorecard,
+    adversary_scorecard,
     fault_scorecard,
 )
 from repro.obs.telemetry import (
@@ -52,6 +58,8 @@ from repro.obs.telemetry import (
     render_contention_table,
 )
 from repro.obs.trace import (
+    CampaignEvent,
+    CampaignTrace,
     RecoveryBlockEvent,
     RecoveryTrace,
     ServeBatchEvent,
@@ -59,6 +67,9 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AdversaryScorecard",
+    "CampaignEvent",
+    "CampaignTrace",
     "ChunkDetectionScore",
     "FaultScorecard",
     "FlightEvent",
@@ -73,6 +84,7 @@ __all__ = [
     "TelemetryAggregator",
     "TelemetrySlabReader",
     "TelemetryWriter",
+    "adversary_scorecard",
     "append_jsonl",
     "correlate",
     "current",

@@ -30,7 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.faults.api import FaultMask
     from repro.obs.trace import RecoveryTrace
 
-__all__ = ["ChunkDetectionScore", "FaultScorecard", "fault_scorecard"]
+__all__ = [
+    "AdversaryScorecard",
+    "ChunkDetectionScore",
+    "FaultScorecard",
+    "adversary_scorecard",
+    "fault_scorecard",
+]
 
 
 def _prf(tp: int, fp: int, fn: int) -> tuple[float, float, float]:
@@ -197,4 +203,146 @@ def fault_scorecard(
         injected_bits=int(mask.num_faults),
         repaired_bits=repaired,
         residual_bits=residual,
+    )
+
+
+@dataclass(frozen=True)
+class AdversaryScorecard:
+    """One adversarial campaign reduced to CI-gateable numbers.
+
+    The campaign driver (:func:`repro.adversary.run_campaign`) joins its
+    three probes into this card:
+
+    * *differential* — how often ``ensemble_size`` seed-variant models
+      disagree on held-out inputs (the HDXplore signal);
+    * *perturbation* — how often bit-flip / feature-space search finds a
+      misclassifying neighbour of a correctly-classified input, and how
+      many accepted steps it takes on average (``nan`` when no search
+      succeeded);
+    * *adaptive* — eval accuracy after the same fault budget under
+      (a) a static attack + recovery, (b) an adaptive adversary who
+      re-targets freshly recovered chunks + recovery, and (c) the same
+      adaptive adversary with recovery disabled.
+
+    ``recovery_benefit_under_adaptive`` is the headline number: final
+    accuracy (b) minus (c).  Positive means self-recovery still helps
+    when the attacker watches it; negative means the publish stream
+    leaks enough targeting signal to invert the benefit.
+    """
+
+    ensemble_size: int
+    probes: int
+    disagreement_rate: float
+    bitflip_success_rate: float
+    bitflip_mean_flips: float
+    feature_success_rate: float
+    feature_mean_nudges: float
+    clean_accuracy: float
+    static_recovered_accuracy: float
+    adaptive_recovered_accuracy: float
+    adaptive_unrecovered_accuracy: float
+
+    @property
+    def adaptive_delta(self) -> float:
+        """Accuracy cost of adaptivity: static minus adaptive (both
+        recovered).  Positive means the adaptive adversary hurts more
+        than the static one at the same budget."""
+        return self.static_recovered_accuracy - self.adaptive_recovered_accuracy
+
+    @property
+    def recovery_benefit_under_adaptive(self) -> float:
+        """Accuracy recovered keeps over not recovering, under the
+        adaptive adversary — the paper-never-asked headline."""
+        return (
+            self.adaptive_recovered_accuracy
+            - self.adaptive_unrecovered_accuracy
+        )
+
+    @property
+    def recovery_helps_under_adaptive(self) -> bool:
+        return self.recovery_benefit_under_adaptive >= 0.0
+
+    def render(self) -> str:
+        # Deferred import, same cycle-avoidance as FaultScorecard.
+        from repro.analysis.tables import render_table
+
+        def fmt(value: float) -> str:
+            return "n/a" if np.isnan(value) else f"{value:.3f}"
+
+        rows = [
+            ["ensemble disagreement rate",
+             f"{self.disagreement_rate:.3f}",
+             f"{self.ensemble_size} models x {self.probes} probes"],
+            ["bit-flip search success",
+             f"{self.bitflip_success_rate:.3f}",
+             f"mean flips {fmt(self.bitflip_mean_flips)}"],
+            ["feature search success",
+             f"{self.feature_success_rate:.3f}",
+             f"mean nudges {fmt(self.feature_mean_nudges)}"],
+            ["clean accuracy", f"{self.clean_accuracy:.4f}", ""],
+            ["static attack + recovery",
+             f"{self.static_recovered_accuracy:.4f}", ""],
+            ["adaptive adversary + recovery",
+             f"{self.adaptive_recovered_accuracy:.4f}",
+             f"adaptive delta {self.adaptive_delta:+.4f}"],
+            ["adaptive adversary, no recovery",
+             f"{self.adaptive_unrecovered_accuracy:.4f}", ""],
+            ["recovery benefit under adaptive",
+             f"{self.recovery_benefit_under_adaptive:+.4f}",
+             "helps" if self.recovery_helps_under_adaptive else "HURTS"],
+        ]
+        return render_table(
+            ["measure", "value", "notes"],
+            rows,
+            title="Adversary scorecard",
+        )
+
+
+def adversary_scorecard(
+    *,
+    ensemble_size: int,
+    probes: int,
+    disagreements: int,
+    bitflip_successes: int,
+    bitflip_attempts: int,
+    bitflip_total_flips: int,
+    feature_successes: int,
+    feature_attempts: int,
+    feature_total_nudges: int,
+    clean_accuracy: float,
+    static_recovered_accuracy: float,
+    adaptive_recovered_accuracy: float,
+    adaptive_unrecovered_accuracy: float,
+) -> AdversaryScorecard:
+    """Reduce raw campaign counters into an :class:`AdversaryScorecard`.
+
+    Rates are computed against their attempt counts (0.0 when no
+    attempts ran); mean step counts are per *successful* search and
+    ``nan`` when nothing succeeded, so a zero-success campaign cannot
+    masquerade as a cheap one.
+    """
+    return AdversaryScorecard(
+        ensemble_size=int(ensemble_size),
+        probes=int(probes),
+        disagreement_rate=(
+            disagreements / probes if probes else 0.0
+        ),
+        bitflip_success_rate=(
+            bitflip_successes / bitflip_attempts if bitflip_attempts else 0.0
+        ),
+        bitflip_mean_flips=(
+            bitflip_total_flips / bitflip_successes
+            if bitflip_successes else float("nan")
+        ),
+        feature_success_rate=(
+            feature_successes / feature_attempts if feature_attempts else 0.0
+        ),
+        feature_mean_nudges=(
+            feature_total_nudges / feature_successes
+            if feature_successes else float("nan")
+        ),
+        clean_accuracy=float(clean_accuracy),
+        static_recovered_accuracy=float(static_recovered_accuracy),
+        adaptive_recovered_accuracy=float(adaptive_recovered_accuracy),
+        adaptive_unrecovered_accuracy=float(adaptive_unrecovered_accuracy),
     )

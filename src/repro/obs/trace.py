@@ -27,6 +27,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 __all__ = [
+    "CampaignEvent",
+    "CampaignTrace",
     "RecoveryBlockEvent",
     "RecoveryTrace",
     "ServeBatchEvent",
@@ -480,4 +482,179 @@ class ServeTrace:
              "staleness s", "mode", "expired"],
             rows,
             title="Serve trace",
+        )
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One step of an adversarial campaign (:mod:`repro.adversary`).
+
+    The campaign-side sibling of :class:`RecoveryBlockEvent` /
+    :class:`ServeBatchEvent`, with the same plain-data / exact-JSONL
+    contract.  One event per campaign step:
+
+    * ``differential`` — an ensemble disagreement scan; ``queries`` is
+      the probe count, ``successes`` the disagreeing inputs.
+    * ``bitflip-search`` / ``feature-search`` — one perturbation search
+      per probe input; ``successes`` counts found misclassifications,
+      ``bits_flipped`` the total accepted perturbation steps.
+    * ``adaptive-pass`` — one recovery pass of an adaptive scenario;
+      ``accuracy`` is the post-pass eval accuracy.
+    * ``strike`` — one adaptive-adversary fault injection between
+      passes; ``bits_flipped`` counts injected bits, ``successes`` how
+      many of them landed in cells the adversary observed being
+      repaired (0 when the strike fell back to uniform targeting).
+
+    Attributes
+    ----------
+    index:
+        0-based position of the event within its trace.
+    kind:
+        Step discriminator (see above).
+    scenario:
+        Which campaign scenario emitted the event (e.g. ``"static"``,
+        ``"adaptive"``, ``"adaptive-no-recovery"``, or ``""`` for
+        scenario-free steps like the differential scan).
+    seed:
+        The seed governing the step's randomness (-1 for RNG-free
+        steps).
+    queries / successes / bits_flipped:
+        Work and outcome counters; see the per-kind meanings above.
+    accuracy:
+        Eval accuracy measured at this step, or ``None`` when the step
+        does not measure one.
+    """
+
+    index: int
+    kind: str
+    scenario: str
+    seed: int
+    queries: int
+    successes: int
+    bits_flipped: int
+    accuracy: float | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignEvent":
+        accuracy = data.get("accuracy")
+        return cls(
+            index=int(data["index"]),
+            kind=str(data["kind"]),
+            scenario=str(data["scenario"]),
+            seed=int(data["seed"]),
+            queries=int(data["queries"]),
+            successes=int(data["successes"]),
+            bits_flipped=int(data["bits_flipped"]),
+            accuracy=None if accuracy is None else float(accuracy),
+        )
+
+
+@dataclass
+class CampaignTrace:
+    """An append-only log of :class:`CampaignEvent` records."""
+
+    events: list[CampaignEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def last(self) -> CampaignEvent | None:
+        return self.events[-1] if self.events else None
+
+    def record(self, event: CampaignEvent) -> None:
+        self.events.append(event)
+
+    def next_index(self) -> int:
+        return len(self.events)
+
+    # -- aggregates ----------------------------------------------------
+
+    def by_kind(self, kind: str) -> list[CampaignEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def by_scenario(self, scenario: str) -> list[CampaignEvent]:
+        return [e for e in self.events if e.scenario == scenario]
+
+    @property
+    def probes(self) -> int:
+        return sum(e.queries for e in self.events
+                   if e.kind != "adaptive-pass")
+
+    @property
+    def successes(self) -> int:
+        return sum(e.successes for e in self.events)
+
+    @property
+    def bits_flipped(self) -> int:
+        return sum(e.bits_flipped for e in self.events)
+
+    def accuracy_trace(self, scenario: str) -> list[float]:
+        """Post-pass accuracies of one scenario, in pass order."""
+        return [
+            e.accuracy for e in self.by_scenario(scenario)
+            if e.kind == "adaptive-pass" and e.accuracy is not None
+        ]
+
+    # -- serialisation -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line, one line per event."""
+        return "\n".join(
+            json.dumps(e.to_dict(), separators=(",", ":"))
+            for e in self.events
+        )
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "CampaignTrace":
+        events = [
+            CampaignEvent.from_dict(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return cls(events=events)
+
+    @classmethod
+    def read_jsonl(cls, path: str | Path) -> "CampaignTrace":
+        return cls.from_jsonl(Path(path).read_text())
+
+    # -- rendering -----------------------------------------------------
+
+    def summary_table(self) -> str:
+        """Per-step summary rendered via :mod:`repro.analysis.tables`."""
+        # Deferred import, same cycle-avoidance as RecoveryTrace.
+        from repro.analysis.tables import render_table
+
+        rows: list[Sequence[object]] = []
+        for e in self.events:
+            rows.append([
+                e.index,
+                e.kind,
+                e.scenario,
+                e.queries,
+                e.successes,
+                e.bits_flipped,
+                "" if e.accuracy is None else f"{e.accuracy:.4f}",
+            ])
+        rows.append([
+            "total", "", "", self.probes, self.successes,
+            self.bits_flipped, "",
+        ])
+        return render_table(
+            ["step", "kind", "scenario", "queries", "successes",
+             "bits flipped", "accuracy"],
+            rows,
+            title="Campaign trace",
         )

@@ -105,9 +105,9 @@ __all__ = ["AdmissionController", "GatewayServer", "TokenBucket"]
 class TokenBucket:
     """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity.
 
-    Monotonic-clock lazy refill; ``try_take`` is the only mutating
-    operation.  Not thread-safe on its own — the admission controller
-    serialises access under its lock.
+    Monotonic-clock lazy refill; ``try_take`` and ``retry_after_s``
+    both refill to *now* before deciding.  Not thread-safe on its own —
+    the admission controller serialises access under its lock.
     """
 
     __slots__ = ("_last", "_tokens", "burst", "rate")
@@ -134,12 +134,22 @@ class TokenBucket:
             return True
         return False
 
-    def retry_after_s(self) -> float:
+    def retry_after_s(self, now: float | None = None) -> float:
         """Seconds until one token will have refilled (0 if one is free).
 
-        A peek, not a refresh: callers use it right after a failed
-        :meth:`try_take`, which already brought ``_tokens`` current.
+        Refills to ``now`` first.  It used to be a stale peek that
+        assumed a just-failed :meth:`try_take` had already brought
+        ``_tokens`` current — but callers like the HTTP ingress build
+        ``Retry-After`` hints on their own schedule, and a peek taken
+        later than the failed take over-reports the wait by however much
+        has already refilled in between.
         """
+        if now is None:
+            now = time.monotonic()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
         if self._tokens >= 1.0:
             return 0.0
         return (1.0 - self._tokens) / self.rate

@@ -82,6 +82,15 @@ class _HttpError(Exception):
 
 async def handle_http_connection(gateway, reader, writer) -> None:
     """Serve one HTTP/1.1 connection against ``gateway``."""
+    task = asyncio.current_task()
+    # Track the handler task exactly like binary-protocol connections:
+    # ``GatewayServer.stop`` cancels tracked tasks during its graceful
+    # phase, so keep-alive clients parked in ``readline`` (or aborted
+    # clients whose handler is parked on an engine waiter) are unwound
+    # deliberately instead of surviving until the loop's final blanket
+    # cancel.
+    if task is not None:
+        gateway._connections.add(task)
     try:
         while True:
             line = await reader.readline()
@@ -118,6 +127,8 @@ async def handle_http_connection(gateway, reader, writer) -> None:
     ):
         pass
     finally:
+        if task is not None:
+            gateway._connections.discard(task)
         writer.close()
 
 
@@ -271,7 +282,18 @@ async def _predict(gateway, matrix, features, tenant, deadline):
             waiter.set_result(result)
 
     future.add_done_callback(_on_done)
-    result = await waiter
+    try:
+        result = await waiter
+    except asyncio.CancelledError:
+        # Aborting client or stopping gateway cancelled us while the
+        # engine still owns the request.  The admission slot is NOT
+        # released here: ``_on_done`` releases it exactly once whenever
+        # the engine resolves, and ``_settle``'s ``done()`` guard makes
+        # the late result a no-op against this cancelled waiter (a
+        # plain result, never an exception, so no "Future exception was
+        # never retrieved" can escape).  Propagate so the handler task
+        # finishes cancelled instead of writing into a dead socket.
+        raise
     if result.predictions is None:
         raise _HttpError(
             504,

@@ -1,0 +1,281 @@
+"""Tests for the publish probe, adaptive adversary, and scenario driver."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.adaptive import (
+    SCENARIOS,
+    AdaptiveAdversary,
+    PublishProbe,
+    run_adaptive_scenario,
+)
+from repro.core.model import HDCModel
+from repro.core.pipeline import RecoveryExperiment
+from repro.core.recovery import RecoveryConfig
+from repro.datasets.synthetic import make_prototype_classification
+from repro.faults.bitflip import flip_hdc_bits
+
+
+def make_model(k=4, dim=512, seed=0):
+    rng = np.random.default_rng(seed)
+    hv = rng.integers(0, 2, (k, dim)).astype(np.uint8)
+    return HDCModel(class_hv=hv, bits=1)
+
+
+def experiment(seed=0):
+    ds = make_prototype_classification(
+        "adaptive", num_features=10, num_classes=3,
+        num_train=90, num_test=60, seed=seed,
+    )
+    return RecoveryExperiment(
+        dataset=ds, dim=1024, epochs=1, levels=8, seed=seed
+    )
+
+
+RECOVERY = RecoveryConfig(num_chunks=16, block_size=64)
+
+
+class TestPublishProbe:
+    def test_records_delta_per_publish(self):
+        model = make_model()
+        probe = PublishProbe()
+        probe.prime(model)
+        flip_hdc_bits(model, np.array([0, 65, 700]))
+        generation = probe.publish(model)
+        assert generation == 1
+        assert probe.publishes == 1
+        assert len(probe.deltas) == 1
+        from repro.core.packed import PackedHypervectors, unpack
+
+        changed = unpack(PackedHypervectors(
+            words=probe.deltas[0], dim=model.dim, single=False
+        ))
+        flat = np.flatnonzero(changed.reshape(-1))
+        assert (flat == [0, 65, 700]).all()
+
+    def test_unprimed_first_publish_records_no_delta(self):
+        model = make_model()
+        probe = PublishProbe()
+        probe.publish(model)
+        assert probe.publishes == 1
+        assert probe.deltas == []
+
+    def test_forwards_to_inner(self):
+        class Inner:
+            def __init__(self):
+                self.published = 0
+                self.touched = 0
+                self.ended = 0
+
+            def publish(self, model):
+                self.published += 1
+                return 41 + self.published
+
+            def touch(self):
+                self.touched += 1
+
+            def end_writing(self):
+                self.ended += 1
+
+        inner = Inner()
+        probe = PublishProbe(inner=inner)
+        model = make_model()
+        assert probe.publish(model) == 42  # inner's generation wins
+        probe.touch()
+        probe.end_writing()
+        assert (inner.published, inner.touched, inner.ended) == (1, 1, 1)
+
+    def test_probe_does_not_mutate_model(self):
+        model = make_model()
+        before = model.class_hv.copy()
+        version = model.version
+        probe = PublishProbe()
+        probe.prime(model)
+        probe.publish(model)
+        assert (model.class_hv == before).all()
+        assert model.version == version
+
+
+class TestAdaptiveAdversary:
+    def test_blind_strike_is_uniform_and_seeded(self):
+        model_a, model_b = make_model(), make_model()
+        report_a = AdaptiveAdversary(
+            rate=0.02, num_chunks=16, seed=5
+        ).strike(model_a)
+        report_b = AdaptiveAdversary(
+            rate=0.02, num_chunks=16, seed=5
+        ).strike(model_b)
+        assert report_a.targeted_bits == 0
+        assert report_a.injected_bits == round(0.02 * model_a.total_bits)
+        assert (
+            report_a.mask.bit_indices == report_b.mask.bit_indices
+        ).all()
+        assert (model_a.class_hv == model_b.class_hv).all()
+
+    def test_observe_builds_heat_from_deltas(self):
+        model = make_model(k=4, dim=512)
+        probe = PublishProbe()
+        probe.prime(model)
+        # Repair-like writes confined to class 1, chunk 3 (m=16 -> d=32).
+        flip_hdc_bits(model, 512 + 3 * 32 + np.arange(8))
+        probe.publish(model)
+        adversary = AdaptiveAdversary(rate=0.02, num_chunks=16, seed=0)
+        consumed = adversary.observe(probe)
+        assert consumed == 1
+        assert adversary.heat is not None
+        assert adversary.heat[1, 3] == 8
+        assert adversary.heat.sum() == 8
+
+    def test_strike_targets_hot_cells(self):
+        model = make_model(k=4, dim=512)
+        probe = PublishProbe()
+        probe.prime(model)
+        flip_hdc_bits(model, 512 + 3 * 32 + np.arange(8))
+        probe.publish(model)
+        adversary = AdaptiveAdversary(rate=0.01, num_chunks=16, seed=0)
+        adversary.observe(probe)
+        report = adversary.strike(model)
+        assert report.hot_cells == 1
+        # budget = round(0.01 * 2048) = 20, under the 32-bit cell
+        # capacity: every injected bit lands in the hot cell.
+        assert report.injected_bits == 20
+        cell_lo, cell_hi = 512 + 3 * 32, 512 + 4 * 32
+        in_cell = (
+            (report.mask.bit_indices >= cell_lo)
+            & (report.mask.bit_indices < cell_hi)
+        )
+        assert in_cell.sum() == report.targeted_bits == 20
+
+    def test_strike_spills_past_cell_capacity(self):
+        model = make_model(k=4, dim=512)
+        probe = PublishProbe()
+        probe.prime(model)
+        flip_hdc_bits(model, 512 + 3 * 32 + np.arange(8))
+        probe.publish(model)
+        adversary = AdaptiveAdversary(rate=0.02, num_chunks=16, seed=0)
+        adversary.observe(probe)
+        report = adversary.strike(model)
+        # budget = round(0.02 * 2048) = 41 > 32: the hot cell fills and
+        # the 9-bit spill re-samples uniformly outside the chosen set.
+        assert report.injected_bits == 41
+        assert report.targeted_bits == 32
+        cell_lo, cell_hi = 512 + 3 * 32, 512 + 4 * 32
+        in_cell = (
+            (report.mask.bit_indices >= cell_lo)
+            & (report.mask.bit_indices < cell_hi)
+        )
+        # The cell is saturated, so the spill necessarily lands outside.
+        assert in_cell.sum() == 32
+        assert np.unique(report.mask.bit_indices).size == 41
+
+    def test_heat_decays(self):
+        model = make_model(k=4, dim=512)
+        probe = PublishProbe()
+        probe.prime(model)
+        flip_hdc_bits(model, np.arange(4))
+        probe.publish(model)
+        adversary = AdaptiveAdversary(
+            rate=0.02, num_chunks=16, decay=0.5, seed=0
+        )
+        adversary.observe(probe)
+        assert adversary.heat[0, 0] == 4
+        adversary.observe(probe)  # nothing new: decay only
+        assert adversary.heat[0, 0] == 2
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(rate=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(num_chunks=0)
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(decay=-0.1)
+        model = make_model(dim=500)  # 500 % 16 != 0
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(num_chunks=16).strike(model)
+
+
+class TestRunAdaptiveScenario:
+    def test_static_matches_attack_and_recover(self):
+        """The static scenario is attack_and_recover, event for event."""
+        exp = experiment()
+        baseline = exp.attack_and_recover(
+            0.05, config=RECOVERY, passes=2, seed=0
+        )
+        outcome = run_adaptive_scenario(
+            exp, scenario="static", error_rate=0.05,
+            config=RECOVERY, passes=2, seed=0,
+        )
+        assert outcome.accuracy_trace == baseline.accuracy_trace
+        assert outcome.final_accuracy == baseline.recovered_accuracy
+        assert outcome.attacked_accuracy == baseline.attacked_accuracy
+        assert outcome.strikes == 0
+        assert outcome.struck_bits == 0
+
+    def test_scenarios_are_reproducible(self):
+        exp = experiment()
+        for scenario in SCENARIOS:
+            a = run_adaptive_scenario(
+                exp, scenario=scenario, error_rate=0.05,
+                config=RECOVERY, passes=3, seed=1,
+            )
+            b = run_adaptive_scenario(
+                exp, scenario=scenario, error_rate=0.05,
+                config=RECOVERY, passes=3, seed=1,
+            )
+            assert a.accuracy_trace == b.accuracy_trace, scenario
+            assert a.struck_bits == b.struck_bits, scenario
+            assert a.trace.to_jsonl() == b.trace.to_jsonl(), scenario
+
+    def test_adaptive_strikes_between_passes(self):
+        exp = experiment()
+        outcome = run_adaptive_scenario(
+            exp, scenario="adaptive", error_rate=0.05,
+            config=RECOVERY, passes=3, seed=0,
+        )
+        assert outcome.strikes == 2  # between passes, none after the last
+        assert outcome.struck_bits > 0
+        assert outcome.publishes > 0
+        assert outcome.targeted_bits > 0  # publishes were observed
+        strike_events = outcome.trace.by_kind("strike")
+        assert len(strike_events) == 2
+        pass_events = outcome.trace.by_kind("adaptive-pass")
+        assert len(pass_events) == 3
+        assert outcome.accuracy_trace == tuple(
+            e.accuracy for e in pass_events
+        )
+
+    def test_no_recovery_scenario_never_publishes_or_targets(self):
+        exp = experiment()
+        outcome = run_adaptive_scenario(
+            exp, scenario="adaptive-no-recovery", error_rate=0.05,
+            config=RECOVERY, passes=3, seed=0,
+        )
+        assert outcome.publishes == 0
+        assert outcome.targeted_bits == 0  # blind: uniform fallback only
+        assert outcome.strikes == 2
+        assert outcome.recovery_trace is None
+
+    def test_same_attacker_budget_across_adaptive_scenarios(self):
+        exp = experiment()
+        with_recovery = run_adaptive_scenario(
+            exp, scenario="adaptive", error_rate=0.05,
+            config=RECOVERY, passes=3, seed=0,
+        )
+        without = run_adaptive_scenario(
+            exp, scenario="adaptive-no-recovery", error_rate=0.05,
+            config=RECOVERY, passes=3, seed=0,
+        )
+        assert with_recovery.initial_bits == without.initial_bits
+        assert with_recovery.struck_bits == without.struck_bits
+
+    def test_validates_scenario_and_passes(self):
+        exp = experiment()
+        with pytest.raises(ValueError):
+            run_adaptive_scenario(
+                exp, scenario="nope", error_rate=0.05, config=RECOVERY
+            )
+        with pytest.raises(ValueError):
+            run_adaptive_scenario(
+                exp, scenario="static", error_rate=0.05,
+                config=RECOVERY, passes=0,
+            )

@@ -1,0 +1,177 @@
+"""Tests for the campaign driver, scorecard, and campaign trace."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.campaign import CampaignConfig, run_campaign
+from repro.core.recovery import RecoveryConfig
+from repro.datasets.synthetic import make_prototype_classification
+from repro.obs.scorecard import adversary_scorecard
+from repro.obs.trace import CampaignEvent, CampaignTrace
+
+
+def dataset(seed=0):
+    return make_prototype_classification(
+        "campaign", num_features=10, num_classes=3,
+        num_train=90, num_test=60, seed=seed,
+    )
+
+
+CONFIG = CampaignConfig(
+    dim=1024,
+    epochs=1,
+    levels=8,
+    probes=24,
+    search_inputs=3,
+    bitflip_budget=24,
+    bitflip_candidates=48,
+    feature_budget=6,
+    feature_candidates=24,
+    error_rate=0.05,
+    strike_rate=0.02,
+    passes=2,
+    recovery=RecoveryConfig(num_chunks=16, block_size=64),
+    seed=0,
+)
+
+
+class TestCampaignTraceRoundtrip:
+    def test_jsonl_roundtrip_exact(self):
+        trace = CampaignTrace()
+        trace.record(CampaignEvent(
+            index=0, kind="differential", scenario="", seed=-1,
+            queries=32, successes=3, bits_flipped=0,
+        ))
+        trace.record(CampaignEvent(
+            index=1, kind="adaptive-pass", scenario="adaptive", seed=7,
+            queries=64, successes=12, bits_flipped=99,
+            accuracy=0.8437500000000001,
+        ))
+        back = CampaignTrace.from_jsonl(trace.to_jsonl())
+        assert back.events == trace.events
+        assert back.events[1].accuracy == 0.8437500000000001
+
+    def test_write_read_jsonl(self, tmp_path):
+        trace = CampaignTrace()
+        trace.record(CampaignEvent(
+            index=0, kind="strike", scenario="adaptive", seed=1,
+            queries=0, successes=5, bits_flipped=41,
+        ))
+        path = trace.write_jsonl(tmp_path / "campaign.jsonl")
+        back = CampaignTrace.read_jsonl(path)
+        assert back.events == trace.events
+        assert back.events[0].accuracy is None
+
+    def test_aggregates(self):
+        trace = CampaignTrace()
+        trace.record(CampaignEvent(
+            index=0, kind="adaptive-pass", scenario="adaptive", seed=0,
+            queries=10, successes=1, bits_flipped=2, accuracy=0.5,
+        ))
+        trace.record(CampaignEvent(
+            index=1, kind="strike", scenario="adaptive", seed=0,
+            queries=0, successes=3, bits_flipped=4,
+        ))
+        trace.record(CampaignEvent(
+            index=2, kind="adaptive-pass", scenario="adaptive", seed=0,
+            queries=10, successes=0, bits_flipped=0, accuracy=0.75,
+        ))
+        assert trace.accuracy_trace("adaptive") == [0.5, 0.75]
+        assert len(trace.by_kind("strike")) == 1
+        assert trace.bits_flipped == 6
+        assert trace.summary_table()  # renders without error
+
+
+class TestAdversaryScorecard:
+    def test_builder_rates(self):
+        card = adversary_scorecard(
+            ensemble_size=3, probes=40, disagreements=4,
+            bitflip_successes=2, bitflip_attempts=4, bitflip_total_flips=30,
+            feature_successes=0, feature_attempts=4, feature_total_nudges=0,
+            clean_accuracy=0.95,
+            static_recovered_accuracy=0.93,
+            adaptive_recovered_accuracy=0.88,
+            adaptive_unrecovered_accuracy=0.80,
+        )
+        assert card.disagreement_rate == pytest.approx(0.1)
+        assert card.bitflip_success_rate == pytest.approx(0.5)
+        assert card.bitflip_mean_flips == pytest.approx(15.0)
+        assert card.feature_success_rate == 0.0
+        assert np.isnan(card.feature_mean_nudges)
+        assert card.adaptive_delta == pytest.approx(0.05)
+        assert card.recovery_benefit_under_adaptive == pytest.approx(0.08)
+        assert card.recovery_helps_under_adaptive
+        assert "n/a" in card.render()
+
+    def test_hurts_flag(self):
+        card = adversary_scorecard(
+            ensemble_size=2, probes=1, disagreements=0,
+            bitflip_successes=0, bitflip_attempts=0, bitflip_total_flips=0,
+            feature_successes=0, feature_attempts=0, feature_total_nudges=0,
+            clean_accuracy=1.0,
+            static_recovered_accuracy=1.0,
+            adaptive_recovered_accuracy=0.5,
+            adaptive_unrecovered_accuracy=0.7,
+        )
+        assert not card.recovery_helps_under_adaptive
+        assert "HURTS" in card.render()
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(dataset(), CONFIG)
+
+    def test_trace_covers_every_step(self, result):
+        kinds = [e.kind for e in result.trace]
+        assert kinds.count("differential") == 1
+        assert kinds.count("bitflip-search") == 1
+        assert kinds.count("feature-search") == 1
+        # 3 scenarios x 2 passes; strikes only in the 2 adaptive ones.
+        assert kinds.count("adaptive-pass") == 6
+        assert kinds.count("strike") == 2
+        assert [e.index for e in result.trace] == list(range(len(kinds)))
+
+    def test_scorecard_joins_outcomes(self, result):
+        card = result.scorecard
+        assert card.probes == 24
+        assert card.ensemble_size == 3
+        assert 0.0 <= card.disagreement_rate <= 1.0
+        assert card.static_recovered_accuracy == (
+            result.outcomes["static"].final_accuracy
+        )
+        assert card.adaptive_recovered_accuracy == (
+            result.outcomes["adaptive"].final_accuracy
+        )
+        assert card.adaptive_unrecovered_accuracy == (
+            result.outcomes["adaptive-no-recovery"].final_accuracy
+        )
+        assert card.clean_accuracy == result.experiment.clean_accuracy
+
+    def test_campaign_is_reproducible(self, result):
+        again = run_campaign(dataset(), CONFIG)
+        assert again.trace.to_jsonl() == result.trace.to_jsonl()
+        assert again.scorecard.disagreement_rate == (
+            result.scorecard.disagreement_rate
+        )
+        assert again.scorecard.adaptive_recovered_accuracy == (
+            result.scorecard.adaptive_recovered_accuracy
+        )
+
+    def test_searches_start_from_agreed_inputs(self, result):
+        agreed = set(
+            np.flatnonzero(~result.disagreement.disagree_mask).tolist()
+        )
+        assert len(result.bitflip_results) == CONFIG.search_inputs
+        assert len(result.feature_results) == CONFIG.search_inputs
+        assert agreed  # the scan left something to search from
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(ensemble_size=1)
+        with pytest.raises(ValueError):
+            CampaignConfig(probes=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(
+                dim=1000, recovery=RecoveryConfig(num_chunks=16)
+            )

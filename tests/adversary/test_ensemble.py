@@ -1,0 +1,97 @@
+"""Tests for the seed-variant differential ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.ensemble import DifferentialEnsemble
+from repro.datasets.synthetic import make_prototype_classification
+
+
+def small_dataset(seed=0):
+    return make_prototype_classification(
+        "ens", num_features=10, num_classes=3,
+        num_train=90, num_test=60, seed=seed,
+    )
+
+
+def small_ensemble(k=3, seed=0):
+    return DifferentialEnsemble.train(
+        small_dataset(), k=k, dim=512, epochs=1, levels=8, base_seed=seed,
+    )
+
+
+class TestTraining:
+    def test_members_are_seed_variants(self):
+        ens = small_ensemble()
+        assert ens.num_members == 3
+        models = [m.model.class_hv for m in ens.members]
+        # Different codebook seeds -> different class hypervectors.
+        assert not np.array_equal(models[0], models[1])
+        assert not np.array_equal(models[1], models[2])
+
+    def test_training_is_deterministic(self):
+        a, b = small_ensemble(), small_ensemble()
+        for ma, mb in zip(a.members, b.members):
+            assert (ma.model.class_hv == mb.model.class_hv).all()
+
+    def test_rejects_tiny_ensembles(self):
+        with pytest.raises(ValueError):
+            DifferentialEnsemble.train(small_dataset(), k=1, dim=256)
+        with pytest.raises(ValueError):
+            DifferentialEnsemble([])
+
+    def test_rejects_mixed_num_classes(self):
+        ens3 = small_ensemble()
+        other = DifferentialEnsemble.train(
+            make_prototype_classification(
+                "other", num_features=10, num_classes=4,
+                num_train=80, num_test=40, seed=1,
+            ),
+            k=2, dim=512, epochs=1, levels=8,
+        )
+        with pytest.raises(ValueError):
+            DifferentialEnsemble([ens3.members[0], other.members[0]])
+
+
+class TestDisagreements:
+    def test_predictions_shape_and_majority(self):
+        ens = small_ensemble()
+        ds = small_dataset()
+        report = ens.disagreements(ds.test_x)
+        assert report.predictions.shape == (3, ds.num_test)
+        assert report.majority.shape == (ds.num_test,)
+        assert report.disagree_mask.shape == (ds.num_test,)
+        # Majority label must be one of the member predictions.
+        for i in range(ds.num_test):
+            assert report.majority[i] in report.predictions[:, i]
+
+    def test_disagreement_mask_matches_columns(self):
+        ens = small_ensemble()
+        report = ens.disagreements(small_dataset().test_x)
+        expected = np.array([
+            np.unique(report.predictions[:, i]).size > 1
+            for i in range(report.num_inputs)
+        ])
+        assert (report.disagree_mask == expected).all()
+        assert report.disagreements == int(expected.sum())
+        assert report.disagreement_rate == pytest.approx(
+            expected.mean()
+        )
+        assert (
+            report.disagreement_indices() == np.flatnonzero(expected)
+        ).all()
+
+    def test_scan_is_deterministic(self):
+        ens = small_ensemble()
+        x = small_dataset().test_x
+        a, b = ens.disagreements(x), ens.disagreements(x)
+        assert (a.predictions == b.predictions).all()
+        assert (a.disagree_mask == b.disagree_mask).all()
+
+    def test_majority_tie_breaks_low(self):
+        # Two members, guaranteed 1-1 votes wherever they disagree: the
+        # majority must take the lower label (argmax tie order).
+        ens = DifferentialEnsemble(small_ensemble().members[:2])
+        report = ens.disagreements(small_dataset().test_x)
+        for i in report.disagreement_indices():
+            assert report.majority[i] == report.predictions[:, i].min()

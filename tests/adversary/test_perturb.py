@@ -1,0 +1,171 @@
+"""Tests for the bit-flip and feature-space perturbation searches."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.ensemble import DifferentialEnsemble
+from repro.adversary.perturb import BitflipSearch, FeatureSearch
+from repro.core.encoder import Encoder
+from repro.core.model import HDCClassifier
+from repro.datasets.synthetic import make_prototype_classification
+
+
+def dataset(seed=0):
+    return make_prototype_classification(
+        "perturb", num_features=10, num_classes=3,
+        num_train=90, num_test=40, seed=seed,
+    )
+
+
+def fitted(seed=0, dim=512):
+    ds = dataset()
+    encoder = Encoder(num_features=ds.num_features, dim=dim, levels=8,
+                      seed=seed)
+    clf = HDCClassifier(
+        encoder, num_classes=ds.num_classes, epochs=1, seed=seed
+    ).fit(ds.train_x, ds.train_y)
+    return ds, clf
+
+
+class TestBitflipSearch:
+    def test_finds_misclassification(self):
+        ds, clf = fitted()
+        packed = clf.encoder.encode_packed(ds.test_x)
+        result = BitflipSearch(budget=128, candidates=128, seed=0).attack(
+            clf.model, packed[0]
+        )
+        assert result.success
+        assert result.final_label != result.original_label
+        assert result.steps == len(result.changed) > 0
+        assert result.margin_trace[-1] < 0
+        # The perturbed words really do misclassify.
+        sims = clf.model.similarities(
+            type(packed)(words=result.perturbed[None, :], dim=packed.dim,
+                         single=True)
+        )
+        assert int(np.argmax(sims[0])) == result.final_label
+
+    def test_margin_trace_monotone_decreasing(self):
+        ds, clf = fitted()
+        packed = clf.encoder.encode_packed(ds.test_x)
+        result = BitflipSearch(budget=64, candidates=64, seed=1).attack(
+            clf.model, packed[1]
+        )
+        trace = np.asarray(result.margin_trace)
+        assert (np.diff(trace) < 0).all()
+
+    def test_deterministic(self):
+        ds, clf = fitted()
+        packed = clf.encoder.encode_packed(ds.test_x)
+        a = BitflipSearch(budget=32, candidates=64, seed=3).attack(
+            clf.model, packed[2]
+        )
+        b = BitflipSearch(budget=32, candidates=64, seed=3).attack(
+            clf.model, packed[2]
+        )
+        assert a.changed == b.changed
+        assert a.margin_trace == b.margin_trace
+        assert (a.perturbed == b.perturbed).all()
+
+    def test_budget_bounds_flips(self):
+        ds, clf = fitted()
+        packed = clf.encoder.encode_packed(ds.test_x)
+        result = BitflipSearch(budget=3, candidates=32, seed=0).attack(
+            clf.model, packed[0]
+        )
+        assert result.steps <= 3
+
+    def test_accepts_unpacked_query(self):
+        ds, clf = fitted()
+        from repro.core.packed import unpack
+
+        packed = clf.encoder.encode_packed(ds.test_x)
+        raw = unpack(packed)[0]
+        a = BitflipSearch(budget=16, candidates=32, seed=5).attack(
+            clf.model, raw
+        )
+        b = BitflipSearch(budget=16, candidates=32, seed=5).attack(
+            clf.model, packed[0]
+        )
+        assert a.changed == b.changed
+
+    def test_validates_inputs(self):
+        ds, clf = fitted()
+        packed = clf.encoder.encode_packed(ds.test_x)
+        with pytest.raises(ValueError):
+            BitflipSearch(budget=0)
+        with pytest.raises(ValueError):
+            BitflipSearch(candidates=0)
+        with pytest.raises(ValueError):
+            # A batch is not a single query.
+            BitflipSearch().attack(clf.model, packed[0:2])
+
+
+class TestFeatureSearch:
+    def test_single_model_label_change(self):
+        ds, clf = fitted()
+        result = FeatureSearch(budget=32, candidates=64, seed=0).attack(
+            clf, ds.test_x[0]
+        )
+        if result.success:
+            assert (
+                int(clf.predict(result.perturbed[None, :])[0])
+                != result.original_label
+            )
+            assert result.final_label != result.original_label
+
+    def test_perturbed_stays_in_encoder_range(self):
+        ds, clf = fitted()
+        result = FeatureSearch(budget=16, candidates=32, seed=1).attack(
+            clf, ds.test_x[1]
+        )
+        low, high = clf.encoder.low, clf.encoder.high
+        assert (result.perturbed >= low).all()
+        assert (result.perturbed <= high).all()
+
+    def test_differential_success_means_disagreement(self):
+        ds = dataset()
+        ens = DifferentialEnsemble.train(
+            ds, k=3, dim=512, epochs=1, levels=8, base_seed=0
+        )
+        report = ens.disagreements(ds.test_x)
+        agreed = np.flatnonzero(~report.disagree_mask)
+        result = FeatureSearch(budget=32, candidates=64, seed=2).attack(
+            ens, ds.test_x[agreed[0]]
+        )
+        if result.success:
+            labels = ens.predict_all(result.perturbed[None, :])[:, 0]
+            assert np.unique(labels).size > 1
+
+    def test_deterministic(self):
+        ds, clf = fitted()
+        a = FeatureSearch(budget=16, candidates=32, seed=7).attack(
+            clf, ds.test_x[3]
+        )
+        b = FeatureSearch(budget=16, candidates=32, seed=7).attack(
+            clf, ds.test_x[3]
+        )
+        assert a.changed == b.changed
+        assert (a.perturbed == b.perturbed).all()
+
+    def test_default_step_is_one_level(self):
+        ds, clf = fitted()
+        search = FeatureSearch(budget=1, candidates=4, seed=0)
+        result = search.attack(clf, ds.test_x[0])
+        if result.steps:
+            delta = np.abs(
+                result.perturbed - np.clip(ds.test_x[0], 0.0, 1.0)
+            )
+            expected = (clf.encoder.high - clf.encoder.low) / (
+                clf.encoder.levels - 1
+            )
+            moved = delta[delta > 0]
+            assert moved.size >= 1
+            assert np.all(moved <= expected + 1e-12)
+
+    def test_validates_inputs(self):
+        ds, clf = fitted()
+        with pytest.raises(ValueError):
+            FeatureSearch(step=0.0)
+        with pytest.raises(ValueError):
+            FeatureSearch().attack(clf, ds.test_x[:2])

@@ -409,3 +409,77 @@ class TestPackedIndexing:
     def test_views_share_words(self):
         packed = pack(np.ones((3, 64), dtype=np.uint8))
         assert np.shares_memory(packed[0:2].words, packed.words)
+
+
+class TestPerturbationHelpers:
+    """packed_flip_bits / packed_single_bit_flips vs the uint8 reference."""
+
+    def test_flip_bits_matches_reference(self):
+        from repro.core.packed import packed_flip_bits
+
+        rng = np.random.default_rng(3)
+        hvs = rng.integers(0, 2, (4, 130), dtype=np.uint8)
+        idx = rng.choice(130, size=17, replace=False)
+        flipped = packed_flip_bits(pack(hvs).words, 130, idx)
+        expected = hvs.copy()
+        expected[:, idx] ^= 1
+        got = unpack(PackedHypervectors(words=flipped, dim=130, single=False))
+        assert (got == expected).all()
+
+    def test_flip_is_involution(self):
+        from repro.core.packed import packed_flip_bits
+
+        rng = np.random.default_rng(4)
+        words = pack(rng.integers(0, 2, (2, 200), dtype=np.uint8)).words
+        idx = np.array([0, 63, 64, 199])
+        assert (
+            packed_flip_bits(packed_flip_bits(words, 200, idx), 200, idx)
+            == words
+        ).all()
+
+    def test_flip_preserves_pad_bits(self):
+        from repro.core.packed import packed_flip_bits, packed_popcount
+
+        hvs = np.ones((1, 70), dtype=np.uint8)
+        flipped = packed_flip_bits(pack(hvs).words, 70, np.arange(70))
+        # Every logical bit flipped to 0; pad bits must stay 0 too.
+        assert packed_popcount(flipped).item() == 0
+
+    def test_flip_validates_range_and_duplicates(self):
+        from repro.core.packed import packed_flip_bits
+
+        words = pack(np.zeros((1, 70), dtype=np.uint8)).words
+        with pytest.raises(ValueError):
+            packed_flip_bits(words, 70, np.array([70]))
+        with pytest.raises(ValueError):
+            packed_flip_bits(words, 70, np.array([-1]))
+        with pytest.raises(ValueError):
+            packed_flip_bits(words, 70, np.array([3, 3]))
+        with pytest.raises(ValueError):
+            packed_flip_bits(words.astype(np.int64), 70, np.array([3]))
+
+    def test_single_bit_flips_candidates(self):
+        from repro.core.packed import packed_single_bit_flips
+
+        rng = np.random.default_rng(5)
+        hv = rng.integers(0, 2, (1, 130), dtype=np.uint8)
+        row = pack(hv).words[0]
+        positions = np.array([0, 63, 64, 129, 7])
+        cands = packed_single_bit_flips(row, 130, positions)
+        assert cands.shape == (5, row.shape[0])
+        for j, p in enumerate(positions):
+            expected = hv[0].copy()
+            expected[p] ^= 1
+            got = unpack(PackedHypervectors(
+                words=cands[j][None, :], dim=130, single=True
+            ))
+            assert (got == expected).all(), p
+
+    def test_single_bit_flips_validation(self):
+        from repro.core.packed import packed_single_bit_flips
+
+        row = pack(np.zeros((1, 64), dtype=np.uint8)).words[0]
+        with pytest.raises(ValueError):
+            packed_single_bit_flips(row, 64, np.array([64]))
+        with pytest.raises(ValueError):
+            packed_single_bit_flips(row[None, :], 64, np.array([0]))

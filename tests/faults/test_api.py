@@ -271,3 +271,45 @@ class TestTransientProcessConvergence:
         )
         process.expose(model)
         assert process.last_mask.mode == "clustered"
+
+
+class TestUnseededCallStreams:
+    """Regression: un-seeded inject/attack calls must not replay one mask.
+
+    ``inject`` used to fall back to ``np.random.default_rng(0)`` on
+    *every* call, so campaigns issuing back-to-back un-seeded attacks
+    silently injected identical masks.  The fallback is now salted with
+    a per-process call counter; explicit rng/seed streams are untouched.
+    """
+
+    def test_unseeded_back_to_back_masks_differ(self):
+        model = make_model(dim=512)
+        first = inject(model, 0.05)
+        second = inject(model, 0.05)
+        assert first.num_faults == second.num_faults > 0
+        assert not np.array_equal(first.bit_indices, second.bit_indices)
+
+    def test_unseeded_attacks_differ(self):
+        model = make_model(dim=512)
+        _, first = attack(model, 0.05)
+        _, second = attack(model, 0.05)
+        assert not np.array_equal(first.bit_indices, second.bit_indices)
+
+    def test_explicit_rng_stream_unchanged(self):
+        """The documented legacy stream: rng-passed calls stay
+
+        bit-identical to sampling directly with the same generator."""
+        from repro.faults.bitflip import sample_random_bits
+
+        model = make_model(dim=512)
+        mask = inject(model, 0.05, rng=np.random.default_rng(7))
+        expected = np.sort(sample_random_bits(
+            model.total_bits, 0.05, np.random.default_rng(7)
+        ))
+        assert (mask.bit_indices == expected).all()
+
+    def test_explicit_rng_is_replayable(self):
+        model = make_model(dim=512)
+        a = inject(model, 0.05, rng=np.random.default_rng(3))
+        b = inject(model, 0.05, rng=np.random.default_rng(3))
+        assert (a.bit_indices == b.bit_indices).all()

@@ -68,6 +68,20 @@ class TestTokenBucket:
         assert not bucket.try_take(now)  # burst exhausted
         assert bucket.try_take(now + 0.2)  # 0.2s * 10/s = 2 tokens back
 
+    def test_retry_after_refills_before_computing(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        now = time.monotonic()
+        assert bucket.try_take(now)
+        assert not bucket.try_take(now)
+        # Freshly drained: one token is 100 ms away.
+        assert bucket.retry_after_s(now) == pytest.approx(0.1)
+        # 50 ms later half a token has refilled -- the hint must track
+        # the refill instead of re-quoting the stale 100 ms peek.
+        assert bucket.retry_after_s(now + 0.05) == pytest.approx(0.05)
+        # Once a whole token is back the hint clamps to zero.
+        assert bucket.retry_after_s(now + 0.2) == 0.0
+        assert bucket.try_take(now + 0.2)
+
     def test_validation(self):
         with pytest.raises(ValueError, match="rate and burst"):
             TokenBucket(rate=0, burst=1)
